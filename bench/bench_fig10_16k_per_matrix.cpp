@@ -1,0 +1,45 @@
+// Reproduces Figure 10: per-matrix communication times of the seven STFW
+// dimensions on 16K processes (Cray XK7 model), with the BL value reported
+// as text per matrix as in the paper. The middle dimensions (STFW4/8/9)
+// generally win; the lowest stay latency-bound and the highest pay too much
+// forwarding volume.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/vpt.hpp"
+
+int main() {
+  using namespace stfw;
+  constexpr core::Rank K = 16384;
+  const auto machine = netsim::Machine::cray_xk7(K);
+  const int lg = core::floor_log2(K);  // 14
+  const std::vector<int> dims{2, 3, 4, lg / 2 + 1, lg / 2 + 2, lg - 1, lg};
+
+  std::printf("Figure 10 reproduction: comm time (us) per matrix at K=%d on XK7 model\n\n", K);
+  std::printf("%-18s | %8s |", "matrix", "BL");
+  for (int d : dims) std::printf(" %8s", bench::scheme_name(d).c_str());
+  std::printf(" | best\n");
+  bench::print_rule(110);
+
+  for (const auto& spec : sparse::paper_matrices_large()) {
+    const auto inst = bench::make_instance(std::string(spec.name), K);
+    const auto bl = bench::run_scheme(inst, K, 1, machine);
+    std::printf("%-18s | %8.0f |", inst.name.c_str(), bl.comm_us);
+    double best = bl.comm_us;
+    std::string best_name = "BL";
+    for (int d : dims) {
+      const auto r = bench::run_scheme(inst, K, d, machine);
+      std::printf(" %8.0f", r.comm_us);
+      if (r.comm_us < best) {
+        best = r.comm_us;
+        best_name = r.scheme;
+      }
+    }
+    std::printf(" | %s (%.1fx)\n", best_name.c_str(), bl.comm_us / best);
+  }
+  std::printf("\nPaper shape: BL is one to two orders of magnitude above the best STFW\n"
+              "(e.g. mip1 BL 91281us vs sub-2000us STFW); middle dims win most often.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Figure 1: per-process send-message counts of SpMV at K = 256
+// for pattern1, pkustk04 and sparsine under the BL baseline, showing the
+// large gap between the maximum (solid line in the paper) and the average
+// (dashed line) message count.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "spmv/distributed.hpp"
+
+namespace {
+
+void profile(const stfw::bench::Instance& inst, stfw::core::Rank K) {
+  using namespace stfw;
+  const auto parts = inst.parts(K);
+  const spmv::SpmvProblem problem(inst.matrix, parts, K, /*build_plans=*/false);
+  const auto pattern = problem.comm_pattern();
+  const auto counts = pattern.send_counts();
+  const auto mmax = pattern.max_send_count();
+  const double avg = pattern.avg_send_count();
+
+  std::printf("\n%s  (K=%d): max=%lld avg=%.1f  max/avg=%.1fx\n", inst.name.c_str(), K,
+              static_cast<long long>(mmax), avg, static_cast<double>(mmax) / std::max(avg, 1e-9));
+  // 64-bucket ASCII profile over process id (paper plots full 256 points).
+  constexpr int kBuckets = 64;
+  constexpr int kHeight = 12;
+  std::vector<double> bucket(kBuckets, 0.0);
+  for (std::size_t r = 0; r < counts.size(); ++r) {
+    const auto b = static_cast<std::size_t>(r * kBuckets / counts.size());
+    bucket[b] = std::max(bucket[b], static_cast<double>(counts[r]));
+  }
+  for (int h = kHeight; h >= 1; --h) {
+    const double level = static_cast<double>(mmax) * h / kHeight;
+    std::putchar(std::abs(level - avg) < static_cast<double>(mmax) / kHeight ? '~' : ' ');
+    for (int b = 0; b < kBuckets; ++b) std::putchar(bucket[b] >= level ? '#' : ' ');
+    if (h == kHeight) std::printf(" <- max (%lld msgs)", static_cast<long long>(mmax));
+    std::putchar('\n');
+  }
+  std::printf(" %s\n", std::string(kBuckets, '-').c_str());
+  std::printf(" process id ->   (~ row marks the average, %.1f msgs)\n", avg);
+}
+
+}  // namespace
+
+int main() {
+  using namespace stfw;
+  constexpr core::Rank K = 256;
+  std::printf("Figure 1 reproduction: per-process message counts under BL at K=%d\n", K);
+  for (const char* name : {"pattern1", "pkustk04", "sparsine"})
+    profile(bench::make_instance(name, K), K);
+  return 0;
+}

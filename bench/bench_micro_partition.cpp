@@ -1,0 +1,59 @@
+// Micro-benchmarks (google-benchmark) of the substrates: synthetic matrix
+// generation, column-net hypergraph construction, multilevel partitioning
+// and SpMV communication-pattern extraction.
+
+#include <benchmark/benchmark.h>
+
+#include "partition/partitioner.hpp"
+#include "sparse/generators.hpp"
+#include "spmv/distributed.hpp"
+
+namespace {
+
+using namespace stfw;
+
+sparse::Csr test_matrix(double scale) {
+  return sparse::generate(
+      sparse::scaled_spec(sparse::find_paper_matrix("GaAsH6"), scale, 512), 42);
+}
+
+void BM_GenerateMatrix(benchmark::State& state) {
+  const auto spec = sparse::scaled_spec(sparse::find_paper_matrix("GaAsH6"),
+                                        static_cast<double>(state.range(0)) / 1000.0, 512);
+  for (auto _ : state) benchmark::DoNotOptimize(sparse::generate(spec, 1));
+  state.SetItemsProcessed(state.iterations() * spec.nnz);
+}
+BENCHMARK(BM_GenerateMatrix)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_ColumnNetModel(benchmark::State& state) {
+  const auto a = test_matrix(static_cast<double>(state.range(0)) / 1000.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(partition::Hypergraph::column_net_model(a));
+  state.SetItemsProcessed(state.iterations() * a.num_nonzeros());
+}
+BENCHMARK(BM_ColumnNetModel)->Arg(20)->Arg(100);
+
+void BM_PartitionKWay(benchmark::State& state) {
+  const auto a = test_matrix(0.03);
+  partition::PartitionOptions opts;
+  opts.num_parts = static_cast<std::int32_t>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(partition::partition_rows(a, opts));
+  state.SetItemsProcessed(state.iterations() * a.num_nonzeros());
+}
+BENCHMARK(BM_PartitionKWay)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_CommPatternExtraction(benchmark::State& state) {
+  const auto a = test_matrix(0.05);
+  const auto parts =
+      partition::cyclic_partition(a.num_rows(), static_cast<std::int32_t>(state.range(0)));
+  for (auto _ : state) {
+    spmv::SpmvProblem problem(a, parts, static_cast<core::Rank>(state.range(0)), false);
+    benchmark::DoNotOptimize(problem.comm_pattern());
+  }
+  state.SetItemsProcessed(state.iterations() * a.num_nonzeros());
+}
+BENCHMARK(BM_CommPatternExtraction)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

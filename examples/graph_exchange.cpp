@@ -1,0 +1,109 @@
+// Irregular neighbor exchange in a distributed graph application.
+//
+// Beyond SpMV, any bulk-synchronous graph computation with vertex-centric
+// messaging has the paper's communication shape: each rank owns a slice of
+// vertices and must push updates to the (irregular, skewed) set of ranks
+// owning its out-neighbors. This example runs a few rounds of distributed
+// PageRank-style accumulation on a scale-free graph over the threaded
+// cluster, comparing BL with a store-and-forward VPT, and verifies both
+// produce identical global results.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "core/vpt.hpp"
+#include "runtime/stfw_communicator.hpp"
+#include "sparse/generators.hpp"
+
+using namespace stfw;
+
+namespace {
+
+constexpr core::Rank kRanks = 32;
+constexpr int kRounds = 3;
+
+struct Update {
+  std::int32_t vertex;
+  double value;
+};
+
+std::vector<double> run_rounds(const sparse::Csr& graph, const core::Vpt& vpt,
+                               std::int64_t* mmax_out) {
+  const std::int32_t n = graph.num_rows();
+  const auto owner = [n](std::int32_t v) {
+    return static_cast<core::Rank>(static_cast<std::int64_t>(v) * kRanks / n);
+  };
+  std::vector<double> rank_value(static_cast<std::size_t>(n), 1.0);
+  std::vector<std::int64_t> sent(kRanks, 0);
+
+  runtime::Cluster cluster(kRanks);
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<double> next(static_cast<std::size_t>(n), 0.15);
+    cluster.run([&](runtime::Comm& comm) {
+      StfwCommunicator communicator(comm, vpt);
+      const auto me = static_cast<core::Rank>(comm.rank());
+      // Accumulate contributions per destination rank.
+      std::map<core::Rank, std::vector<Update>> outgoing;
+      for (std::int32_t v = 0; v < n; ++v) {
+        if (owner(v) != me) continue;
+        const auto out = graph.row_cols(v);
+        if (out.empty()) continue;
+        const double share = 0.85 * rank_value[static_cast<std::size_t>(v)] /
+                             static_cast<double>(out.size());
+        for (std::int32_t u : out) outgoing[owner(u)].push_back({u, share});
+      }
+      std::vector<OutboundMessage> sends;
+      for (auto& [dest, updates] : outgoing) {
+        std::vector<std::byte> bytes(updates.size() * sizeof(Update));
+        std::memcpy(bytes.data(), updates.data(), bytes.size());
+        sends.push_back({dest, std::move(bytes)});
+      }
+      const auto inbox = communicator.exchange(sends);
+      sent[static_cast<std::size_t>(me)] =
+          std::max(sent[static_cast<std::size_t>(me)],
+                   communicator.last_stats().messages_sent);
+      // Apply updates to owned vertices (disjoint writes across ranks).
+      for (const InboundMessage& m : inbox) {
+        const auto count = m.bytes.size() / sizeof(Update);
+        std::vector<Update> updates(count);
+        std::memcpy(updates.data(), m.bytes.data(), m.bytes.size());
+        for (const Update& u : updates) next[static_cast<std::size_t>(u.vertex)] += u.value;
+      }
+    });
+    rank_value = next;
+  }
+  *mmax_out = *std::max_element(sent.begin(), sent.end());
+  return rank_value;
+}
+
+}  // namespace
+
+int main() {
+  // Scale-free graph: a few hubs force one rank to message most others.
+  const auto weights = sparse::lognormal_degrees(6000, 10.0, 3.0, 1500, 5);
+  const sparse::Csr graph = sparse::chung_lu_symmetric(weights, 6);
+  std::printf("graph: %d vertices, %lld edges (incl. self), max degree %lld\n\n",
+              graph.num_rows(), static_cast<long long>(graph.num_nonzeros()),
+              static_cast<long long>(sparse::degree_stats(graph).max_degree));
+
+  std::int64_t mmax_bl = 0, mmax_stfw = 0;
+  const auto bl = run_rounds(graph, core::Vpt::direct(kRanks), &mmax_bl);
+  const auto stfw = run_rounds(graph, core::Vpt({4, 4, 2}), &mmax_stfw);
+
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < bl.size(); ++i)
+    max_err = std::max(max_err, std::abs(bl[i] - stfw[i]));
+  const double total = std::accumulate(bl.begin(), bl.end(), 0.0);
+
+  std::printf("BL        : per-round mmax %lld messages\n", static_cast<long long>(mmax_bl));
+  std::printf("STFW T_3  : per-round mmax %lld messages (bound %d)\n",
+              static_cast<long long>(mmax_stfw), core::Vpt({4, 4, 2}).max_message_count_bound());
+  std::printf("result    : sum %.6f, max |BL - STFW| = %.3e (identical modulo fp order)\n",
+              total, max_err);
+  return max_err < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+// Quickstart: regularize an irregular point-to-point exchange.
+//
+// 16 processes run in an in-process cluster. Rank 0 is a "hub" that must
+// send a small message to everyone (the latency-bound scenario of the
+// paper's introduction); every rank also talks to a few random peers. The
+// same exchange is executed twice: directly (BL, the T_1 topology) and
+// store-and-forward over a T_2(4,4) virtual process topology. The hub's
+// message count drops from 15 to the Section 4 bound of 6.
+
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <random>
+
+#include "core/vpt.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/stfw_communicator.hpp"
+
+using namespace stfw;
+
+namespace {
+
+std::vector<std::byte> make_payload(int from, int to) {
+  char text[64];
+  std::snprintf(text, sizeof(text), "hello %d -> %d", from, to);
+  std::vector<std::byte> bytes(std::strlen(text));
+  std::memcpy(bytes.data(), text, bytes.size());
+  return bytes;
+}
+
+std::vector<OutboundMessage> build_sendset(int rank, int size) {
+  std::vector<OutboundMessage> sends;
+  if (rank == 0) {  // the hub: one message to every other process
+    for (int d = 1; d < size; ++d) sends.push_back({d, make_payload(0, d)});
+  } else {  // everyone else: reply to the hub and ping two random peers
+    sends.push_back({0, make_payload(rank, 0)});
+    std::mt19937_64 rng(static_cast<std::uint64_t>(rank));
+    std::uniform_int_distribution<int> pick(0, size - 1);
+    for (int j = 0; j < 2; ++j) {
+      const int d = pick(rng);
+      if (d != rank) sends.push_back({d, make_payload(rank, d)});
+    }
+  }
+  return sends;
+}
+
+void run(const core::Vpt& vpt, const char* label) {
+  runtime::Cluster cluster(vpt.size());
+  std::mutex io;
+  cluster.run([&](runtime::Comm& comm) {
+    StfwCommunicator communicator(comm, vpt);
+    const auto sends = build_sendset(comm.rank(), comm.size());
+    const auto inbox = communicator.exchange(sends);
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(io);
+      std::printf("%-10s hub sent %lld wire messages (bound %d), received %zu payloads\n",
+                  label, static_cast<long long>(communicator.last_stats().messages_sent),
+                  vpt.max_message_count_bound(), inbox.size());
+      std::printf("%-10s first payload: \"%.*s\" from rank %d\n", "",
+                  static_cast<int>(inbox.front().bytes.size()),
+                  reinterpret_cast<const char*>(inbox.front().bytes.data()),
+                  inbox.front().source);
+    }
+  });
+}
+
+}  // namespace
+
+int main() {
+  std::printf("stfw quickstart: 16 ranks, hub-and-spoke + random exchange\n\n");
+  run(core::Vpt::direct(16), "BL/T_1:");        // plain point-to-point
+  run(core::Vpt({4, 4}), "STFW/T_2:");          // 2D virtual topology
+  run(core::Vpt::hypercube(16), "STFW/T_4:");   // hypercube extreme
+  std::printf("\nSame messages delivered each time; only the message *organization*\n"
+              "changed. See examples/spmv_simulation.cpp for the paper's SpMV use.\n");
+  return 0;
+}

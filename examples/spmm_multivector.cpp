@@ -1,0 +1,89 @@
+// SpMM: the multiple-vector regime.
+//
+// Communicating b vectors at once multiplies every message's payload by b
+// without changing message *counts* — it slides the workload from the
+// latency-bound regime (where high VPT dimensions win) toward the
+// bandwidth-bound regime (where forwarding volume hurts and lower
+// dimensions win). This example runs a numeric distributed SpMM on the
+// threaded cluster to show correctness, then sweeps b on the simulator to
+// show the optimum dimension drifting downward — the practical guidance of
+// the paper's Section 6.4.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <random>
+
+#include "netsim/machine.hpp"
+#include "partition/partitioner.hpp"
+#include "sim/bsp_simulator.hpp"
+#include "sparse/generators.hpp"
+#include "spmv/runner.hpp"
+
+using namespace stfw;
+
+int main() {
+  constexpr core::Rank K = 32;
+  const auto spec = sparse::scaled_spec(sparse::find_paper_matrix("pkustk04"), 0.05, 4 * K);
+  const sparse::Csr a = sparse::generate(spec, 77);
+  partition::PartitionOptions popts;
+  popts.num_parts = K;
+  const auto parts = partition::partition_rows(a, popts);
+
+  // 1. Numeric check: distributed SpMM == serial SpMM.
+  {
+    const spmv::SpmvProblem problem(a, parts, K);
+    runtime::Cluster cluster(K);
+    constexpr std::int32_t kVectors = 4;
+    std::vector<double> x0(static_cast<std::size_t>(a.num_rows()) * kVectors);
+    std::mt19937_64 rng(5);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    for (double& v : x0) v = dist(rng);
+    const auto dist_y =
+        spmv::run_distributed_spmm(cluster, problem, core::Vpt({4, 4, 2}), x0, kVectors, 2);
+    const auto serial_y = spmv::run_serial_spmm(a, x0, kVectors, 2);
+    double err = 0.0;
+    for (std::size_t i = 0; i < dist_y.size(); ++i)
+      err = std::max(err, std::abs(dist_y[i] - serial_y[i]));
+    std::printf("numeric SpMM (b=%d, 2 iterations, T_3(4,4,2)): max |err| = %.3e\n\n", kVectors,
+                err);
+  }
+
+  // 2. Regime sweep on the simulator at a larger K.
+  constexpr core::Rank kSweepRanks = 512;
+  const auto sweep_spec =
+      sparse::scaled_spec(sparse::find_paper_matrix("pkustk04"), 0.08, 4 * kSweepRanks);
+  const sparse::Csr sweep_a = sparse::generate(sweep_spec, 78);
+  partition::PartitionOptions sweep_popts;
+  sweep_popts.num_parts = kSweepRanks;
+  const auto sweep_parts = partition::partition_rows(sweep_a, sweep_popts);
+  const spmv::SpmvProblem sweep_problem(sweep_a, sweep_parts, kSweepRanks, false);
+  const auto machine = netsim::Machine::blue_gene_q(kSweepRanks);
+
+  std::printf("best VPT dimension vs vectors-per-exchange (K=%d, BG/Q model):\n", kSweepRanks);
+  std::printf("%10s | %22s | %12s %12s\n", "vectors b", "best scheme", "comm(us)", "BL(us)");
+  for (std::int32_t b : {1, 8, 32, 128, 512}) {
+    const auto pattern = sweep_problem.comm_pattern(static_cast<std::uint32_t>(8 * b));
+    sim::SimOptions opts;
+    opts.machine = &machine;
+    double best_time = 1e300, bl_time = 0.0;
+    int best_dim = 1;
+    for (int n = 1; n <= core::floor_log2(kSweepRanks); ++n) {
+      const core::Vpt vpt =
+          n == 1 ? core::Vpt::direct(kSweepRanks) : core::Vpt::balanced(kSweepRanks, n);
+      const double t = sim::simulate_exchange(vpt, pattern, opts).comm_time_us;
+      if (n == 1) bl_time = t;
+      if (t < best_time) {
+        best_time = t;
+        best_dim = n;
+      }
+    }
+    const core::Vpt best_vpt = best_dim == 1 ? core::Vpt::direct(kSweepRanks)
+                                             : core::Vpt::balanced(kSweepRanks, best_dim);
+    std::printf("%10d | %22s | %12.0f %12.0f\n", b, best_vpt.to_string().c_str(), best_time,
+                bl_time);
+  }
+  std::printf("\nExpected: the optimum drifts from the hypercube extreme toward low\n"
+              "dimensions (and eventually BL) as the per-entry payload grows.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// VPT dimension auto-tuner: which topology should my application use?
+//
+// Section 6's practical takeaway is that the best VPT dimension depends on
+// how latency-bound the instance and the network are: low dimensions stay
+// latency-bound, high dimensions pay too much forwarding volume, and the
+// sweet spot sits in the middle (lower on bandwidth-bound networks). This
+// example sweeps every dimension for a given matrix / rank count / machine
+// on the large-scale simulator and recommends the lowest-communication-time
+// topology.
+//
+// Usage: vpt_tuner [matrix] [ranks] [machine]
+//        vpt_tuner gupta2 1024 xk7       (defaults)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/vpt.hpp"
+#include "netsim/machine.hpp"
+#include "partition/partitioner.hpp"
+#include "sim/bsp_simulator.hpp"
+#include "sparse/generators.hpp"
+#include "spmv/distributed.hpp"
+
+using namespace stfw;
+
+int main(int argc, char** argv) {
+  const std::string matrix = argc > 1 ? argv[1] : "gupta2";
+  const auto K = static_cast<core::Rank>(argc > 2 ? std::atoi(argv[2]) : 1024);
+  const std::string machine_name = argc > 3 ? argv[3] : "xk7";
+  if (!core::is_pow2(K)) {
+    std::fprintf(stderr, "ranks must be a power of two\n");
+    return 1;
+  }
+  const netsim::Machine machine = machine_name == "bgq"    ? netsim::Machine::blue_gene_q(K)
+                                  : machine_name == "xc40" ? netsim::Machine::cray_xc40(K)
+                                                           : netsim::Machine::cray_xk7(K);
+
+  const auto spec = sparse::scaled_spec(sparse::find_paper_matrix(matrix), 0.08,
+                                        std::min(sparse::find_paper_matrix(matrix).rows, 4 * K));
+  const sparse::Csr a = sparse::generate(spec, 7);
+  partition::PartitionOptions popts;
+  popts.num_parts = K;
+  const auto parts = partition::partition_rows(a, popts);
+  const spmv::SpmvProblem problem(a, parts, K, /*build_plans=*/false);
+  const auto pattern = problem.comm_pattern();
+
+  std::printf("tuning %s stand-in (%d rows, %lld nnz) at K=%d on %s\n\n", matrix.c_str(),
+              a.num_rows(), static_cast<long long>(a.num_nonzeros()), K,
+              machine.name().c_str());
+  std::printf("%-8s %-16s | %8s %9s | %10s\n", "scheme", "dims", "mmax", "vol(w)", "comm(us)");
+
+  sim::SimOptions opts;
+  opts.machine = &machine;
+  double best_time = 1e300;
+  int best_dim = 1;
+  for (int n = 1; n <= core::floor_log2(K); ++n) {
+    const core::Vpt vpt = n == 1 ? core::Vpt::direct(K) : core::Vpt::balanced(K, n);
+    const auto r = sim::simulate_exchange(vpt, pattern, opts);
+    std::printf("%-8s %-16s | %8lld %9lld | %10.0f\n",
+                (n == 1 ? "BL" : "STFW" + std::to_string(n)).c_str(), vpt.to_string().c_str(),
+                static_cast<long long>(r.metrics.max_send_count()),
+                static_cast<long long>(r.metrics.total_volume_words()), r.comm_time_us);
+    if (r.comm_time_us < best_time) {
+      best_time = r.comm_time_us;
+      best_dim = n;
+    }
+  }
+  std::printf("\nrecommendation: %s (%s), simulated comm time %.0f us\n",
+              (best_dim == 1 ? std::string("BL") : "STFW" + std::to_string(best_dim)).c_str(),
+              (best_dim == 1 ? core::Vpt::direct(K) : core::Vpt::balanced(K, best_dim))
+                  .to_string()
+                  .c_str(),
+              best_time);
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "analysis.hpp"
+
+#include "error.hpp"
+
+namespace stfw::core::analysis {
+
+std::int64_t max_message_count_bound(const Vpt& vpt) { return vpt.max_message_count_bound(); }
+
+std::int64_t alltoall_forward_hops(const Vpt& vpt) {
+  // Sum over all other ranks of the Hamming distance from a fixed source.
+  // Per dimension d, exactly K * (k_d - 1) / k_d ranks differ in digit d.
+  // For equal sizes k this collapses to the paper's
+  //   sum_{l=1..n} (k-1)^l * C(n,l) * l  ==  n * (k-1) * k^(n-1).
+  std::int64_t total = 0;
+  const std::int64_t K = vpt.size();
+  for (int d = 0; d < vpt.dim(); ++d) {
+    const std::int64_t kd = vpt.dim_size(d);
+    total += K / kd * (kd - 1);
+  }
+  return total;
+}
+
+std::int64_t alltoall_volume_units(const Vpt& vpt) { return alltoall_forward_hops(vpt); }
+
+double alltoall_volume_ratio(const Vpt& vpt) {
+  return static_cast<double>(alltoall_volume_units(vpt)) / static_cast<double>(vpt.size() - 1);
+}
+
+std::int64_t alltoall_volume_ratio_loose(const Vpt& vpt) { return vpt.dim(); }
+
+std::int64_t buffer_bound_units(const Vpt& vpt) { return vpt.size() - 1; }
+
+std::int64_t resident_submessages_after_stage(const Vpt& vpt, int stage) {
+  require(stage >= 0 && stage < vpt.dim(), "resident_submessages_after_stage: bad stage");
+  // Destinations whose digits 0..stage match ours: K / prod(k_0..k_stage).
+  // Sources whose digits stage+1..n-1 match ours: prod(k_0..k_stage).
+  std::int64_t prefix = 1;
+  for (int d = 0; d <= stage; ++d) prefix *= vpt.dim_size(d);
+  const std::int64_t dests = vpt.size() / prefix;
+  const std::int64_t sources = prefix;
+  return dests * sources - 1;  // minus the self submessage
+}
+
+}  // namespace stfw::core::analysis

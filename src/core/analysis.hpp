@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+#include "vpt.hpp"
+
+/// \file analysis.hpp
+/// Closed-form performance analysis of the store-and-forward scheme —
+/// Section 4 of the paper. All quantities are for the worst case where every
+/// process sends the same amount `s` to every other process (|SendSet| = K-1).
+
+namespace stfw::core::analysis {
+
+/// Maximum number of messages any process sends over the exchange:
+/// sum_d (k_d - 1). Equals K-1 for T_1 and lg2 K for the hypercube.
+std::int64_t max_message_count_bound(const Vpt& vpt);
+
+/// Total number of store-and-forward hops taken by the submessages
+/// originating at one process when it sends to all K-1 others: the sum of
+/// Hamming distances to every other rank. For equal dimension sizes k this
+/// is the paper's sum_{l=1..n} (k-1)^l * C(n,l) * l; computed here for
+/// arbitrary dimension sizes via the per-dimension expectation.
+std::int64_t alltoall_forward_hops(const Vpt& vpt);
+
+/// Exact communication volume (in units of the per-message size s) incurred
+/// for one process's all-to-all submessages: equal to alltoall_forward_hops.
+/// Direct communication (T_1) gives K - 1.
+std::int64_t alltoall_volume_units(const Vpt& vpt);
+
+/// Ratio of STFW all-to-all volume to direct-communication volume,
+/// e.g. 1.88 for T_2 at K=256, 3.01 for T_4, 4.02 for T_8 (paper Section 4).
+double alltoall_volume_ratio(const Vpt& vpt);
+
+/// Loose upper bound on that ratio: every submessage forwarded in all n
+/// stages, i.e. simply n.
+std::int64_t alltoall_volume_ratio_loose(const Vpt& vpt);
+
+/// Per-process buffer bound at any stage: s * (K - 1) payload units
+/// (the paper shows exactly K-1 submessages reside at a process between
+/// stages in the all-to-all case).
+std::int64_t buffer_bound_units(const Vpt& vpt);
+
+/// Number of submessages resident at one process after stage d completes in
+/// the all-to-all case; the paper derives K - 1 for every d (self excluded).
+std::int64_t resident_submessages_after_stage(const Vpt& vpt, int stage);
+
+}  // namespace stfw::core::analysis

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+/// \file error.hpp
+/// Error handling for the stfw library.
+///
+/// Precondition violations on the public API throw stfw::core::Error so
+/// misuse is diagnosable in tests and applications; internal invariants use
+/// STFW_ASSERT, which is compiled in all build types (the checks are cheap
+/// relative to communication work).
+
+namespace stfw::core {
+
+/// Exception thrown on API misuse (bad VPT sizes, out-of-range ranks, ...).
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void fail(const std::string& msg,
+                              std::source_location loc = std::source_location::current()) {
+  throw Error(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) + ": " + msg);
+}
+
+inline void require(bool cond, const char* msg,
+                    std::source_location loc = std::source_location::current()) {
+  if (!cond) fail(msg, loc);  // literal overload: no allocation on the hot path
+}
+
+inline void require(bool cond, const std::string& msg,
+                    std::source_location loc = std::source_location::current()) {
+  if (!cond) fail(msg, loc);
+}
+
+}  // namespace stfw::core
+
+/// Internal invariant check; always on.
+#define STFW_ASSERT(cond, msg)                     \
+  do {                                             \
+    if (!(cond)) ::stfw::core::fail((msg));        \
+  } while (0)

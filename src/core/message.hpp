@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "vpt.hpp"
+
+/// \file message.hpp
+/// Submessages and payload storage.
+///
+/// The paper distinguishes *messages* (what travels between neighboring
+/// processes in one stage, M_ij) from *submessages* (the original P2P
+/// payloads (P_dest, m_src,dest) carried inside them). A submessage's
+/// payload never changes while it is stored and forwarded, so payloads live
+/// once in an append-only PayloadArena and submessages are small fixed-size
+/// records referencing it. This is an implementation device of the in-process
+/// substrates; the wire format serialized by wire.hpp carries the bytes.
+
+namespace stfw::core {
+
+/// One original point-to-point payload in flight: source, final destination,
+/// and its bytes (offset/length into a PayloadArena).
+struct Submessage {
+  Rank source = -1;
+  Rank dest = -1;
+  std::uint64_t offset = 0;
+  std::uint32_t size_bytes = 0;
+
+  friend bool operator==(const Submessage&, const Submessage&) = default;
+};
+
+/// Append-only byte store for submessage payloads.
+class PayloadArena {
+public:
+  /// Copies `bytes` into the arena and returns its offset.
+  std::uint64_t add(std::span<const std::byte> bytes) {
+    const std::uint64_t off = bytes_.size();
+    bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+    return off;
+  }
+
+  std::span<const std::byte> view(const Submessage& s) const {
+    return std::span<const std::byte>(bytes_.data() + s.offset, s.size_bytes);
+  }
+
+  std::uint64_t size_bytes() const noexcept { return bytes_.size(); }
+  void clear() noexcept { bytes_.clear(); }
+  void reserve(std::uint64_t n) { bytes_.reserve(n); }
+
+private:
+  std::vector<std::byte> bytes_;
+};
+
+/// A coalesced stage message: all submessages a process sends to one
+/// dimension-d neighbor in one stage (the paper's M_ij).
+struct StageMessage {
+  Rank from = -1;
+  Rank to = -1;
+  std::vector<Submessage> subs;
+
+  std::uint64_t payload_bytes() const noexcept {
+    std::uint64_t b = 0;
+    for (const Submessage& s : subs) b += s.size_bytes;
+    return b;
+  }
+};
+
+}  // namespace stfw::core

@@ -1,0 +1,47 @@
+#include "metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "error.hpp"
+
+namespace stfw::core {
+
+ExchangeMetrics::ExchangeMetrics(Rank num_ranks)
+    : msgs_sent_(static_cast<std::size_t>(num_ranks), 0),
+      msgs_recv_(static_cast<std::size_t>(num_ranks), 0),
+      payload_sent_(static_cast<std::size_t>(num_ranks), 0),
+      payload_recv_(static_cast<std::size_t>(num_ranks), 0),
+      buffer_bytes_(static_cast<std::size_t>(num_ranks), 0) {
+  require(num_ranks >= 1, "ExchangeMetrics: need at least one rank");
+}
+
+std::int64_t ExchangeMetrics::max_send_count() const noexcept {
+  return *std::max_element(msgs_sent_.begin(), msgs_sent_.end());
+}
+
+double ExchangeMetrics::avg_send_count() const noexcept {
+  const auto total = std::accumulate(msgs_sent_.begin(), msgs_sent_.end(), std::int64_t{0});
+  return static_cast<double>(total) / static_cast<double>(msgs_sent_.size());
+}
+
+double ExchangeMetrics::avg_send_volume_words() const noexcept {
+  const auto total = std::accumulate(payload_sent_.begin(), payload_sent_.end(), std::uint64_t{0});
+  return static_cast<double>(total) / 8.0 / static_cast<double>(payload_sent_.size());
+}
+
+std::int64_t ExchangeMetrics::max_send_volume_words() const noexcept {
+  const auto m = *std::max_element(payload_sent_.begin(), payload_sent_.end());
+  return static_cast<std::int64_t>(m / 8);
+}
+
+std::int64_t ExchangeMetrics::total_volume_words() const noexcept {
+  const auto total = std::accumulate(payload_sent_.begin(), payload_sent_.end(), std::uint64_t{0});
+  return static_cast<std::int64_t>(total / 8);
+}
+
+std::uint64_t ExchangeMetrics::max_buffer_bytes() const noexcept {
+  return *std::max_element(buffer_bytes_.begin(), buffer_bytes_.end());
+}
+
+}  // namespace stfw::core

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vpt.hpp"
+
+/// \file metrics.hpp
+/// Per-exchange communication metrics — the columns of Tables 2 and 3.
+///
+/// Counts are of coalesced stage messages *sent* by each process over all
+/// stages; volume is payload words (8-byte) sent, including forwarding;
+/// the buffer metric is the per-process peak of parked forward-buffer bytes
+/// plus the final delivered bytes (see DESIGN.md section 6).
+
+namespace stfw::core {
+
+class ExchangeMetrics {
+public:
+  explicit ExchangeMetrics(Rank num_ranks);
+
+  void record_send(Rank r, std::uint64_t payload_bytes) {
+    ++msgs_sent_[static_cast<std::size_t>(r)];
+    payload_sent_[static_cast<std::size_t>(r)] += payload_bytes;
+  }
+  void record_recv(Rank r, std::uint64_t payload_bytes) {
+    ++msgs_recv_[static_cast<std::size_t>(r)];
+    payload_recv_[static_cast<std::size_t>(r)] += payload_bytes;
+  }
+  void record_buffer_bytes(Rank r, std::uint64_t bytes) {
+    buffer_bytes_[static_cast<std::size_t>(r)] = bytes;
+  }
+
+  Rank num_ranks() const noexcept { return static_cast<Rank>(msgs_sent_.size()); }
+
+  /// mmax — maximum over processes of messages sent.
+  std::int64_t max_send_count() const noexcept;
+  /// mavg — average over processes of messages sent.
+  double avg_send_count() const noexcept;
+  /// vavg — average over processes of payload words (8 bytes) sent.
+  double avg_send_volume_words() const noexcept;
+  /// Maximum over processes of payload words sent.
+  std::int64_t max_send_volume_words() const noexcept;
+  /// Total payload words moved (all processes, all hops).
+  std::int64_t total_volume_words() const noexcept;
+  /// Maximum over processes of the buffer metric, in bytes.
+  std::uint64_t max_buffer_bytes() const noexcept;
+
+  const std::vector<std::int64_t>& send_counts() const noexcept { return msgs_sent_; }
+  const std::vector<std::int64_t>& recv_counts() const noexcept { return msgs_recv_; }
+  const std::vector<std::uint64_t>& send_payload_bytes() const noexcept { return payload_sent_; }
+  const std::vector<std::uint64_t>& recv_payload_bytes() const noexcept { return payload_recv_; }
+  const std::vector<std::uint64_t>& buffer_bytes() const noexcept { return buffer_bytes_; }
+
+private:
+  std::vector<std::int64_t> msgs_sent_;
+  std::vector<std::int64_t> msgs_recv_;
+  std::vector<std::uint64_t> payload_sent_;
+  std::vector<std::uint64_t> payload_recv_;
+  std::vector<std::uint64_t> buffer_bytes_;
+};
+
+}  // namespace stfw::core

@@ -1,0 +1,85 @@
+#include "rank_state.hpp"
+
+#include <algorithm>
+
+#include "error.hpp"
+
+namespace stfw::core {
+
+StfwRankState::StfwRankState(const Vpt& vpt, Rank me) : vpt_(&vpt), me_(me) {
+  require(me >= 0 && me < vpt.size(), "StfwRankState: rank out of range");
+  fwbuf_.resize(static_cast<std::size_t>(vpt.dim()));
+}
+
+void StfwRankState::add_send(Rank dest, std::uint64_t payload_offset,
+                             std::uint32_t payload_bytes) {
+  require(dest >= 0 && dest < vpt_->size(), "add_send: destination out of range");
+  require(stages_consumed_ == 0, "add_send: exchange already started");
+  const Submessage s{me_, dest, payload_offset, payload_bytes};
+  if (dest == me_) {
+    delivered_.push_back(s);
+    delivered_bytes_ += payload_bytes;
+    return;
+  }
+  stash(-1, s);
+}
+
+void StfwRankState::stash(int stage_from, const Submessage& s) {
+  const int d = vpt_->first_diff_dim_after(me_, s.dest, stage_from);
+  if (d < 0) {
+    STFW_ASSERT(s.dest == me_, "stash: no differing dimension but not addressed to me");
+    delivered_.push_back(s);
+    delivered_bytes_ += s.size_bytes;
+    return;
+  }
+  STFW_ASSERT(d >= stages_consumed_, "stash: routing targets an already-consumed stage buffer");
+  const int x = vpt_->coord(s.dest, d);
+  fwbuf_[static_cast<std::size_t>(d)][x].push_back(s);
+  buffered_bytes_ += s.size_bytes;
+  peak_buffered_bytes_ = std::max(peak_buffered_bytes_, buffered_bytes_);
+}
+
+void StfwRankState::make_stage_outbox(int stage, std::vector<StageMessage>& out) {
+  require(stage == stages_consumed_, "make_stage_outbox: stages must run in order");
+  require(stage < vpt_->dim(), "make_stage_outbox: stage out of range");
+  auto& slots = fwbuf_[static_cast<std::size_t>(stage)];
+  const int mine = vpt_->coord(me_, stage);
+  // Deterministic neighbor order regardless of hash-map iteration order.
+  std::vector<int> coords;
+  coords.reserve(slots.size());
+  for (const auto& [x, slot] : slots)
+    if (!slot.empty()) coords.push_back(x);
+  std::sort(coords.begin(), coords.end());
+  for (int x : coords) {
+    STFW_ASSERT(x != mine, "make_stage_outbox: own-coordinate slot must stay empty");
+    StageMessage m;
+    m.from = me_;
+    m.to = vpt_->with_coord(me_, stage, x);
+    m.subs = std::move(slots[x]);
+    buffered_bytes_ -= m.payload_bytes();
+    out.push_back(std::move(m));
+  }
+  slots.clear();
+  ++stages_consumed_;
+}
+
+void StfwRankState::accept(int stage, std::span<const Submessage> subs) {
+  require(stage == stages_consumed_ - 1,
+          "accept: received messages belong to the stage just consumed");
+  for (const Submessage& s : subs) {
+    STFW_ASSERT(vpt_->coord(s.dest, stage) == vpt_->coord(me_, stage),
+                "accept: dimension-order routing violated");
+    stash(stage, s);
+  }
+}
+
+void StfwRankState::reset() {
+  for (auto& dim : fwbuf_) dim.clear();
+  delivered_.clear();
+  stages_consumed_ = 0;
+  buffered_bytes_ = 0;
+  peak_buffered_bytes_ = 0;
+  delivered_bytes_ = 0;
+}
+
+}  // namespace stfw::core

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "message.hpp"
+#include "vpt.hpp"
+
+/// \file rank_state.hpp
+/// Per-process state of the store-and-forward scheme — Algorithm 1.
+///
+/// StfwRankState owns the forward buffers fwbuf[d][x] of one process and
+/// implements the three phases of Algorithm 1:
+///
+///   1. seeding from the process's SendSet (lines 4-6),
+///   2. per-stage outbox formation (lines 9-12) and scatter of received
+///      submessages into later-stage buffers (lines 14-17),
+///   3. gathering the submessages destined for this process (lines 18-21).
+///
+/// Both execution substrates (the threaded runtime and the BSP simulator)
+/// drive this one class, so routing behaviour cannot diverge between them.
+
+namespace stfw::core {
+
+class StfwRankState {
+public:
+  StfwRankState(const Vpt& vpt, Rank me);
+
+  Rank rank() const noexcept { return me_; }
+  const Vpt& vpt() const noexcept { return *vpt_; }
+
+  /// Algorithm 1 lines 4-6: queue an original message for `dest` in the
+  /// buffer of the first dimension where our coordinates differ. A message
+  /// to ourselves is delivered immediately (it never hits the network).
+  void add_send(Rank dest, std::uint64_t payload_offset, std::uint32_t payload_bytes);
+
+  /// Algorithm 1 lines 9-12: move the non-empty dimension-d buffers out as
+  /// coalesced messages, one per neighbor coordinate. Buffers for stage d
+  /// are consumed by this call; routing guarantees nothing is scattered
+  /// into them afterwards (asserted). Appends to `out`.
+  void make_stage_outbox(int stage, std::vector<StageMessage>& out);
+
+  /// Algorithm 1 lines 14-17: scatter submessages received in `stage` into
+  /// the buffers of the first dimension > stage where we differ from the
+  /// destination; submessages addressed to us are delivered.
+  void accept(int stage, std::span<const Submessage> subs);
+
+  /// Algorithm 1 lines 18-21: the list L of submessages for this process.
+  /// Valid after all n stages have run; sorted by (source, arrival order).
+  const std::vector<Submessage>& delivered() const noexcept { return delivered_; }
+  std::vector<Submessage> take_delivered() noexcept { return std::move(delivered_); }
+
+  /// Bytes of payload currently parked in forward buffers.
+  std::uint64_t buffered_payload_bytes() const noexcept { return buffered_bytes_; }
+
+  /// High-water mark of buffered_payload_bytes() over the exchange, the
+  /// store-and-forward part of the paper's buffer-size metric.
+  std::uint64_t peak_buffered_payload_bytes() const noexcept { return peak_buffered_bytes_; }
+
+  /// Total payload bytes delivered to this process so far.
+  std::uint64_t delivered_payload_bytes() const noexcept { return delivered_bytes_; }
+
+  /// Reset all buffers for a fresh exchange on the same VPT.
+  void reset();
+
+private:
+  void stash(int stage_from, const Submessage& s);
+
+  const Vpt* vpt_;
+  Rank me_;
+  int stages_consumed_ = 0;  // buffers for stages < this are gone
+  // fwbuf_[d][x]: submessages to forward in stage d to the neighbor whose
+  // digit d is x; slot x == our own digit d is unused (self-routing is
+  // resolved at delivery). Slots are stored sparsely — a dimension of size
+  // k_d would otherwise cost k_d empty vectors per rank, which is O(K^2)
+  // across ranks for the direct topology at large K.
+  std::vector<std::unordered_map<int, std::vector<Submessage>>> fwbuf_;
+  std::vector<Submessage> delivered_;
+  std::uint64_t buffered_bytes_ = 0;
+  std::uint64_t peak_buffered_bytes_ = 0;
+  std::uint64_t delivered_bytes_ = 0;
+};
+
+}  // namespace stfw::core

@@ -1,0 +1,61 @@
+#include "wire.hpp"
+
+#include <cstring>
+
+#include "error.hpp"
+
+namespace stfw::core {
+
+namespace {
+
+template <class T>
+void put(std::vector<std::byte>& out, T v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <class T>
+T get(std::span<const std::byte> in, std::size_t& pos) {
+  require(pos + sizeof(T) <= in.size(), "deserialize: truncated buffer");
+  T v;
+  std::memcpy(&v, in.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::byte> serialize(const StageMessage& msg, const PayloadArena& arena) {
+  std::vector<std::byte> out;
+  out.reserve(wire_size_bytes(msg.subs.size(), msg.payload_bytes()));
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(msg.subs.size()));
+  for (const Submessage& s : msg.subs) {
+    put<std::int32_t>(out, s.source);
+    put<std::int32_t>(out, s.dest);
+    put<std::uint32_t>(out, s.size_bytes);
+    const auto payload = arena.view(s);
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  return out;
+}
+
+std::vector<Submessage> deserialize(std::span<const std::byte> wire, PayloadArena& arena) {
+  std::size_t pos = 0;
+  const auto count = get<std::uint32_t>(wire, pos);
+  std::vector<Submessage> subs;
+  subs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Submessage s;
+    s.source = get<std::int32_t>(wire, pos);
+    s.dest = get<std::int32_t>(wire, pos);
+    s.size_bytes = get<std::uint32_t>(wire, pos);
+    require(pos + s.size_bytes <= wire.size(), "deserialize: truncated payload");
+    s.offset = arena.add(std::span<const std::byte>(wire.data() + pos, s.size_bytes));
+    pos += s.size_bytes;
+    subs.push_back(s);
+  }
+  require(pos == wire.size(), "deserialize: trailing bytes");
+  return subs;
+}
+
+}  // namespace stfw::core

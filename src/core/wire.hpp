@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "message.hpp"
+
+/// \file wire.hpp
+/// Wire format of a coalesced stage message.
+///
+/// Layout (little-endian, packed):
+///   u32 count
+///   count times: { i32 source, i32 dest, u32 len, u8 bytes[len] }
+///
+/// The threaded runtime ships stage messages in this format (as a real MPI
+/// implementation would); the BSP simulator skips the byte copies but the
+/// format is still what the buffer-size metric charges for.
+
+namespace stfw::core {
+
+/// Bytes the wire format needs for a stage message with `count` submessages
+/// totalling `payload_bytes` of payload.
+constexpr std::uint64_t wire_size_bytes(std::uint64_t count, std::uint64_t payload_bytes) {
+  return 4 + count * 12 + payload_bytes;
+}
+
+/// Serialize `msg`, pulling payload bytes from `arena`.
+std::vector<std::byte> serialize(const StageMessage& msg, const PayloadArena& arena);
+
+/// Parse a wire buffer; payloads are appended to `arena` and the returned
+/// submessages reference it. Throws Error on malformed input.
+std::vector<Submessage> deserialize(std::span<const std::byte> wire, PayloadArena& arena);
+
+}  // namespace stfw::core

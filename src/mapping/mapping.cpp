@@ -1,0 +1,290 @@
+#include "mapping.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "core/error.hpp"
+
+namespace stfw::mapping {
+
+using core::Rank;
+using core::require;
+
+Permutation::Permutation(std::vector<Rank> position) : position_(std::move(position)) {
+  std::vector<std::uint8_t> seen(position_.size(), 0);
+  for (Rank p : position_) {
+    require(p >= 0 && p < static_cast<Rank>(position_.size()),
+            "Permutation: position out of range");
+    require(!seen[static_cast<std::size_t>(p)], "Permutation: duplicate position");
+    seen[static_cast<std::size_t>(p)] = 1;
+  }
+}
+
+Permutation Permutation::identity(Rank n) {
+  std::vector<Rank> pos(static_cast<std::size_t>(n));
+  std::iota(pos.begin(), pos.end(), 0);
+  return Permutation(std::move(pos));
+}
+
+Permutation Permutation::inverse() const {
+  std::vector<Rank> inv(position_.size());
+  for (std::size_t r = 0; r < position_.size(); ++r)
+    inv[static_cast<std::size_t>(position_[r])] = static_cast<Rank>(r);
+  return Permutation(std::move(inv));
+}
+
+bool Permutation::is_identity() const noexcept {
+  for (std::size_t r = 0; r < position_.size(); ++r)
+    if (position_[r] != static_cast<Rank>(r)) return false;
+  return true;
+}
+
+sim::CommPattern permute_pattern(const sim::CommPattern& pattern, const Permutation& perm) {
+  require(perm.size() == pattern.num_ranks(), "permute_pattern: size mismatch");
+  sim::CommPattern out(pattern.num_ranks());
+  for (Rank r = 0; r < pattern.num_ranks(); ++r)
+    for (const sim::Send& s : pattern.sends(r)) out.add_send(perm(r), perm(s.dest), s.payload_bytes);
+  out.finalize();
+  return out;
+}
+
+std::uint64_t vpt_volume_cost(const sim::CommPattern& pattern, const core::Vpt& vpt,
+                              const Permutation& perm) {
+  require(vpt.size() == pattern.num_ranks() && perm.size() == pattern.num_ranks(),
+          "vpt_volume_cost: size mismatch");
+  std::uint64_t cost = 0;
+  for (Rank r = 0; r < pattern.num_ranks(); ++r)
+    for (const sim::Send& s : pattern.sends(r))
+      cost += static_cast<std::uint64_t>(vpt.hamming(perm(r), perm(s.dest))) * s.payload_bytes;
+  return cost;
+}
+
+std::uint64_t physical_hop_cost(const sim::CommPattern& pattern, const netsim::Machine& machine,
+                                const Permutation& perm) {
+  require(perm.size() == pattern.num_ranks(), "physical_hop_cost: size mismatch");
+  std::uint64_t cost = 0;
+  for (Rank r = 0; r < pattern.num_ranks(); ++r)
+    for (const sim::Send& s : pattern.sends(r))
+      cost += static_cast<std::uint64_t>(machine.topology().hops(machine.node_of(perm(r)),
+                                                                 machine.node_of(perm(s.dest)))) *
+              s.payload_bytes;
+  return cost;
+}
+
+namespace {
+
+struct AdjEntry {
+  Rank peer;
+  std::uint64_t bytes;
+};
+
+/// Symmetric aggregated traffic: adj[i] holds (j, bytes_ij + bytes_ji).
+std::vector<std::vector<AdjEntry>> build_adjacency(const sim::CommPattern& pattern) {
+  const auto n = static_cast<std::size_t>(pattern.num_ranks());
+  std::vector<std::pair<std::pair<Rank, Rank>, std::uint64_t>> edges;
+  for (Rank r = 0; r < pattern.num_ranks(); ++r)
+    for (const sim::Send& s : pattern.sends(r)) {
+      if (s.dest == r) continue;
+      const Rank a = std::min(r, s.dest);
+      const Rank b = std::max(r, s.dest);
+      edges.push_back({{a, b}, s.payload_bytes});
+    }
+  std::sort(edges.begin(), edges.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  std::vector<std::vector<AdjEntry>> adj(n);
+  std::size_t i = 0;
+  while (i < edges.size()) {
+    std::size_t j = i;
+    std::uint64_t bytes = 0;
+    while (j < edges.size() && edges[j].first == edges[i].first) bytes += edges[j++].second;
+    const auto [a, b] = edges[i].first;
+    adj[static_cast<std::size_t>(a)].push_back({b, bytes});
+    adj[static_cast<std::size_t>(b)].push_back({a, bytes});
+    i = j;
+  }
+  // Heaviest peers first: the greedy placer and the swap refiner both look
+  // at prefixes.
+  for (auto& list : adj)
+    std::sort(list.begin(), list.end(),
+              [](const AdjEntry& x, const AdjEntry& y) { return x.bytes > y.bytes; });
+  return adj;
+}
+
+/// Shared optimizer over an arbitrary position distance. `dist(p, q)` must
+/// be symmetric with dist(p, p) == 0. Two starting points are refined with
+/// pairwise swaps and the cheaper result wins:
+///  * identity — already strong when rank ids carry locality (recursive
+///    bisection numbers sibling parts adjacently);
+///  * greedy — heaviest communicators placed first at the cheapest
+///    position against their already-placed peers.
+template <class Dist>
+class Optimizer {
+public:
+  Optimizer(const sim::CommPattern& pattern, Dist dist, const MapOptions& options)
+      : dist_(std::move(dist)),
+        options_(options),
+        adj_(build_adjacency(pattern)),
+        n_(adj_.size()),
+        rng_(options.seed) {
+    order_.resize(n_);
+    std::iota(order_.begin(), order_.end(), 0);
+    std::vector<std::uint64_t> traffic(n_, 0);
+    for (std::size_t r = 0; r < n_; ++r)
+      for (const AdjEntry& e : adj_[r]) traffic[r] += e.bytes;
+    std::stable_sort(order_.begin(), order_.end(), [&](Rank a, Rank b) {
+      return traffic[static_cast<std::size_t>(a)] > traffic[static_cast<std::size_t>(b)];
+    });
+  }
+
+  Permutation run() {
+    std::vector<Rank> greedy = construct_greedy();
+    refine(greedy);
+    std::vector<Rank> ident(n_);
+    std::iota(ident.begin(), ident.end(), 0);
+    refine(ident);
+    return Permutation(total_cost(greedy) < total_cost(ident) ? std::move(greedy)
+                                                              : std::move(ident));
+  }
+
+private:
+  std::uint64_t total_cost(const std::vector<Rank>& position) const {
+    std::uint64_t cost = 0;
+    for (std::size_t r = 0; r < n_; ++r)
+      for (const AdjEntry& e : adj_[r])
+        cost += e.bytes * static_cast<std::uint64_t>(
+                              dist_(position[r], position[static_cast<std::size_t>(e.peer)]));
+    return cost / 2;  // adjacency is symmetric
+  }
+
+  std::vector<Rank> construct_greedy() {
+    constexpr std::size_t kPlacedPeersCap = 16;
+    constexpr std::size_t kCandidateCap = 48;
+    std::vector<Rank> position(n_, -1);
+    std::vector<Rank> free_positions(n_);
+    std::iota(free_positions.begin(), free_positions.end(), 0);
+    std::shuffle(free_positions.begin(), free_positions.end(), rng_);
+    std::vector<std::uint8_t> taken(n_, 0);
+
+    auto placement_cost = [&](Rank r, Rank pos) {
+      std::uint64_t cost = 0;
+      std::size_t considered = 0;
+      for (const AdjEntry& e : adj_[static_cast<std::size_t>(r)]) {
+        const Rank ppos = position[static_cast<std::size_t>(e.peer)];
+        if (ppos < 0) continue;
+        cost += e.bytes * static_cast<std::uint64_t>(dist_(pos, ppos));
+        if (++considered >= kPlacedPeersCap) break;
+      }
+      return cost;
+    };
+
+    std::size_t free_cursor = 0;
+    auto next_free = [&]() {
+      while (taken[static_cast<std::size_t>(free_positions[free_cursor])]) ++free_cursor;
+      return free_positions[free_cursor];
+    };
+    std::uniform_int_distribution<std::size_t> pick(0, n_ - 1);
+    for (Rank r : order_) {
+      Rank best = next_free();
+      std::uint64_t best_cost = placement_cost(r, best);
+      for (std::size_t c = 0; c < kCandidateCap; ++c) {
+        const Rank cand = free_positions[pick(rng_)];
+        if (taken[static_cast<std::size_t>(cand)]) continue;
+        const std::uint64_t cost = placement_cost(r, cand);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = cand;
+        }
+      }
+      position[static_cast<std::size_t>(r)] = best;
+      taken[static_cast<std::size_t>(best)] = 1;
+    }
+    return position;
+  }
+
+  void refine(std::vector<Rank>& position) {
+    std::vector<Rank> rank_at(n_);
+    for (std::size_t r = 0; r < n_; ++r)
+      rank_at[static_cast<std::size_t>(position[r])] = static_cast<Rank>(r);
+
+    auto rank_cost = [&](Rank r) {
+      std::uint64_t cost = 0;
+      for (const AdjEntry& e : adj_[static_cast<std::size_t>(r)])
+        cost += e.bytes * static_cast<std::uint64_t>(
+                              dist_(position[static_cast<std::size_t>(r)],
+                                    position[static_cast<std::size_t>(e.peer)]));
+      return cost;
+    };
+    auto try_swap = [&](Rank r, Rank other) {
+      if (other == r) return false;
+      const std::uint64_t before = rank_cost(r) + rank_cost(other);
+      std::swap(position[static_cast<std::size_t>(r)], position[static_cast<std::size_t>(other)]);
+      const std::uint64_t after = rank_cost(r) + rank_cost(other);
+      if (after < before) {
+        rank_at[static_cast<std::size_t>(position[static_cast<std::size_t>(r)])] = r;
+        rank_at[static_cast<std::size_t>(position[static_cast<std::size_t>(other)])] = other;
+        return true;
+      }
+      std::swap(position[static_cast<std::size_t>(r)], position[static_cast<std::size_t>(other)]);
+      return false;
+    };
+
+    std::uniform_int_distribution<std::size_t> pick(0, n_ - 1);
+    std::uniform_int_distribution<Rank> jitter(-3, 3);
+    for (int sweep = 0; sweep < options_.refine_sweeps; ++sweep) {
+      bool improved = false;
+      for (Rank r : order_) {
+        // Targeted candidates: swap toward positions adjacent (in position
+        // index, a locality proxy in both VPT digit space and node space)
+        // to the heaviest peers' positions.
+        std::size_t targeted = 0;
+        for (const AdjEntry& e : adj_[static_cast<std::size_t>(r)]) {
+          if (targeted >= 4) break;
+          ++targeted;
+          const Rank peer_pos = position[static_cast<std::size_t>(e.peer)];
+          const Rank cand_pos = static_cast<Rank>(
+              std::clamp<Rank>(peer_pos + jitter(rng_), 0, static_cast<Rank>(n_) - 1));
+          improved |= try_swap(r, rank_at[static_cast<std::size_t>(cand_pos)]);
+        }
+        for (int c = 0; c < options_.swap_candidates; ++c)
+          improved |= try_swap(r, static_cast<Rank>(pick(rng_)));
+      }
+      if (!improved) break;
+    }
+  }
+
+  Dist dist_;
+  MapOptions options_;
+  std::vector<std::vector<AdjEntry>> adj_;
+  std::size_t n_;
+  std::mt19937_64 rng_;
+  std::vector<Rank> order_;
+};
+
+template <class Dist>
+Permutation optimize(const sim::CommPattern& pattern, Dist&& dist, const MapOptions& options) {
+  if (pattern.num_ranks() == 1) return Permutation::identity(1);
+  return Optimizer<std::decay_t<Dist>>(pattern, std::forward<Dist>(dist), options).run();
+}
+
+}  // namespace
+
+Permutation optimize_vpt_mapping(const sim::CommPattern& pattern, const core::Vpt& vpt,
+                                 const MapOptions& options) {
+  require(vpt.size() == pattern.num_ranks(), "optimize_vpt_mapping: size mismatch");
+  return optimize(pattern, [&vpt](Rank p, Rank q) { return vpt.hamming(p, q); }, options);
+}
+
+Permutation optimize_physical_mapping(const sim::CommPattern& pattern,
+                                      const netsim::Machine& machine,
+                                      const MapOptions& options) {
+  require(machine.topology().num_nodes() * machine.ranks_per_node() >= pattern.num_ranks(),
+          "optimize_physical_mapping: machine too small for the pattern");
+  return optimize(pattern,
+                  [&machine](Rank p, Rank q) {
+                    return machine.topology().hops(machine.node_of(p), machine.node_of(q));
+                  },
+                  options);
+}
+
+}  // namespace stfw::mapping

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/vpt.hpp"
+#include "netsim/machine.hpp"
+#include "sim/pattern.hpp"
+
+/// \file mapping.hpp
+/// Process-to-topology mappings — the paper's Section 8 future work,
+/// implemented.
+///
+/// Two independent orderings affect cost:
+///
+///  1. *VPT mapping*: which VPT position each process occupies. A
+///     submessage from i to j is forwarded hamming(pos(i), pos(j)) times,
+///     so placing heavily communicating pairs at small Hamming distance
+///     reduces the forwarding volume (and, indirectly, message counts).
+///  2. *Physical mapping*: which node each rank runs on. The wire cost of a
+///     stage message grows with the hop count between nodes, so placing
+///     chatty ranks on nearby nodes reduces the per-hop term.
+///
+/// Both are permutations of [0, K); both are optimized here with the same
+/// greedy-construction + pairwise-swap local search over the communication
+/// pattern. The optimizers are deterministic for a fixed seed.
+
+namespace stfw::mapping {
+
+/// A bijection of ranks: position[i] = where application rank i sits
+/// (VPT position or physical slot). Identity by default.
+class Permutation {
+public:
+  Permutation() = default;
+  explicit Permutation(std::vector<core::Rank> position);
+  static Permutation identity(core::Rank n);
+
+  core::Rank size() const noexcept { return static_cast<core::Rank>(position_.size()); }
+  core::Rank operator()(core::Rank r) const { return position_[static_cast<std::size_t>(r)]; }
+  const std::vector<core::Rank>& positions() const noexcept { return position_; }
+
+  /// position -> rank (the inverse bijection).
+  Permutation inverse() const;
+
+  bool is_identity() const noexcept;
+
+private:
+  std::vector<core::Rank> position_;
+};
+
+/// Apply a permutation to a pattern: the returned pattern is what the
+/// topology "sees" — message (i -> j, b) becomes (perm(i) -> perm(j), b).
+sim::CommPattern permute_pattern(const sim::CommPattern& pattern, const Permutation& perm);
+
+/// Total forwarding volume (bytes x hops) of `pattern` on `vpt` under a
+/// candidate mapping: sum over messages of bytes * hamming(pos_i, pos_j).
+/// This is exactly the volume the store-and-forward scheme moves.
+std::uint64_t vpt_volume_cost(const sim::CommPattern& pattern, const core::Vpt& vpt,
+                              const Permutation& perm);
+
+/// Total wire-distance cost of `pattern` on a machine under a candidate
+/// mapping: sum over messages of bytes * hops(node(pos_i), node(pos_j)).
+std::uint64_t physical_hop_cost(const sim::CommPattern& pattern, const netsim::Machine& machine,
+                                const Permutation& perm);
+
+struct MapOptions {
+  std::uint64_t seed = 1;
+  /// Pairwise-swap refinement sweeps (0 = greedy construction only).
+  int refine_sweeps = 2;
+  /// Candidate swaps examined per vertex per sweep.
+  int swap_candidates = 8;
+};
+
+/// Greedy + local-search mapping of ranks onto VPT positions minimizing
+/// vpt_volume_cost. Heaviest communicators are placed first, each at the
+/// free position with the lowest Hamming-weighted cost to already-placed
+/// peers.
+Permutation optimize_vpt_mapping(const sim::CommPattern& pattern, const core::Vpt& vpt,
+                                 const MapOptions& options = {});
+
+/// Greedy + local-search mapping of ranks onto physical slots minimizing
+/// physical_hop_cost (the paper's second Section 8 direction).
+Permutation optimize_physical_mapping(const sim::CommPattern& pattern,
+                                      const netsim::Machine& machine,
+                                      const MapOptions& options = {});
+
+}  // namespace stfw::mapping

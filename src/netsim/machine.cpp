@@ -1,0 +1,72 @@
+#include "machine.hpp"
+
+#include "core/error.hpp"
+
+namespace stfw::netsim {
+
+using core::require;
+
+Machine::Machine(std::string name, std::shared_ptr<const Topology> topology, int ranks_per_node,
+                 double alpha_us, double recv_alpha_us, double beta_us_per_byte,
+                 double gamma_us_per_hop, double injection_bytes_per_us)
+    : name_(std::move(name)),
+      topology_(std::move(topology)),
+      ranks_per_node_(ranks_per_node),
+      alpha_us_(alpha_us),
+      recv_alpha_us_(recv_alpha_us),
+      beta_us_per_byte_(beta_us_per_byte),
+      gamma_us_per_hop_(gamma_us_per_hop),
+      injection_bytes_per_us_(injection_bytes_per_us) {
+  require(topology_ != nullptr, "Machine: topology required");
+  require(ranks_per_node >= 1, "Machine: ranks_per_node must be >= 1");
+  require(alpha_us >= 0 && recv_alpha_us >= 0 && beta_us_per_byte >= 0 && gamma_us_per_hop >= 0 &&
+              injection_bytes_per_us >= 0,
+          "Machine: cost parameters must be non-negative");
+}
+
+namespace {
+
+int nodes_for(core::Rank max_ranks, int ranks_per_node) {
+  require(max_ranks >= 1, "Machine preset: max_ranks must be >= 1");
+  return static_cast<int>((max_ranks + ranks_per_node - 1) / ranks_per_node);
+}
+
+}  // namespace
+
+Machine Machine::blue_gene_q(core::Rank max_ranks) {
+  constexpr int kRanksPerNode = 16;  // one rank per A2 core
+  auto topo = std::make_shared<TorusTopology>(
+      TorusTopology::fitting(nodes_for(max_ranks, kRanksPerNode), 5));
+  // ~3.2 us MPI startup, ~1.75 GB/s effective per-rank stream, ~40 ns/hop,
+  // ~18 GB/s aggregate node injection (10 torus links).
+  return Machine("BlueGene/Q (5D torus)", std::move(topo), kRanksPerNode,
+                 /*alpha_us=*/3.2, /*recv_alpha_us=*/1.6,
+                 /*beta_us_per_byte=*/1.0 / 1750.0, /*gamma_us_per_hop=*/0.04,
+                 /*injection_bytes_per_us=*/18000.0);
+}
+
+Machine Machine::cray_xk7(core::Rank max_ranks) {
+  constexpr int kRanksPerNode = 16;  // one Interlagos socket per node
+  auto topo = std::make_shared<TorusTopology>(
+      TorusTopology::fitting(nodes_for(max_ranks, kRanksPerNode), 3));
+  // Gemini: ~1.8 us startup, ~3.1 GB/s effective, ~100 ns/hop, ~6 GB/s
+  // node injection (one Gemini NIC shared by the node).
+  return Machine("Cray XK7 (3D torus, Gemini)", std::move(topo), kRanksPerNode,
+                 /*alpha_us=*/1.8, /*recv_alpha_us=*/0.9,
+                 /*beta_us_per_byte=*/1.0 / 3100.0, /*gamma_us_per_hop=*/0.10,
+                 /*injection_bytes_per_us=*/6000.0);
+}
+
+Machine Machine::cray_xc40(core::Rank max_ranks) {
+  constexpr int kRanksPerNode = 32;  // two 16-core Haswell sockets
+  auto topo = std::make_shared<DragonflyTopology>(
+      DragonflyTopology::fitting(nodes_for(max_ranks, kRanksPerNode)));
+  // Aries: ~1.3 us startup, ~8 GB/s effective, ~30 ns/hop. The largest
+  // alpha*bandwidth product of the three machines: most latency-bound.
+  return Machine("Cray XC40 (Dragonfly, Aries)", std::move(topo), kRanksPerNode,
+                 /*alpha_us=*/1.3, /*recv_alpha_us=*/0.65,
+                 /*beta_us_per_byte=*/1.0 / 8000.0, /*gamma_us_per_hop=*/0.03,
+                 /*injection_bytes_per_us=*/10000.0);
+}
+
+}  // namespace stfw::netsim

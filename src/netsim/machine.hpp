@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/vpt.hpp"
+#include "netsim/topology.hpp"
+
+/// \file machine.hpp
+/// Machine cost models for the three systems of the paper's evaluation.
+///
+/// A message of B wire bytes from rank i to rank j costs the sender
+///     alpha + gamma * hops(node(i), node(j)) + beta * B    microseconds
+/// and the receiver
+///     recv_alpha + beta * B                                microseconds.
+/// Ranks are folded onto nodes contiguously (ranks_per_node per node).
+///
+/// Parameters are calibrated from published microbenchmarks of the systems;
+/// what matters for reproducing the paper is the latency/bandwidth *regime*:
+/// the XC40's alpha x bandwidth product is the largest, making it the most
+/// latency-bound (the paper's Section 6.4 explanation for its bigger STFW
+/// wins), and BG/Q sits at the other end.
+
+namespace stfw::netsim {
+
+class Machine {
+public:
+  Machine(std::string name, std::shared_ptr<const Topology> topology, int ranks_per_node,
+          double alpha_us, double recv_alpha_us, double beta_us_per_byte, double gamma_us_per_hop,
+          double injection_bytes_per_us = 0.0);
+
+  /// IBM BlueGene/Q: 16 ranks/node, 5D torus, MPICH2-era latency.
+  static Machine blue_gene_q(core::Rank max_ranks);
+  /// Cray XK7 (Gemini): 16 ranks/node, 3D torus.
+  static Machine cray_xk7(core::Rank max_ranks);
+  /// Cray XC40 (Aries): 32 ranks/node, Dragonfly.
+  static Machine cray_xc40(core::Rank max_ranks);
+
+  const std::string& name() const noexcept { return name_; }
+  const Topology& topology() const noexcept { return *topology_; }
+  int ranks_per_node() const noexcept { return ranks_per_node_; }
+  double alpha_us() const noexcept { return alpha_us_; }
+  double recv_alpha_us() const noexcept { return recv_alpha_us_; }
+  double beta_us_per_byte() const noexcept { return beta_us_per_byte_; }
+  double gamma_us_per_hop() const noexcept { return gamma_us_per_hop_; }
+
+  int node_of(core::Rank r) const noexcept { return static_cast<int>(r) / ranks_per_node_; }
+
+  /// Sender-side cost of one message (microseconds).
+  double send_cost_us(core::Rank from, core::Rank to, std::uint64_t wire_bytes) const {
+    return alpha_us_ + gamma_us_per_hop_ * topology_->hops(node_of(from), node_of(to)) +
+           beta_us_per_byte_ * static_cast<double>(wire_bytes);
+  }
+
+  /// Receiver-side cost of one message (microseconds).
+  double recv_cost_us(std::uint64_t wire_bytes) const {
+    return recv_alpha_us_ + beta_us_per_byte_ * static_cast<double>(wire_bytes);
+  }
+
+  /// Message size at which the bandwidth term equals the startup term —
+  /// a crude "how latency-bound is this network" indicator.
+  double latency_equivalent_bytes() const noexcept { return alpha_us_ / beta_us_per_byte_; }
+
+  /// Node NIC injection rate shared by all ranks of a node (bytes/us);
+  /// 0 disables the injection-bottleneck term of the simulator's stage
+  /// time. Off-node traffic of all co-located ranks serializes through it.
+  double injection_bytes_per_us() const noexcept { return injection_bytes_per_us_; }
+
+private:
+  std::string name_;
+  std::shared_ptr<const Topology> topology_;
+  int ranks_per_node_;
+  double alpha_us_;
+  double recv_alpha_us_;
+  double beta_us_per_byte_;
+  double gamma_us_per_hop_;
+  double injection_bytes_per_us_;
+};
+
+}  // namespace stfw::netsim

@@ -1,0 +1,110 @@
+#include "topology.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "core/error.hpp"
+
+namespace stfw::netsim {
+
+using core::require;
+
+TorusTopology::TorusTopology(std::vector<int> dims) : dims_(std::move(dims)) {
+  require(!dims_.empty(), "TorusTopology: at least one dimension");
+  std::int64_t n = 1;
+  for (int d : dims_) {
+    require(d >= 1, "TorusTopology: dimension sizes must be >= 1");
+    n *= d;
+    require(n <= (std::int64_t{1} << 30), "TorusTopology: too many nodes");
+  }
+  num_nodes_ = static_cast<int>(n);
+}
+
+TorusTopology TorusTopology::fitting(int min_nodes, int n_dims) {
+  require(min_nodes >= 1 && n_dims >= 1, "TorusTopology::fitting: bad arguments");
+  // Start from the ceiling of the n-th root and grow dimensions round-robin
+  // until the torus is large enough.
+  const int side = static_cast<int>(
+      std::ceil(std::pow(static_cast<double>(min_nodes), 1.0 / n_dims) - 1e-9));
+  std::vector<int> dims(static_cast<std::size_t>(n_dims), std::max(side, 1));
+  auto total = [&dims] {
+    std::int64_t t = 1;
+    for (int d : dims) t *= d;
+    return t;
+  };
+  std::size_t next = 0;
+  while (total() < min_nodes) {
+    ++dims[next];
+    next = (next + 1) % dims.size();
+  }
+  // Shrink dimensions that are unnecessarily large (keeps near-cubic shape).
+  for (auto& d : dims) {
+    while (d > 1 && total() / d * (d - 1) >= min_nodes) --d;
+  }
+  return TorusTopology(std::move(dims));
+}
+
+int TorusTopology::hops(int a, int b) const {
+  require(a >= 0 && a < num_nodes_ && b >= 0 && b < num_nodes_,
+          "TorusTopology::hops: node out of range");
+  int h = 0;
+  for (int k : dims_) {
+    const int da = a % k;
+    const int db = b % k;
+    const int diff = std::abs(da - db);
+    h += std::min(diff, k - diff);
+    a /= k;
+    b /= k;
+  }
+  return h;
+}
+
+std::string TorusTopology::name() const {
+  std::string s = std::to_string(dims_.size()) + "D torus (";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) s += "x";
+    s += std::to_string(dims_[i]);
+  }
+  return s + ")";
+}
+
+DragonflyTopology::DragonflyTopology(int groups, int routers_per_group, int nodes_per_router)
+    : groups_(groups), routers_per_group_(routers_per_group), nodes_per_router_(nodes_per_router) {
+  require(groups >= 1 && routers_per_group >= 1 && nodes_per_router >= 1,
+          "DragonflyTopology: all parameters must be >= 1");
+  const std::int64_t n =
+      std::int64_t{groups} * routers_per_group * nodes_per_router;
+  require(n <= (std::int64_t{1} << 30), "DragonflyTopology: too many nodes");
+  num_nodes_ = static_cast<int>(n);
+}
+
+DragonflyTopology DragonflyTopology::fitting(int min_nodes) {
+  require(min_nodes >= 1, "DragonflyTopology::fitting: bad argument");
+  constexpr int kRoutersPerGroup = 96;  // Aries: 96 routers per group
+  constexpr int kNodesPerRouter = 4;    // Aries: 4 nodes per router
+  const int per_group = kRoutersPerGroup * kNodesPerRouter;
+  const int groups = (min_nodes + per_group - 1) / per_group;
+  return DragonflyTopology(std::max(groups, 1), kRoutersPerGroup, kNodesPerRouter);
+}
+
+int DragonflyTopology::hops(int a, int b) const {
+  require(a >= 0 && a < num_nodes_ && b >= 0 && b < num_nodes_,
+          "DragonflyTopology::hops: node out of range");
+  if (a == b) return 0;
+  const int router_a = a / nodes_per_router_;
+  const int router_b = b / nodes_per_router_;
+  if (router_a == router_b) return 1;  // via the shared router
+  const int group_a = router_a / routers_per_group_;
+  const int group_b = router_b / routers_per_group_;
+  if (group_a == group_b) return 2;  // router -> router -> node
+  // router -> gateway router -> global link -> gateway router -> router.
+  return 5;
+}
+
+std::string DragonflyTopology::name() const {
+  return "dragonfly (" + std::to_string(groups_) + " groups x " +
+         std::to_string(routers_per_group_) + " routers x " + std::to_string(nodes_per_router_) +
+         " nodes)";
+}
+
+}  // namespace stfw::netsim

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+/// \file topology.hpp
+/// Physical network topologies for the communication-time model.
+///
+/// The store-and-forward scheme is oblivious to the physical network (its
+/// VPT is purely virtual); the physical topology enters only through the
+/// per-message hop count in the cost model. We model the three machines the
+/// paper evaluates on: BlueGene/Q (5D torus), Cray XK7 (3D torus, Gemini)
+/// and Cray XC40 (Dragonfly, Aries), assuming minimal-path routing and no
+/// contention (see DESIGN.md).
+
+namespace stfw::netsim {
+
+/// Abstract node-to-node hop-count model.
+class Topology {
+public:
+  virtual ~Topology() = default;
+  virtual int num_nodes() const noexcept = 0;
+  /// Network hops on a minimal route between two nodes (0 if a == b).
+  virtual int hops(int a, int b) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// k1 x k2 x ... torus with wrap-around links; hops = sum of per-dimension
+/// ring distances min(|da - db|, kd - |da - db|).
+class TorusTopology final : public Topology {
+public:
+  explicit TorusTopology(std::vector<int> dims);
+
+  /// Smallest near-cubic n-dimensional torus with at least `min_nodes`
+  /// nodes (how torus partitions are commonly allocated).
+  static TorusTopology fitting(int min_nodes, int n_dims);
+
+  int num_nodes() const noexcept override { return num_nodes_; }
+  int hops(int a, int b) const override;
+  std::string name() const override;
+  const std::vector<int>& dims() const noexcept { return dims_; }
+
+private:
+  std::vector<int> dims_;
+  int num_nodes_ = 0;
+};
+
+/// Dragonfly: g groups of a routers, p nodes per router; all-to-all links
+/// inside each group and between groups. Minimal route hop counts:
+/// same router 1, same group 2, different groups up to 5
+/// (router -> gateway -> global link -> gateway -> router).
+class DragonflyTopology final : public Topology {
+public:
+  DragonflyTopology(int groups, int routers_per_group, int nodes_per_router);
+
+  /// Aries-like proportions (a = 96 routers/group, p = 4 nodes/router)
+  /// with enough groups for `min_nodes`.
+  static DragonflyTopology fitting(int min_nodes);
+
+  int num_nodes() const noexcept override { return num_nodes_; }
+  int hops(int a, int b) const override;
+  std::string name() const override;
+
+  int groups() const noexcept { return groups_; }
+  int routers_per_group() const noexcept { return routers_per_group_; }
+  int nodes_per_router() const noexcept { return nodes_per_router_; }
+
+private:
+  int groups_;
+  int routers_per_group_;
+  int nodes_per_router_;
+  int num_nodes_;
+};
+
+}  // namespace stfw::netsim

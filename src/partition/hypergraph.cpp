@@ -1,0 +1,120 @@
+#include "hypergraph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace stfw::partition {
+
+using core::require;
+
+Hypergraph::Hypergraph(std::int32_t num_vertices, std::vector<std::int64_t> net_ptr,
+                       std::vector<std::int32_t> pins, std::vector<std::int64_t> vertex_weights)
+    : num_vertices_(num_vertices),
+      net_ptr_(std::move(net_ptr)),
+      pins_(std::move(pins)),
+      vertex_weights_(std::move(vertex_weights)) {
+  require(num_vertices >= 0, "Hypergraph: negative vertex count");
+  require(!net_ptr_.empty() && net_ptr_.front() == 0, "Hypergraph: bad net_ptr");
+  require(net_ptr_.back() == static_cast<std::int64_t>(pins_.size()),
+          "Hypergraph: net_ptr must end at pin count");
+  require(vertex_weights_.size() == static_cast<std::size_t>(num_vertices),
+          "Hypergraph: vertex weight count mismatch");
+  for (std::int32_t p : pins_)
+    require(p >= 0 && p < num_vertices, "Hypergraph: pin out of range");
+  total_vertex_weight_ = std::accumulate(vertex_weights_.begin(), vertex_weights_.end(),
+                                         std::int64_t{0});
+}
+
+Hypergraph Hypergraph::column_net_model(const sparse::Csr& a) {
+  // Net j's pins = rows with a nonzero in column j = row indices of A^T row j.
+  std::vector<std::int64_t> net_ptr(static_cast<std::size_t>(a.num_cols()) + 1, 0);
+  for (std::int32_t c : a.col_idx()) ++net_ptr[static_cast<std::size_t>(c) + 1];
+  std::partial_sum(net_ptr.begin(), net_ptr.end(), net_ptr.begin());
+  std::vector<std::int32_t> pins(static_cast<std::size_t>(a.num_nonzeros()));
+  std::vector<std::int64_t> cursor(net_ptr.begin(), net_ptr.end() - 1);
+  for (std::int32_t r = 0; r < a.num_rows(); ++r)
+    for (std::int32_t c : a.row_cols(r))
+      pins[static_cast<std::size_t>(cursor[static_cast<std::size_t>(c)]++)] = r;
+  std::vector<std::int64_t> weights(static_cast<std::size_t>(a.num_rows()));
+  for (std::int32_t r = 0; r < a.num_rows(); ++r)
+    weights[static_cast<std::size_t>(r)] = std::max<std::int64_t>(a.row_degree(r), 1);
+  return Hypergraph(a.num_rows(), std::move(net_ptr), std::move(pins), std::move(weights));
+}
+
+void Hypergraph::build_incidence() const {
+  vtx_ptr_.assign(static_cast<std::size_t>(num_vertices_) + 1, 0);
+  for (std::int32_t p : pins_) ++vtx_ptr_[static_cast<std::size_t>(p) + 1];
+  std::partial_sum(vtx_ptr_.begin(), vtx_ptr_.end(), vtx_ptr_.begin());
+  vtx_nets_.resize(pins_.size());
+  std::vector<std::int64_t> cursor(vtx_ptr_.begin(), vtx_ptr_.end() - 1);
+  const auto nets = num_nets();
+  for (std::int32_t n = 0; n < nets; ++n)
+    for (std::int32_t p : net_pins(n))
+      vtx_nets_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(p)]++)] = n;
+}
+
+std::span<const std::int32_t> Hypergraph::vertex_nets(std::int32_t v) const {
+  if (vtx_ptr_.empty()) build_incidence();
+  const auto b = static_cast<std::size_t>(vtx_ptr_[static_cast<std::size_t>(v)]);
+  const auto e = static_cast<std::size_t>(vtx_ptr_[static_cast<std::size_t>(v) + 1]);
+  return std::span<const std::int32_t>(vtx_nets_.data() + b, e - b);
+}
+
+namespace {
+
+template <class PerNet>
+void for_each_net_span(const Hypergraph& h, std::span<const std::int32_t> parts,
+                       std::int32_t num_parts, PerNet&& per_net) {
+  require(parts.size() == static_cast<std::size_t>(h.num_vertices()),
+          "partition metrics: parts size mismatch");
+  std::vector<std::int32_t> mark(static_cast<std::size_t>(num_parts), -1);
+  const std::int32_t nets = h.num_nets();
+  for (std::int32_t n = 0; n < nets; ++n) {
+    std::int32_t span_count = 0;
+    for (std::int32_t p : h.net_pins(n)) {
+      const std::int32_t part = parts[static_cast<std::size_t>(p)];
+      require(part >= 0 && part < num_parts, "partition metrics: part id out of range");
+      if (mark[static_cast<std::size_t>(part)] != n) {
+        mark[static_cast<std::size_t>(part)] = n;
+        ++span_count;
+      }
+    }
+    per_net(span_count);
+  }
+}
+
+}  // namespace
+
+std::int64_t connectivity_cost(const Hypergraph& h, std::span<const std::int32_t> parts,
+                               std::int32_t num_parts) {
+  std::int64_t cost = 0;
+  for_each_net_span(h, parts, num_parts, [&](std::int32_t span_count) {
+    if (span_count > 1) cost += span_count - 1;
+  });
+  return cost;
+}
+
+std::int64_t cut_nets(const Hypergraph& h, std::span<const std::int32_t> parts,
+                      std::int32_t num_parts) {
+  std::int64_t cut = 0;
+  for_each_net_span(h, parts, num_parts, [&](std::int32_t span_count) {
+    if (span_count > 1) ++cut;
+  });
+  return cut;
+}
+
+double imbalance(const Hypergraph& h, std::span<const std::int32_t> parts,
+                 std::int32_t num_parts) {
+  require(parts.size() == static_cast<std::size_t>(h.num_vertices()),
+          "imbalance: parts size mismatch");
+  std::vector<std::int64_t> weight(static_cast<std::size_t>(num_parts), 0);
+  for (std::int32_t v = 0; v < h.num_vertices(); ++v)
+    weight[static_cast<std::size_t>(parts[static_cast<std::size_t>(v)])] += h.vertex_weight(v);
+  const std::int64_t max_w = *std::max_element(weight.begin(), weight.end());
+  const double avg = static_cast<double>(h.total_vertex_weight()) / num_parts;
+  return avg > 0 ? static_cast<double>(max_w) / avg - 1.0 : 0.0;
+}
+
+}  // namespace stfw::partition

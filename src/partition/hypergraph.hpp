@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+/// \file hypergraph.hpp
+/// Hypergraphs and partition-quality metrics.
+///
+/// The paper partitions matrices row-wise with PaToH using the column-net
+/// model: vertices are rows (weighted by their nonzero count), every column
+/// becomes a net connecting the rows with a nonzero in it, and the
+/// connectivity-minus-one cost of a partition equals the total SpMV
+/// communication volume. PaToH is proprietary; partitioner.hpp implements
+/// the same multilevel scheme from scratch.
+
+namespace stfw::partition {
+
+class Hypergraph {
+public:
+  Hypergraph() = default;
+  Hypergraph(std::int32_t num_vertices, std::vector<std::int64_t> net_ptr,
+             std::vector<std::int32_t> pins, std::vector<std::int64_t> vertex_weights);
+
+  /// Column-net model of a CSR matrix: vertex i = row i with weight
+  /// max(row nnz, 1); net j = column j connecting all rows with a nonzero
+  /// in column j.
+  static Hypergraph column_net_model(const sparse::Csr& a);
+
+  std::int32_t num_vertices() const noexcept { return num_vertices_; }
+  std::int32_t num_nets() const noexcept { return static_cast<std::int32_t>(net_ptr_.size()) - 1; }
+  std::int64_t num_pins() const noexcept { return static_cast<std::int64_t>(pins_.size()); }
+
+  std::span<const std::int32_t> net_pins(std::int32_t net) const {
+    const auto b = static_cast<std::size_t>(net_ptr_[static_cast<std::size_t>(net)]);
+    const auto e = static_cast<std::size_t>(net_ptr_[static_cast<std::size_t>(net) + 1]);
+    return std::span<const std::int32_t>(pins_.data() + b, e - b);
+  }
+
+  std::int64_t vertex_weight(std::int32_t v) const {
+    return vertex_weights_[static_cast<std::size_t>(v)];
+  }
+  std::span<const std::int64_t> vertex_weights() const noexcept { return vertex_weights_; }
+  std::int64_t total_vertex_weight() const noexcept { return total_vertex_weight_; }
+
+  /// Nets incident to vertex v (built lazily on first use).
+  std::span<const std::int32_t> vertex_nets(std::int32_t v) const;
+
+private:
+  void build_incidence() const;
+
+  std::int32_t num_vertices_ = 0;
+  std::vector<std::int64_t> net_ptr_{0};
+  std::vector<std::int32_t> pins_;
+  std::vector<std::int64_t> vertex_weights_;
+  std::int64_t total_vertex_weight_ = 0;
+
+  // Lazily built transpose (vertex -> nets).
+  mutable std::vector<std::int64_t> vtx_ptr_;
+  mutable std::vector<std::int32_t> vtx_nets_;
+};
+
+/// Sum over nets of (number of parts the net spans - 1) — equals the total
+/// SpMV communication volume in words under the column-net model.
+std::int64_t connectivity_cost(const Hypergraph& h, std::span<const std::int32_t> parts,
+                               std::int32_t num_parts);
+
+/// Number of nets spanning more than one part.
+std::int64_t cut_nets(const Hypergraph& h, std::span<const std::int32_t> parts,
+                      std::int32_t num_parts);
+
+/// max part weight / average part weight - 1 (0 = perfectly balanced).
+double imbalance(const Hypergraph& h, std::span<const std::int32_t> parts,
+                 std::int32_t num_parts);
+
+}  // namespace stfw::partition

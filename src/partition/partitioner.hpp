@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "partition/hypergraph.hpp"
+#include "sparse/csr.hpp"
+
+/// \file partitioner.hpp
+/// Multilevel hypergraph partitioning by recursive bisection — the in-tree
+/// replacement for PaToH.
+///
+/// Pipeline per bisection: heavy-connectivity matching coarsens the
+/// hypergraph until it is small; a greedy-growing initial bisection seeds
+/// the partition; boundary Fiduccia-Mattheyses refinement (with rollback to
+/// the best prefix of each pass) improves it at every uncoarsening level.
+/// k-way partitions come from recursive bisection with proportional weight
+/// targets, so for power-of-two k the part ids form a binary tree:
+/// derive_coarser() merges sibling leaves to obtain every smaller
+/// power-of-two partition of the same matrix for free.
+
+namespace stfw::partition {
+
+struct PartitionOptions {
+  std::int32_t num_parts = 2;
+  /// Allowed imbalance: every part weight <= (1 + epsilon) * ideal.
+  double epsilon = 0.10;
+  std::uint64_t seed = 1;
+  /// Stop coarsening a bisection below this many vertices.
+  std::int32_t coarsen_to = 160;
+  /// FM refinement passes per level.
+  int fm_passes = 3;
+  /// Nets with more pins than this are ignored during matching and gain
+  /// updates (standard large-net treatment; they rarely change state).
+  std::int32_t large_net_threshold = 256;
+};
+
+/// Partition h into opts.num_parts parts; returns part id per vertex.
+std::vector<std::int32_t> partition(const Hypergraph& h, const PartitionOptions& opts);
+
+/// Row-wise matrix partition via the column-net model (the paper's setup).
+std::vector<std::int32_t> partition_rows(const sparse::Csr& a, const PartitionOptions& opts);
+
+/// Merge sibling parts of a recursive-bisection partition: labels for
+/// num_parts parts become labels for num_parts / factor parts (factor a
+/// power of two dividing num_parts).
+std::vector<std::int32_t> derive_coarser(std::span<const std::int32_t> labels,
+                                         std::int32_t factor);
+
+/// Contiguous row blocks balanced by row weight (nnz).
+std::vector<std::int32_t> block_partition_rows(const sparse::Csr& a, std::int32_t num_parts);
+
+/// Row r -> part r % num_parts.
+std::vector<std::int32_t> cyclic_partition(std::int32_t num_rows, std::int32_t num_parts);
+
+/// Uniformly random assignment.
+std::vector<std::int32_t> random_partition(std::int32_t num_rows, std::int32_t num_parts,
+                                           std::uint64_t seed);
+
+}  // namespace stfw::partition

@@ -1,0 +1,121 @@
+#include "collectives.hpp"
+
+#include <cstring>
+
+#include "core/error.hpp"
+
+namespace stfw::runtime {
+
+using core::require;
+
+namespace {
+
+constexpr int kBcastTag = -2001;
+constexpr int kReduceTag = -2002;
+constexpr int kAlltoallTag = -2003;
+constexpr int kScanTag = -2004;
+
+/// Rank relative to a root: vrank 0 is the root; binomial-tree edges
+/// connect vrank v to v + 2^i for each bit position i above v's lowest set
+/// bit.
+int vrank_of(int rank, int root, int size) { return (rank - root + size) % size; }
+int rank_of(int vrank, int root, int size) { return (vrank + root) % size; }
+
+}  // namespace
+
+std::vector<std::byte> broadcast(Comm& comm, int root, std::vector<std::byte> bytes) {
+  const int size = comm.size();
+  require(root >= 0 && root < size, "broadcast: root out of range");
+  const int me = vrank_of(comm.rank(), root, size);
+  // Receive from the parent (vrank with our lowest set bit cleared)...
+  int mask = 1;
+  while (mask < size) {
+    if (me & mask) {
+      bytes = comm.recv(rank_of(me - mask, root, size), kBcastTag).data;
+      break;
+    }
+    mask <<= 1;
+  }
+  // ...then forward to children at decreasing distances.
+  mask >>= 1;
+  while (mask > 0) {
+    if (me + mask < size) comm.send(rank_of(me + mask, root, size), kBcastTag, bytes);
+    mask >>= 1;
+  }
+  return bytes;
+}
+
+std::vector<double> reduce_sum(Comm& comm, int root, std::span<const double> values) {
+  const int size = comm.size();
+  require(root >= 0 && root < size, "reduce_sum: root out of range");
+  const int me = vrank_of(comm.rank(), root, size);
+  std::vector<double> acc(values.begin(), values.end());
+  // Receive from children (highest bit first mirrors the bcast tree).
+  for (int bit = 1; bit < size; bit <<= 1) {
+    if ((me & bit) != 0) {
+      // Send to parent and stop.
+      std::vector<std::byte> bytes(acc.size() * sizeof(double));
+      std::memcpy(bytes.data(), acc.data(), bytes.size());
+      comm.send(rank_of(me - bit, root, size), kReduceTag, std::move(bytes));
+      return {};
+    }
+    const int child = me + bit;
+    if (child < size) {
+      const Message m = comm.recv(rank_of(child, root, size), kReduceTag);
+      require(m.data.size() == acc.size() * sizeof(double),
+              "reduce_sum: contribution size mismatch");
+      const auto* vals = reinterpret_cast<const double*>(m.data.data());
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += vals[i];
+    }
+  }
+  return acc;
+}
+
+std::vector<double> allreduce_sum(Comm& comm, std::span<const double> values) {
+  std::vector<double> reduced = reduce_sum(comm, 0, values);
+  std::vector<std::byte> bytes;
+  if (comm.rank() == 0) {
+    bytes.resize(reduced.size() * sizeof(double));
+    std::memcpy(bytes.data(), reduced.data(), bytes.size());
+  }
+  bytes = broadcast(comm, 0, std::move(bytes));
+  std::vector<double> out(bytes.size() / sizeof(double));
+  std::memcpy(out.data(), bytes.data(), bytes.size());
+  return out;
+}
+
+std::vector<std::vector<std::byte>> alltoallv(Comm& comm,
+                                              std::vector<std::vector<std::byte>> send) {
+  const int size = comm.size();
+  require(static_cast<int>(send.size()) == size, "alltoallv: need one buffer per rank");
+  std::vector<std::vector<std::byte>> recv(static_cast<std::size_t>(size));
+  recv[static_cast<std::size_t>(comm.rank())] =
+      std::move(send[static_cast<std::size_t>(comm.rank())]);
+  for (int j = 0; j < size; ++j) {
+    if (j == comm.rank() || send[static_cast<std::size_t>(j)].empty()) continue;
+    comm.send(j, kAlltoallTag, std::move(send[static_cast<std::size_t>(j)]));
+  }
+  comm.barrier();
+  for (Message& m : comm.drain(kAlltoallTag))
+    recv[static_cast<std::size_t>(m.source)] = std::move(m.data);
+  return recv;
+}
+
+std::int64_t exscan_sum(Comm& comm, std::int64_t value) {
+  // Linear token pass — exact MPI_Exscan semantics; prefix depth is O(K)
+  // but the payload is one word (fine for setup-time use).
+  std::int64_t prefix = 0;
+  if (comm.rank() > 0) {
+    const Message m = comm.recv(comm.rank() - 1, kScanTag);
+    std::memcpy(&prefix, m.data.data(), sizeof(prefix));
+  }
+  if (comm.rank() + 1 < comm.size()) {
+    const std::int64_t next = prefix + value;
+    std::vector<std::byte> bytes(sizeof(next));
+    std::memcpy(bytes.data(), &next, sizeof(next));
+    comm.send(comm.rank() + 1, kScanTag, std::move(bytes));
+  }
+  return prefix;
+}
+
+}  // namespace stfw::runtime

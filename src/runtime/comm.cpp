@@ -1,0 +1,196 @@
+#include "comm.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "core/error.hpp"
+
+namespace stfw::runtime {
+
+using core::require;
+
+int Comm::size() const noexcept { return cluster_->size(); }
+
+void Comm::send(int dest, int tag, std::vector<std::byte> data) {
+  require(dest >= 0 && dest < cluster_->size(), "Comm::send: destination out of range");
+  cluster_->post(dest, Message{rank_, tag, std::move(data)});
+}
+
+Message Comm::recv(int source, int tag) { return cluster_->blocking_recv(rank_, source, tag); }
+
+std::vector<Message> Comm::drain(int tag) { return cluster_->drain(rank_, tag); }
+
+bool Comm::probe(int source, int tag) { return cluster_->probe(rank_, source, tag); }
+
+void Comm::barrier() { cluster_->barrier_wait(); }
+
+std::vector<std::vector<std::byte>> Comm::allgather(std::vector<std::byte> mine) {
+  constexpr int kGatherTag = -1000;
+  constexpr int kBcastTag = -1001;
+  const int n = size();
+  std::vector<std::vector<std::byte>> all(static_cast<std::size_t>(n));
+  if (rank_ == 0) {
+    all[0] = std::move(mine);
+    for (int i = 1; i < n; ++i) {
+      Message m = recv(kAnySource, kGatherTag);
+      all[static_cast<std::size_t>(m.source)] = std::move(m.data);
+    }
+    // Broadcast back as a single concatenated buffer with a length header.
+    std::vector<std::byte> packed;
+    for (const auto& part : all) {
+      const auto len = static_cast<std::uint64_t>(part.size());
+      const auto* p = reinterpret_cast<const std::byte*>(&len);
+      packed.insert(packed.end(), p, p + sizeof(len));
+      packed.insert(packed.end(), part.begin(), part.end());
+    }
+    for (int i = 1; i < n; ++i) send(i, kBcastTag, packed);
+  } else {
+    send(0, kGatherTag, std::move(mine));
+    Message m = recv(0, kBcastTag);
+    std::size_t pos = 0;
+    for (int i = 0; i < n; ++i) {
+      std::uint64_t len = 0;
+      std::copy_n(m.data.begin() + static_cast<std::ptrdiff_t>(pos), sizeof(len),
+                  reinterpret_cast<std::byte*>(&len));
+      pos += sizeof(len);
+      all[static_cast<std::size_t>(i)].assign(
+          m.data.begin() + static_cast<std::ptrdiff_t>(pos),
+          m.data.begin() + static_cast<std::ptrdiff_t>(pos + len));
+      pos += len;
+    }
+  }
+  return all;
+}
+
+Cluster::Cluster(int num_ranks) : num_ranks_(num_ranks) {
+  require(num_ranks >= 1, "Cluster: need at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int i = 0; i < num_ranks; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::run(const std::function<void(Comm&)>& fn) {
+  for (const auto& mb : mailboxes_)
+    require(mb->queue.empty(), "Cluster::run: mailbox not empty from previous run");
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(num_ranks_));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_ranks_));
+  for (int r = 0; r < num_ranks_; ++r) {
+    threads.emplace_back([this, r, &fn, &errors] {
+      try {
+        Comm comm(*this, r);
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        abort_all();  // unblock peers stuck in recv() or barrier()
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const bool had_error =
+      std::any_of(errors.begin(), errors.end(), [](const std::exception_ptr& e) { return !!e; });
+  if (had_error) {
+    // Discard messages stranded by the abort so the cluster stays reusable.
+    for (const auto& mb : mailboxes_) {
+      std::lock_guard<std::mutex> lock(mb->mu);
+      mb->queue.clear();
+    }
+    aborted_.store(false);
+    barrier_count_ = 0;
+    for (const auto& e : errors)
+      if (e) std::rethrow_exception(e);
+  }
+}
+
+void Cluster::abort_all() {
+  aborted_.store(true);
+  for (const auto& mb : mailboxes_) {
+    std::lock_guard<std::mutex> lock(mb->mu);
+    mb->cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(barrier_mu_);
+    barrier_cv_.notify_all();
+  }
+}
+
+void Cluster::post(int dest, Message msg) {
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard<std::mutex> lock(mb.mu);
+    mb.queue.push_back(std::move(msg));
+  }
+  mb.cv.notify_all();
+}
+
+namespace {
+
+bool matches(const Message& m, int source, int tag) {
+  return m.tag == tag && (source == kAnySource || m.source == source);
+}
+
+}  // namespace
+
+Message Cluster::blocking_recv(int me, int source, int tag) {
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(me)];
+  std::unique_lock<std::mutex> lock(mb.mu);
+  for (;;) {
+    auto it = std::find_if(mb.queue.begin(), mb.queue.end(),
+                           [&](const Message& m) { return matches(m, source, tag); });
+    if (it != mb.queue.end()) {
+      Message out = std::move(*it);
+      mb.queue.erase(it);
+      return out;
+    }
+    if (aborted_.load()) core::fail("Comm::recv: cluster aborted by a peer exception");
+    mb.cv.wait(lock);
+  }
+}
+
+std::vector<Message> Cluster::drain(int me, int tag) {
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(me)];
+  std::vector<Message> out;
+  {
+    std::lock_guard<std::mutex> lock(mb.mu);
+    auto it = mb.queue.begin();
+    while (it != mb.queue.end()) {
+      if (it->tag == tag) {
+        out.push_back(std::move(*it));
+        it = mb.queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Message& a, const Message& b) { return a.source < b.source; });
+  return out;
+}
+
+bool Cluster::probe(int me, int source, int tag) {
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(me)];
+  std::lock_guard<std::mutex> lock(mb.mu);
+  return std::any_of(mb.queue.begin(), mb.queue.end(),
+                     [&](const Message& m) { return matches(m, source, tag); });
+}
+
+void Cluster::barrier_wait() {
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  const std::uint64_t gen = barrier_generation_;
+  if (++barrier_count_ == num_ranks_) {
+    barrier_count_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock, [this, gen] { return barrier_generation_ != gen || aborted_.load(); });
+  if (barrier_generation_ == gen && aborted_.load()) {
+    --barrier_count_;
+    core::fail("Comm::barrier: cluster aborted by a peer exception");
+  }
+}
+
+}  // namespace stfw::runtime

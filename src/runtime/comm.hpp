@@ -1,0 +1,123 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+/// \file comm.hpp
+/// In-process message-passing runtime.
+///
+/// The paper's algorithm is written against MPI; this environment has no MPI
+/// installation, so the runtime substitutes an in-process cluster: each rank
+/// is a thread, each rank owns a tagged mailbox, sends are buffered
+/// (enqueue-and-return, like MPI_Bsend), receives block until a matching
+/// message arrives. Semantics relied upon by the store-and-forward code:
+///
+///  * point-to-point ordering: two messages from the same source with the
+///    same tag arrive in send order;
+///  * barrier(): collective; all sends issued before a rank enters the
+///    barrier are visible to drain() calls made after it returns.
+///
+/// This is deliberately a small, honest subset of MPI — enough to run
+/// Algorithm 1 exactly as each MPI rank would run it.
+
+namespace stfw::runtime {
+
+inline constexpr int kAnySource = -1;
+
+struct Message {
+  int source = -1;
+  int tag = 0;
+  std::vector<std::byte> data;
+};
+
+class Cluster;
+
+/// Per-rank communicator handle. Valid only inside Cluster::run's callback,
+/// on the thread that received it.
+class Comm {
+public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept;
+
+  /// Buffered send: enqueues `data` into dest's mailbox and returns.
+  void send(int dest, int tag, std::vector<std::byte> data);
+
+  /// Blocking receive of the first message matching (source, tag);
+  /// source may be kAnySource.
+  Message recv(int source, int tag);
+
+  /// All messages with `tag` currently in the mailbox, sorted by source
+  /// (then arrival order). Non-blocking; complete after a barrier that
+  /// orders it after the sends of interest.
+  std::vector<Message> drain(int tag);
+
+  /// True iff a message matching (source, tag) is queued.
+  bool probe(int source, int tag);
+
+  /// Collective synchronization over all ranks of the cluster.
+  void barrier();
+
+  /// Convenience collective: every rank contributes `mine`; returns all
+  /// contributions indexed by rank. Built on send/recv via rank 0.
+  std::vector<std::vector<std::byte>> allgather(std::vector<std::byte> mine);
+
+private:
+  friend class Cluster;
+  Comm(Cluster& cluster, int rank) : cluster_(&cluster), rank_(rank) {}
+
+  Cluster* cluster_;
+  int rank_;
+};
+
+/// A fixed-size set of ranks executing a common function on private threads.
+class Cluster {
+public:
+  explicit Cluster(int num_ranks);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int size() const noexcept { return num_ranks_; }
+
+  /// Run fn(comm) on every rank; returns when all ranks finish. If any rank
+  /// throws, the first exception (by rank) is rethrown after all threads
+  /// join. May be called repeatedly; mailboxes must be empty in between
+  /// (checked).
+  void run(const std::function<void(Comm&)>& fn);
+
+private:
+  friend class Comm;
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  void post(int dest, Message msg);
+  Message blocking_recv(int me, int source, int tag);
+  std::vector<Message> drain(int me, int tag);
+  bool probe(int me, int source, int tag);
+  void barrier_wait();
+  void abort_all();
+
+  int num_ranks_;
+  std::atomic<bool> aborted_{false};
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  // Reusable two-phase barrier.
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+};
+
+}  // namespace stfw::runtime

@@ -1,0 +1,76 @@
+#include "stfw_communicator.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "core/wire.hpp"
+
+namespace stfw {
+
+using core::PayloadArena;
+using core::StageMessage;
+using core::StfwRankState;
+using core::Submessage;
+
+StfwCommunicator::StfwCommunicator(runtime::Comm& comm, core::Vpt vpt)
+    : comm_(&comm), vpt_(std::move(vpt)) {
+  core::require(vpt_.size() == comm.size(),
+                "StfwCommunicator: VPT size must equal communicator size");
+}
+
+std::vector<InboundMessage> StfwCommunicator::exchange(std::span<const OutboundMessage> sends) {
+  const auto me = static_cast<core::Rank>(comm_->rank());
+  StfwRankState state(vpt_, me);
+  PayloadArena arena;
+  stats_ = LocalExchangeStats{};
+
+  std::uint64_t seed_bytes = 0;
+  for (const OutboundMessage& s : sends) {
+    const std::uint64_t off = arena.add(s.bytes);
+    state.add_send(s.dest, off, static_cast<std::uint32_t>(s.bytes.size()));
+    seed_bytes += s.bytes.size();
+  }
+
+  std::vector<StageMessage> outbox;
+  std::uint64_t transit_peak = 0;
+  const int tag_base = epoch_ * vpt_.dim();
+  for (int stage = 0; stage < vpt_.dim(); ++stage) {
+    const int tag = tag_base + stage;
+    outbox.clear();
+    state.make_stage_outbox(stage, outbox);
+    for (const StageMessage& m : outbox) {
+      auto wire = core::serialize(m, arena);
+      ++stats_.messages_sent;
+      stats_.payload_bytes_sent += m.payload_bytes();
+      stats_.wire_bytes_sent += wire.size();
+      comm_->send(static_cast<int>(m.to), tag, std::move(wire));
+    }
+    // All sends of this stage happen-before the barrier, so drain() below
+    // sees the complete set of stage messages addressed to us.
+    comm_->barrier();
+    for (runtime::Message& m : comm_->drain(tag)) {
+      ++stats_.messages_received;
+      const std::vector<Submessage> subs = core::deserialize(m.data, arena);
+      state.accept(stage, subs);
+    }
+    transit_peak = std::max(transit_peak, state.buffered_payload_bytes());
+  }
+  ++epoch_;
+
+  // Paper Section 6.2 buffer metric: original send + receive buffers plus
+  // the store-and-forward transit residency.
+  stats_.peak_buffer_bytes = seed_bytes + state.delivered_payload_bytes() + transit_peak;
+
+  std::vector<InboundMessage> result;
+  std::vector<Submessage> delivered = state.take_delivered();
+  std::stable_sort(delivered.begin(), delivered.end(),
+                   [](const Submessage& a, const Submessage& b) { return a.source < b.source; });
+  result.reserve(delivered.size());
+  for (const Submessage& s : delivered) {
+    const auto payload = arena.view(s);
+    result.push_back(InboundMessage{s.source, {payload.begin(), payload.end()}});
+  }
+  return result;
+}
+
+}  // namespace stfw

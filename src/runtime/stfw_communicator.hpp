@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/rank_state.hpp"
+#include "core/vpt.hpp"
+#include "runtime/comm.hpp"
+
+/// \file stfw_communicator.hpp
+/// The paper's black-box operation (Section 2.2): every process passes the
+/// data it wants to send together with the VPT, and the library realizes the
+/// exchange with store-and-forward routing over the VPT. With Vpt::direct(K)
+/// this degenerates to plain point-to-point sends — the BL baseline.
+
+namespace stfw {
+
+struct OutboundMessage {
+  core::Rank dest = -1;
+  std::vector<std::byte> bytes;
+};
+
+struct InboundMessage {
+  core::Rank source = -1;
+  std::vector<std::byte> bytes;
+
+  friend bool operator==(const InboundMessage&, const InboundMessage&) = default;
+};
+
+/// Per-process communication statistics of one exchange.
+struct LocalExchangeStats {
+  std::int64_t messages_sent = 0;
+  std::int64_t messages_received = 0;
+  std::uint64_t payload_bytes_sent = 0;    // includes forwarded submessages
+  std::uint64_t wire_bytes_sent = 0;       // payload + wire headers
+  std::uint64_t peak_buffer_bytes = 0;     // forward-buffer high water + delivered
+};
+
+/// Collective store-and-forward exchange over a threaded-runtime Comm.
+///
+/// All ranks of the communicator must construct a StfwCommunicator with an
+/// equal Vpt and call exchange() the same number of times.
+class StfwCommunicator {
+public:
+  StfwCommunicator(runtime::Comm& comm, core::Vpt vpt);
+
+  const core::Vpt& vpt() const noexcept { return vpt_; }
+
+  /// Executes Algorithm 1 across all ranks; returns the messages addressed
+  /// to this rank, sorted by source. Collective: every rank must call it.
+  std::vector<InboundMessage> exchange(std::span<const OutboundMessage> sends);
+
+  /// Statistics of the most recent exchange() on this rank.
+  const LocalExchangeStats& last_stats() const noexcept { return stats_; }
+
+private:
+  runtime::Comm* comm_;
+  core::Vpt vpt_;
+  int epoch_ = 0;  // distinguishes tags across repeated exchanges
+  LocalExchangeStats stats_;
+};
+
+}  // namespace stfw

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "core/metrics.hpp"
+#include "netsim/machine.hpp"
+#include "sim/pattern.hpp"
+
+/// \file leader_aggregation.hpp
+/// Hierarchical leader aggregation — a practitioner baseline.
+///
+/// A common alternative to the paper's VPT for latency-bound irregular
+/// exchanges is node-leader aggregation: each node elects its lowest rank
+/// as leader; non-leaders hand all their off-node payloads to the leader
+/// (one on-node message), leaders exchange one aggregated message per
+/// destination *node*, and destination leaders scatter to their local
+/// ranks. This bounds every non-leader at O(local dests + 1) messages but
+/// concentrates all of a node's off-node traffic in one process — exactly
+/// the serialization the paper's VPT avoids by keeping every process a
+/// first-class router. simulate_leader_aggregation() lets the benches put
+/// the two side by side under the same cost model.
+///
+/// Differences from Vpt::node_aware(K, r): the VPT's stage 2 spreads
+/// inter-node traffic over all r ranks of a node (each talks to its own
+/// "column"), while leader aggregation funnels it through one rank.
+
+namespace stfw::sim {
+
+struct LeaderAggResult {
+  core::ExchangeMetrics metrics;     // per-rank message counts / volumes
+  double comm_time_us = 0.0;         // 3-stage max-model time
+  double stage_times_us[3] = {0, 0, 0};
+};
+
+/// Simulate the three-stage leader-aggregation exchange of `pattern` on
+/// `machine` (the machine defines the rank -> node folding and all costs).
+LeaderAggResult simulate_leader_aggregation(const CommPattern& pattern,
+                                            const netsim::Machine& machine);
+
+}  // namespace stfw::sim

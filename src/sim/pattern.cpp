@@ -1,0 +1,79 @@
+#include "pattern.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace stfw::sim {
+
+using core::require;
+
+CommPattern::CommPattern(core::Rank num_ranks) : num_ranks_(num_ranks) {
+  require(num_ranks >= 1, "CommPattern: need at least one rank");
+}
+
+void CommPattern::add_send(core::Rank from, core::Rank dest, std::uint32_t payload_bytes) {
+  require(!finalized_, "CommPattern::add_send: already finalized");
+  require(from >= 0 && from < num_ranks_, "CommPattern::add_send: source out of range");
+  require(dest >= 0 && dest < num_ranks_, "CommPattern::add_send: destination out of range");
+  from_.push_back(from);
+  staged_.push_back(Send{dest, payload_bytes});
+}
+
+void CommPattern::finalize() {
+  require(!finalized_, "CommPattern::finalize: already finalized");
+  offsets_.assign(static_cast<std::size_t>(num_ranks_) + 1, 0);
+  for (core::Rank r : from_) ++offsets_[static_cast<std::size_t>(r) + 1];
+  std::partial_sum(offsets_.begin(), offsets_.end(), offsets_.begin());
+  sends_.resize(staged_.size());
+  std::vector<std::int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t i = 0; i < staged_.size(); ++i)
+    sends_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(from_[i])]++)] = staged_[i];
+  // Deterministic order within each rank's SendSet.
+  for (core::Rank r = 0; r < num_ranks_; ++r) {
+    auto begin = sends_.begin() + static_cast<std::ptrdiff_t>(offsets_[static_cast<std::size_t>(r)]);
+    auto end = sends_.begin() + static_cast<std::ptrdiff_t>(offsets_[static_cast<std::size_t>(r) + 1]);
+    std::sort(begin, end, [](const Send& a, const Send& b) { return a.dest < b.dest; });
+  }
+  from_.clear();
+  from_.shrink_to_fit();
+  staged_.clear();
+  staged_.shrink_to_fit();
+  finalized_ = true;
+}
+
+std::span<const Send> CommPattern::sends(core::Rank r) const {
+  require(finalized_, "CommPattern::sends: call finalize() first");
+  require(r >= 0 && r < num_ranks_, "CommPattern::sends: rank out of range");
+  const auto b = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(r)]);
+  const auto e = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(r) + 1]);
+  return std::span<const Send>(sends_.data() + b, e - b);
+}
+
+std::vector<std::int64_t> CommPattern::send_counts() const {
+  require(finalized_, "CommPattern::send_counts: call finalize() first");
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(num_ranks_));
+  for (core::Rank r = 0; r < num_ranks_; ++r)
+    counts[static_cast<std::size_t>(r)] =
+        offsets_[static_cast<std::size_t>(r) + 1] - offsets_[static_cast<std::size_t>(r)];
+  return counts;
+}
+
+std::int64_t CommPattern::max_send_count() const {
+  const auto counts = send_counts();
+  return *std::max_element(counts.begin(), counts.end());
+}
+
+double CommPattern::avg_send_count() const {
+  return static_cast<double>(total_messages()) / static_cast<double>(num_ranks_);
+}
+
+std::uint64_t CommPattern::total_payload_bytes() const {
+  require(finalized_, "CommPattern::total_payload_bytes: call finalize() first");
+  std::uint64_t total = 0;
+  for (const Send& s : sends_) total += s.payload_bytes;
+  return total;
+}
+
+}  // namespace stfw::sim

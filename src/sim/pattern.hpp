@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/vpt.hpp"
+
+/// \file pattern.hpp
+/// A communication pattern: who sends how many payload bytes to whom.
+///
+/// This is the simulator's workload description — the set of SendSets of
+/// Section 2, with message sizes. Patterns are extracted from applications
+/// (row-parallel SpMV in spmv/) or generated synthetically (tests, examples).
+
+namespace stfw::sim {
+
+/// One process's message to one destination.
+struct Send {
+  core::Rank dest = -1;
+  std::uint32_t payload_bytes = 0;
+
+  friend bool operator==(const Send&, const Send&) = default;
+};
+
+/// CSR-like storage of all processes' SendSets.
+class CommPattern {
+public:
+  explicit CommPattern(core::Rank num_ranks);
+
+  core::Rank num_ranks() const noexcept { return num_ranks_; }
+  std::int64_t total_messages() const noexcept {
+    return static_cast<std::int64_t>(finalized_ ? sends_.size() : staged_.size());
+  }
+
+  void add_send(core::Rank from, core::Rank dest, std::uint32_t payload_bytes);
+  /// Call once after the last add_send; groups sends by source rank.
+  void finalize();
+  bool finalized() const noexcept { return finalized_; }
+
+  /// The SendSet of rank r (valid after finalize()).
+  std::span<const Send> sends(core::Rank r) const;
+
+  /// Per-rank original message counts — the data behind Figure 1.
+  std::vector<std::int64_t> send_counts() const;
+  /// Maximum / average original message count over ranks (BL's mmax/mavg).
+  std::int64_t max_send_count() const;
+  double avg_send_count() const;
+  /// Total payload bytes over all original messages.
+  std::uint64_t total_payload_bytes() const;
+
+private:
+  core::Rank num_ranks_;
+  bool finalized_ = false;
+  std::vector<core::Rank> from_;  // staging, parallel to staged_
+  std::vector<Send> staged_;
+  std::vector<std::int64_t> offsets_;  // CSR by source rank, size K+1
+  std::vector<Send> sends_;
+};
+
+}  // namespace stfw::sim

@@ -1,0 +1,158 @@
+#include "csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace stfw::sparse {
+
+using core::require;
+
+Csr::Csr(std::int32_t num_rows, std::int32_t num_cols, std::vector<std::int64_t> row_ptr,
+         std::vector<std::int32_t> col_idx, std::vector<double> values)
+    : num_rows_(num_rows),
+      num_cols_(num_cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  require(num_rows >= 0 && num_cols >= 0, "Csr: negative dimensions");
+  require(row_ptr_.size() == static_cast<std::size_t>(num_rows) + 1, "Csr: bad row_ptr size");
+  require(row_ptr_.front() == 0, "Csr: row_ptr must start at 0");
+  require(row_ptr_.back() == static_cast<std::int64_t>(col_idx_.size()),
+          "Csr: row_ptr must end at nnz");
+  require(col_idx_.size() == values_.size(), "Csr: col_idx/values size mismatch");
+  for (std::size_t r = 0; r < static_cast<std::size_t>(num_rows); ++r)
+    require(row_ptr_[r] <= row_ptr_[r + 1], "Csr: row_ptr must be non-decreasing");
+  for (std::int32_t c : col_idx_)
+    require(c >= 0 && c < num_cols, "Csr: column index out of range");
+}
+
+Csr Csr::from_triplets(std::int32_t num_rows, std::int32_t num_cols,
+                       std::vector<Triplet> triplets) {
+  require(num_rows >= 0 && num_cols >= 0, "Csr::from_triplets: negative dimensions");
+  for (const Triplet& t : triplets) {
+    require(t.row >= 0 && t.row < num_rows, "Csr::from_triplets: row out of range");
+    require(t.col >= 0 && t.col < num_cols, "Csr::from_triplets: col out of range");
+  }
+  std::sort(triplets.begin(), triplets.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+  std::vector<std::int64_t> row_ptr(static_cast<std::size_t>(num_rows) + 1, 0);
+  std::vector<std::int32_t> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(triplets.size());
+  values.reserve(triplets.size());
+  for (std::size_t i = 0; i < triplets.size(); ++i) {
+    if (i > 0 && triplets[i].row == triplets[i - 1].row && triplets[i].col == triplets[i - 1].col) {
+      values.back() += triplets[i].value;  // merge duplicates
+      continue;
+    }
+    col_idx.push_back(triplets[i].col);
+    values.push_back(triplets[i].value);
+    ++row_ptr[static_cast<std::size_t>(triplets[i].row) + 1];
+  }
+  std::partial_sum(row_ptr.begin(), row_ptr.end(), row_ptr.begin());
+  return Csr(num_rows, num_cols, std::move(row_ptr), std::move(col_idx), std::move(values));
+}
+
+void Csr::spmv(std::span<const double> x, std::span<double> y) const {
+  require(x.size() == static_cast<std::size_t>(num_cols_), "Csr::spmv: x size mismatch");
+  require(y.size() == static_cast<std::size_t>(num_rows_), "Csr::spmv: y size mismatch");
+  for (std::int32_t r = 0; r < num_rows_; ++r) {
+    double acc = 0.0;
+    for (std::int64_t i = row_begin(r); i < row_end(r); ++i)
+      acc += values_[static_cast<std::size_t>(i)] *
+             x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(i)])];
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+}
+
+void Csr::spmm(std::span<const double> x, std::span<double> y, std::int32_t num_vectors) const {
+  require(num_vectors >= 1, "Csr::spmm: need at least one vector");
+  require(x.size() == static_cast<std::size_t>(num_cols_) * num_vectors,
+          "Csr::spmm: x size mismatch");
+  require(y.size() == static_cast<std::size_t>(num_rows_) * num_vectors,
+          "Csr::spmm: y size mismatch");
+  const auto nv = static_cast<std::size_t>(num_vectors);
+  for (std::int32_t r = 0; r < num_rows_; ++r) {
+    double* yr = y.data() + static_cast<std::size_t>(r) * nv;
+    std::fill(yr, yr + nv, 0.0);
+    for (std::int64_t i = row_begin(r); i < row_end(r); ++i) {
+      const double a = values_[static_cast<std::size_t>(i)];
+      const double* xc =
+          x.data() + static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(i)]) * nv;
+      for (std::size_t v = 0; v < nv; ++v) yr[v] += a * xc[v];
+    }
+  }
+}
+
+Csr Csr::transpose() const {
+  std::vector<std::int64_t> row_ptr(static_cast<std::size_t>(num_cols_) + 1, 0);
+  for (std::int32_t c : col_idx_) ++row_ptr[static_cast<std::size_t>(c) + 1];
+  std::partial_sum(row_ptr.begin(), row_ptr.end(), row_ptr.begin());
+  std::vector<std::int32_t> col_idx(col_idx_.size());
+  std::vector<double> values(values_.size());
+  std::vector<std::int64_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  for (std::int32_t r = 0; r < num_rows_; ++r) {
+    for (std::int64_t i = row_begin(r); i < row_end(r); ++i) {
+      const auto c = static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(i)]);
+      const auto pos = static_cast<std::size_t>(cursor[c]++);
+      col_idx[pos] = r;
+      values[pos] = values_[static_cast<std::size_t>(i)];
+    }
+  }
+  return Csr(num_cols_, num_rows_, std::move(row_ptr), std::move(col_idx), std::move(values));
+}
+
+Csr Csr::symmetrized() const {
+  require(num_rows_ == num_cols_, "Csr::symmetrized: matrix must be square");
+  const Csr t = transpose();
+  std::vector<Triplet> triplets;
+  triplets.reserve(col_idx_.size() * 2);
+  for (std::int32_t r = 0; r < num_rows_; ++r) {
+    for (std::int64_t i = row_begin(r); i < row_end(r); ++i)
+      triplets.push_back(Triplet{r, col_idx_[static_cast<std::size_t>(i)],
+                                 0.5 * values_[static_cast<std::size_t>(i)]});
+    for (std::int64_t i = t.row_begin(r); i < t.row_end(r); ++i)
+      triplets.push_back(Triplet{r, t.col_idx_[static_cast<std::size_t>(i)],
+                                 0.5 * t.values_[static_cast<std::size_t>(i)]});
+  }
+  return from_triplets(num_rows_, num_cols_, std::move(triplets));
+}
+
+bool Csr::has_symmetric_pattern() const {
+  if (num_rows_ != num_cols_) return false;
+  const Csr t = transpose();
+  return row_ptr_ == t.row_ptr_ && col_idx_ == t.col_idx_;
+}
+
+bool Csr::has_full_diagonal() const {
+  require(num_rows_ == num_cols_, "Csr::has_full_diagonal: matrix must be square");
+  for (std::int32_t r = 0; r < num_rows_; ++r) {
+    const auto cols = row_cols(r);
+    if (!std::binary_search(cols.begin(), cols.end(), r)) return false;
+  }
+  return true;
+}
+
+DegreeStats degree_stats(const Csr& a) {
+  DegreeStats s;
+  if (a.num_rows() == 0) return s;
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::int32_t r = 0; r < a.num_rows(); ++r) {
+    const auto d = static_cast<double>(a.row_degree(r));
+    s.max_degree = std::max(s.max_degree, a.row_degree(r));
+    sum += d;
+    sum_sq += d * d;
+  }
+  const auto n = static_cast<double>(a.num_rows());
+  s.avg_degree = sum / n;
+  const double var = std::max(sum_sq / n - s.avg_degree * s.avg_degree, 0.0);
+  s.cv = s.avg_degree > 0 ? std::sqrt(var) / s.avg_degree : 0.0;
+  s.maxdr = static_cast<double>(s.max_degree) / n;
+  return s;
+}
+
+}  // namespace stfw::sparse

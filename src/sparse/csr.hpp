@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+/// \file csr.hpp
+/// Compressed sparse row matrices — the substrate of the SpMV evaluation.
+
+namespace stfw::sparse {
+
+/// A coordinate-format triplet (builder input).
+struct Triplet {
+  std::int32_t row = 0;
+  std::int32_t col = 0;
+  double value = 0.0;
+};
+
+/// CSR sparse matrix with double values.
+class Csr {
+public:
+  Csr() = default;
+  Csr(std::int32_t num_rows, std::int32_t num_cols, std::vector<std::int64_t> row_ptr,
+      std::vector<std::int32_t> col_idx, std::vector<double> values);
+
+  /// Build from triplets; duplicates are summed, entries are sorted by
+  /// (row, col).
+  static Csr from_triplets(std::int32_t num_rows, std::int32_t num_cols,
+                           std::vector<Triplet> triplets);
+
+  std::int32_t num_rows() const noexcept { return num_rows_; }
+  std::int32_t num_cols() const noexcept { return num_cols_; }
+  std::int64_t num_nonzeros() const noexcept {
+    return static_cast<std::int64_t>(col_idx_.size());
+  }
+
+  std::span<const std::int64_t> row_ptr() const noexcept { return row_ptr_; }
+  std::span<const std::int32_t> col_idx() const noexcept { return col_idx_; }
+  std::span<const double> values() const noexcept { return values_; }
+
+  std::int64_t row_begin(std::int32_t r) const { return row_ptr_[static_cast<std::size_t>(r)]; }
+  std::int64_t row_end(std::int32_t r) const { return row_ptr_[static_cast<std::size_t>(r) + 1]; }
+  std::int64_t row_degree(std::int32_t r) const { return row_end(r) - row_begin(r); }
+
+  std::span<const std::int32_t> row_cols(std::int32_t r) const {
+    return std::span<const std::int32_t>(col_idx_.data() + row_begin(r),
+                                         static_cast<std::size_t>(row_degree(r)));
+  }
+  std::span<const double> row_values(std::int32_t r) const {
+    return std::span<const double>(values_.data() + row_begin(r),
+                                   static_cast<std::size_t>(row_degree(r)));
+  }
+
+  /// y = A * x (serial reference kernel).
+  void spmv(std::span<const double> x, std::span<double> y) const;
+
+  /// Y = A * X for a row-major dense block X of num_vectors columns
+  /// (the SpMM kernel; X has num_cols() * num_vectors entries, Y has
+  /// num_rows() * num_vectors).
+  void spmm(std::span<const double> x, std::span<double> y, std::int32_t num_vectors) const;
+
+  /// A^T with sorted rows.
+  Csr transpose() const;
+
+  /// Pattern-symmetric closure: returns A with the pattern of A | A^T
+  /// (values of duplicated entries averaged). Requires square.
+  Csr symmetrized() const;
+
+  /// True iff the sparsity pattern equals its transpose's.
+  bool has_symmetric_pattern() const;
+
+  /// True iff every row i contains an entry in column i. Requires square.
+  bool has_full_diagonal() const;
+
+private:
+  std::int32_t num_rows_ = 0;
+  std::int32_t num_cols_ = 0;
+  std::vector<std::int64_t> row_ptr_{0};
+  std::vector<std::int32_t> col_idx_;
+  std::vector<double> values_;
+};
+
+/// Row-degree statistics — the columns of the paper's Table 1.
+struct DegreeStats {
+  std::int64_t max_degree = 0;
+  double avg_degree = 0.0;
+  double cv = 0.0;     // coefficient of variation of row degrees
+  double maxdr = 0.0;  // max degree / number of rows
+};
+
+DegreeStats degree_stats(const Csr& a);
+
+}  // namespace stfw::sparse

@@ -1,0 +1,341 @@
+#include "generators.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <random>
+#include <string>
+#include <unordered_set>
+
+#include "core/error.hpp"
+
+namespace stfw::sparse {
+
+using core::require;
+
+Csr random_uniform(std::int32_t rows, std::int32_t cols, std::int64_t nnz, std::uint64_t seed) {
+  require(rows >= 1 && cols >= 1, "random_uniform: empty matrix");
+  require(nnz <= static_cast<std::int64_t>(rows) * cols, "random_uniform: nnz too large");
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::int32_t> row_dist(0, rows - 1);
+  std::uniform_int_distribution<std::int32_t> col_dist(0, cols - 1);
+  std::uniform_real_distribution<double> val_dist(-1.0, 1.0);
+  std::unordered_set<std::int64_t> seen;
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(nnz));
+  while (static_cast<std::int64_t>(triplets.size()) < nnz) {
+    const std::int32_t r = row_dist(rng);
+    const std::int32_t c = col_dist(rng);
+    if (!seen.insert(static_cast<std::int64_t>(r) * cols + c).second) continue;
+    triplets.push_back(Triplet{r, c, val_dist(rng)});
+  }
+  return Csr::from_triplets(rows, cols, std::move(triplets));
+}
+
+Csr stencil_2d(std::int32_t nx, std::int32_t ny) {
+  require(nx >= 1 && ny >= 1, "stencil_2d: empty grid");
+  const std::int64_t n = static_cast<std::int64_t>(nx) * ny;
+  require(n <= (std::int64_t{1} << 30), "stencil_2d: grid too large");
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(5 * n));
+  auto id = [nx](std::int32_t x, std::int32_t y) { return y * nx + x; };
+  for (std::int32_t y = 0; y < ny; ++y) {
+    for (std::int32_t x = 0; x < nx; ++x) {
+      const std::int32_t me = id(x, y);
+      triplets.push_back(Triplet{me, me, 4.0});
+      if (x > 0) triplets.push_back(Triplet{me, id(x - 1, y), -1.0});
+      if (x + 1 < nx) triplets.push_back(Triplet{me, id(x + 1, y), -1.0});
+      if (y > 0) triplets.push_back(Triplet{me, id(x, y - 1), -1.0});
+      if (y + 1 < ny) triplets.push_back(Triplet{me, id(x, y + 1), -1.0});
+    }
+  }
+  return Csr::from_triplets(static_cast<std::int32_t>(n), static_cast<std::int32_t>(n),
+                            std::move(triplets));
+}
+
+Csr stencil_3d(std::int32_t nx, std::int32_t ny, std::int32_t nz) {
+  require(nx >= 1 && ny >= 1 && nz >= 1, "stencil_3d: empty grid");
+  const std::int64_t n = static_cast<std::int64_t>(nx) * ny * nz;
+  require(n <= (std::int64_t{1} << 30), "stencil_3d: grid too large");
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(7 * n));
+  auto id = [nx, ny](std::int32_t x, std::int32_t y, std::int32_t z) {
+    return (z * ny + y) * nx + x;
+  };
+  for (std::int32_t z = 0; z < nz; ++z)
+    for (std::int32_t y = 0; y < ny; ++y)
+      for (std::int32_t x = 0; x < nx; ++x) {
+        const std::int32_t me = id(x, y, z);
+        triplets.push_back(Triplet{me, me, 6.0});
+        if (x > 0) triplets.push_back(Triplet{me, id(x - 1, y, z), -1.0});
+        if (x + 1 < nx) triplets.push_back(Triplet{me, id(x + 1, y, z), -1.0});
+        if (y > 0) triplets.push_back(Triplet{me, id(x, y - 1, z), -1.0});
+        if (y + 1 < ny) triplets.push_back(Triplet{me, id(x, y + 1, z), -1.0});
+        if (z > 0) triplets.push_back(Triplet{me, id(x, y, z - 1), -1.0});
+        if (z + 1 < nz) triplets.push_back(Triplet{me, id(x, y, z + 1), -1.0});
+      }
+  return Csr::from_triplets(static_cast<std::int32_t>(n), static_cast<std::int32_t>(n),
+                            std::move(triplets));
+}
+
+std::vector<double> lognormal_degrees(std::int32_t n, double avg, double cv,
+                                      std::int64_t max_degree, std::uint64_t seed) {
+  require(n >= 1, "lognormal_degrees: n must be >= 1");
+  require(avg >= 1.0, "lognormal_degrees: average degree must be >= 1");
+  require(max_degree >= 1 && max_degree <= n, "lognormal_degrees: bad max degree");
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(avg) - 0.5 * sigma2;
+  std::mt19937_64 rng(seed);
+  std::lognormal_distribution<double> dist(mu, std::sqrt(sigma2));
+  std::vector<double> w(static_cast<std::size_t>(n));
+  for (double& x : w) x = std::clamp(dist(rng), 1.0, static_cast<double>(max_degree));
+  // Clamping shifts the mean; rescale (iteratively, since rescaling
+  // re-clamps the tail) so the realized mean matches `avg`.
+  for (int pass = 0; pass < 8; ++pass) {
+    const double mean = std::accumulate(w.begin(), w.end(), 0.0) / static_cast<double>(n);
+    const double f = avg / mean;
+    if (std::abs(f - 1.0) < 1e-3) break;
+    for (double& x : w) x = std::clamp(x * f, 1.0, static_cast<double>(max_degree));
+  }
+  // Guarantee the Table 1 dense row exists.
+  *std::max_element(w.begin(), w.end()) = static_cast<double>(max_degree);
+  return w;
+}
+
+namespace {
+
+/// Miller-Hagberg sampling of a Chung-Lu graph: expected degree of vertex v
+/// is weights[v]; edges are sampled in O(n + m) with geometric skipping over
+/// weight-sorted vertices. Returns undirected edges (u < v) in sorted-index
+/// space; the caller relabels.
+std::vector<std::pair<std::int32_t, std::int32_t>> sample_chung_lu_edges(
+    std::span<const double> sorted_weights, std::mt19937_64& rng) {
+  const auto n = static_cast<std::int32_t>(sorted_weights.size());
+  const double total = std::accumulate(sorted_weights.begin(), sorted_weights.end(), 0.0);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  edges.reserve(static_cast<std::size_t>(total / 2.0 * 1.1) + 16);
+  for (std::int32_t u = 0; u + 1 < n; ++u) {
+    std::int32_t v = u + 1;
+    const double wu = sorted_weights[static_cast<std::size_t>(u)];
+    double p = std::min(wu * sorted_weights[static_cast<std::size_t>(v)] / total, 1.0);
+    while (v < n && p > 0.0) {
+      if (p < 1.0) {
+        // Geometric skip; clamp in double space (the skip can exceed n or
+        // overflow 32 bits for tiny p, and log(0) must be avoided).
+        double r = unit(rng);
+        if (r <= 0.0) r = std::numeric_limits<double>::min();
+        const double skip = std::floor(std::log(r) / std::log(1.0 - p));
+        if (skip >= static_cast<double>(n - v)) break;
+        v += static_cast<std::int32_t>(skip);
+      }
+      if (v < n) {
+        const double q =
+            std::min(wu * sorted_weights[static_cast<std::size_t>(v)] / total, 1.0);
+        if (unit(rng) < q / p) edges.emplace_back(u, v);
+        p = q;
+        ++v;
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+Csr chung_lu_symmetric(std::span<const double> weights, std::uint64_t seed) {
+  const auto n = static_cast<std::int32_t>(weights.size());
+  require(n >= 1, "chung_lu_symmetric: empty weight vector");
+  std::mt19937_64 rng(seed);
+
+  // Sort weights descending, remembering a shuffled relabeling so vertex id
+  // carries no degree information (SuiteSparse orderings are arbitrary too).
+  std::vector<std::int32_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    return weights[static_cast<std::size_t>(a)] > weights[static_cast<std::size_t>(b)];
+  });
+  std::vector<double> sorted(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < sorted.size(); ++i)
+    sorted[i] = weights[static_cast<std::size_t>(order[i])];
+  std::vector<std::int32_t> label(static_cast<std::size_t>(n));
+  std::iota(label.begin(), label.end(), 0);
+  std::shuffle(label.begin(), label.end(), rng);
+
+  const auto edges = sample_chung_lu_edges(sorted, rng);
+
+  std::vector<Triplet> triplets;
+  triplets.reserve(edges.size() * 2 + static_cast<std::size_t>(n));
+  std::vector<double> row_sum(static_cast<std::size_t>(n), 0.0);
+  for (const auto& [su, sv] : edges) {
+    const std::int32_t u = label[static_cast<std::size_t>(su)];
+    const std::int32_t v = label[static_cast<std::size_t>(sv)];
+    triplets.push_back(Triplet{u, v, 1.0});
+    triplets.push_back(Triplet{v, u, 1.0});
+    row_sum[static_cast<std::size_t>(u)] += 1.0;
+    row_sum[static_cast<std::size_t>(v)] += 1.0;
+  }
+  // Strictly diagonally dominant diagonal: keeps the matrix usable in
+  // iterative solvers and guarantees a nonzero in every row.
+  for (std::int32_t i = 0; i < n; ++i)
+    triplets.push_back(Triplet{i, i, row_sum[static_cast<std::size_t>(i)] + 1.0});
+  return Csr::from_triplets(n, n, std::move(triplets));
+}
+
+namespace {
+
+// Table 1 of the paper, verbatim; the locality column is ours (see
+// MatrixSpec::locality): ~0.9 for mesh-like kinds, ~0.5 for networks.
+constexpr std::array<MatrixSpec, 22> kPaperMatrices = {{
+    {"cbuckle", "structural mechanics", 13681, 676515, 600, 0.16, 0.044, 0.90},
+    {"msc10848", "structural eng.", 10848, 1229778, 723, 0.42, 0.067, 0.90},
+    {"fe_rotor", "undirected graph", 99617, 1324862, 125, 0.29, 0.001, 0.85},
+    {"sparsine", "structural eng.", 50000, 1548988, 56, 0.36, 0.001, 0.60},
+    {"coAuthorsDBLP", "co-author network", 299067, 1955352, 336, 1.50, 0.001, 0.50},
+    {"net125", "optimization", 36720, 2577200, 231, 0.95, 0.006, 0.70},
+    {"nd3k", "2D/3D problem", 9000, 3279690, 515, 0.26, 0.057, 0.90},
+    {"GaAsH6", "chemistry problem", 61349, 3381809, 1646, 2.44, 0.027, 0.85},
+    {"pkustk04", "structural eng.", 55590, 4218660, 4230, 1.46, 0.076, 0.90},
+    {"gupta2", "linear programming", 62064, 4248286, 8413, 5.20, 0.136, 0.60},
+    {"TSOPF_FS_b300_c2", "power network", 56814, 8767466, 27742, 6.23, 0.488, 0.85},
+    {"pattern1", "optimization", 19242, 9323432, 6028, 0.78, 0.313, 0.70},
+    {"SiO2", "chemistry problem", 155331, 11283503, 2749, 4.05, 0.018, 0.85},
+    {"human_gene2", "gene network", 14340, 18068388, 7229, 1.09, 0.504, 0.50},
+    {"coPapersCiteseer", "citation network", 434102, 32073440, 1188, 1.37, 0.003, 0.50},
+    {"mip1", "optimization", 66463, 10352819, 66395, 2.25, 0.999, 0.70},
+    {"TSOPF_FS_b300_c3", "power network", 84414, 13135930, 41542, 7.59, 0.492, 0.85},
+    {"crankseg_2", "structural eng.", 63838, 14148858, 3423, 0.43, 0.054, 0.90},
+    {"Ga41As41H72", "chemistry problem", 268096, 17488476, 702, 1.53, 0.003, 0.85},
+    {"bundle_adj", "computer vision prb.", 513351, 20208051, 12588, 6.37, 0.025, 0.75},
+    {"F1", "structural eng.", 343791, 26837113, 435, 0.52, 0.001, 0.90},
+    {"nd24k", "2D/3D problem", 72000, 28715634, 520, 0.19, 0.007, 0.90},
+}};
+
+}  // namespace
+
+std::span<const MatrixSpec> paper_matrices() {
+  return std::span<const MatrixSpec>(kPaperMatrices.data(), kPaperMatrices.size());
+}
+
+std::span<const MatrixSpec> paper_matrices_small() {
+  return std::span<const MatrixSpec>(kPaperMatrices.data(), 15);
+}
+
+std::vector<MatrixSpec> paper_matrices_large() {
+  std::vector<MatrixSpec> out;
+  for (const MatrixSpec& m : kPaperMatrices)
+    if (m.nnz > 10'000'000) out.push_back(m);
+  return out;
+}
+
+const MatrixSpec& find_paper_matrix(std::string_view name) {
+  for (const MatrixSpec& m : kPaperMatrices)
+    if (m.name == name) return m;
+  core::fail("find_paper_matrix: unknown matrix " + std::string(name));
+}
+
+MatrixSpec scaled_spec(const MatrixSpec& spec, double scale, std::int32_t min_rows) {
+  require(scale > 0.0 && scale <= 1.0, "scaled_spec: scale must be in (0, 1]");
+  MatrixSpec out = spec;
+  const auto target_rows =
+      static_cast<std::int32_t>(std::llround(static_cast<double>(spec.rows) * scale));
+  out.rows = std::min(spec.rows, std::max(target_rows, min_rows));
+  const double row_frac = static_cast<double>(out.rows) / static_cast<double>(spec.rows);
+  // Degree scales *with* rows: this preserves both maxdr (what fraction of
+  // the ranks a dense row reaches) and the max/avg degree ratio (how
+  // irregular the matrix is) — the two shape statistics the evaluation
+  // depends on. Scaling only rows would keep avg degree constant while the
+  // max shrinks, flattening the tail that makes these instances
+  // latency-bound. Smaller degrees also mean smaller messages, i.e. deeper
+  // into the latency-bound regime the paper studies.
+  const double orig_avg = static_cast<double>(spec.nnz) / spec.rows;
+  const double avg = std::max(6.0, orig_avg * row_frac);
+  out.nnz = static_cast<std::int64_t>(avg * out.rows);
+  // Max degree follows maxdr, floored for feasibility against the average.
+  const auto min_max = static_cast<std::int64_t>(std::ceil(1.3 * avg)) + 1;
+  out.max_degree = std::clamp<std::int64_t>(
+      std::max(static_cast<std::int64_t>(std::llround(spec.maxdr * out.rows)), min_max), 1,
+      out.rows);
+  out.maxdr = static_cast<double>(out.max_degree) / static_cast<double>(out.rows);
+  return out;
+}
+
+Csr generate(const MatrixSpec& spec, std::uint64_t seed) {
+  const std::int32_t n = spec.rows;
+  const double avg = std::max(1.0, static_cast<double>(spec.nnz) / n - 1.0);
+  // The diagonal contributes 1 to every row degree; target the off-diagonal
+  // degrees with the generator and the stats come out near Table 1.
+  const std::int64_t max_off = std::max<std::int64_t>(1, spec.max_degree - 1);
+  const auto w = lognormal_degrees(n, avg, spec.cv, max_off, seed);
+  std::mt19937_64 rng(seed + 0x9e3779b97f4a7c15ULL);
+
+  // Each row's target degree splits into three kinds of edges:
+  //  * banded: to nearby indices — the bulk of real FEM/chemistry rows, and
+  //    what makes the matrices partition-friendly;
+  //  * hub excess: rows heavier than the band cap spread the rest uniformly
+  //    over all vertices (a dense row touches everyone — the paper's
+  //    latency driver);
+  //  * connector windows: with probability (1 - locality) a light row puts
+  //    half its degree into one or two random remote index windows — far
+  //    couplings in real matrices are block-structured, not uniform
+  //    (uniform spray would make every rank talk to every rank and erase
+  //    the paper's max-vs-avg message-count gap).
+  const double band_cap = std::min(3.0 * avg, static_cast<double>(n - 1));
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_int_distribution<std::int32_t> any_vertex(0, n - 1);
+
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(spec.nnz) + static_cast<std::size_t>(n));
+  auto add_edge = [&](std::int32_t u, std::int32_t v) {
+    if (u == v) return;
+    triplets.push_back(Triplet{u, v, 1.0});
+    triplets.push_back(Triplet{v, u, 1.0});
+  };
+
+  const auto window = static_cast<std::int32_t>(std::max(band_cap, 8.0));
+  for (std::int32_t i = 0; i < n; ++i) {
+    const double target = w[static_cast<std::size_t>(i)];
+    double band = std::min(target, band_cap);
+    double global = target - band;  // hub excess
+    if (global <= 0.0 && unit(rng) < 1.0 - spec.locality) {
+      global = 0.5 * band;  // connector row
+      band -= global;
+    }
+
+    // Banded part: half the width per side; neighbors' bands fill the rest.
+    const auto half = static_cast<std::int32_t>(band / 2.0);
+    for (std::int32_t delta = 1; delta <= half; ++delta) add_edge(i, (i + delta) % n);
+
+    if (global <= 0.5) continue;
+    const auto extra = static_cast<std::int32_t>(global);
+    if (static_cast<double>(target) >= 0.6 * static_cast<double>(max_off)) {
+      // True dense row: uniform targets over the whole index range
+      // (duplicates merge; slight undershoot is fine).
+      for (std::int32_t e = 0; e < extra; ++e) add_edge(i, any_vertex(rng));
+    } else {
+      // Mid-tail heavy rows and connectors: global edges land inside a few
+      // remote windows — real matrices' far couplings are clustered, and
+      // uniform spray here would saturate every rank's message count.
+      const int num_windows =
+          std::clamp(extra / std::max(window, 1) + 1, 1, 4);
+      for (int win = 0; win < num_windows; ++win) {
+        const std::int32_t start = any_vertex(rng);
+        std::uniform_int_distribution<std::int32_t> in_window(0, window - 1);
+        for (std::int32_t e = 0; e < extra / num_windows; ++e)
+          add_edge(i, (start + in_window(rng)) % n);
+      }
+    }
+  }
+
+  // Diagonally dominant diagonal (also guarantees a nonzero in every row);
+  // duplicate off-diagonal entries merge in from_triplets.
+  std::vector<double> row_sum(static_cast<std::size_t>(n), 0.0);
+  for (const Triplet& t : triplets) row_sum[static_cast<std::size_t>(t.row)] += t.value;
+  for (std::int32_t i = 0; i < n; ++i)
+    triplets.push_back(Triplet{i, i, row_sum[static_cast<std::size_t>(i)] + 1.0});
+  return Csr::from_triplets(n, n, std::move(triplets));
+}
+
+}  // namespace stfw::sparse

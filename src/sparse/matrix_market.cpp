@@ -1,0 +1,85 @@
+#include "matrix_market.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace stfw::sparse {
+
+using core::require;
+
+Csr read_matrix_market(std::istream& in) {
+  std::string line;
+  require(static_cast<bool>(std::getline(in, line)), "matrix market: empty input");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  std::transform(field.begin(), field.end(), field.begin(), ::tolower);
+  std::transform(symmetry.begin(), symmetry.end(), symmetry.begin(), ::tolower);
+  require(banner == "%%MatrixMarket", "matrix market: bad banner");
+  require(object == "matrix" && format == "coordinate",
+          "matrix market: only coordinate matrices supported");
+  require(field == "real" || field == "integer" || field == "pattern",
+          "matrix market: unsupported field type");
+  require(symmetry == "general" || symmetry == "symmetric",
+          "matrix market: unsupported symmetry");
+  const bool pattern = field == "pattern";
+  const bool symmetric = symmetry == "symmetric";
+
+  // Skip comments.
+  do {
+    require(static_cast<bool>(std::getline(in, line)), "matrix market: missing size line");
+  } while (!line.empty() && line[0] == '%');
+
+  std::istringstream size_line(line);
+  std::int64_t rows = 0, cols = 0, entries = 0;
+  size_line >> rows >> cols >> entries;
+  require(rows > 0 && cols > 0 && entries >= 0, "matrix market: bad size line");
+
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(symmetric ? entries * 2 : entries));
+  for (std::int64_t i = 0; i < entries; ++i) {
+    std::int64_t r = 0, c = 0;
+    double v = 1.0;
+    in >> r >> c;
+    if (!pattern) in >> v;
+    require(static_cast<bool>(in), "matrix market: truncated entries");
+    require(r >= 1 && r <= rows && c >= 1 && c <= cols, "matrix market: entry out of range");
+    triplets.push_back(
+        Triplet{static_cast<std::int32_t>(r - 1), static_cast<std::int32_t>(c - 1), v});
+    if (symmetric && r != c)
+      triplets.push_back(
+          Triplet{static_cast<std::int32_t>(c - 1), static_cast<std::int32_t>(r - 1), v});
+  }
+  return Csr::from_triplets(static_cast<std::int32_t>(rows), static_cast<std::int32_t>(cols),
+                            std::move(triplets));
+}
+
+Csr read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "matrix market: cannot open " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const Csr& a) {
+  out << std::setprecision(17);  // round-trip exact for doubles
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.num_rows() << " " << a.num_cols() << " " << a.num_nonzeros() << "\n";
+  for (std::int32_t r = 0; r < a.num_rows(); ++r) {
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_values(r);
+    for (std::size_t i = 0; i < cols.size(); ++i)
+      out << (r + 1) << " " << (cols[i] + 1) << " " << vals[i] << "\n";
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const Csr& a) {
+  std::ofstream out(path);
+  require(out.good(), "matrix market: cannot open " + path + " for writing");
+  write_matrix_market(out, a);
+}
+
+}  // namespace stfw::sparse

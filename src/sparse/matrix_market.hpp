@@ -1,0 +1,22 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+/// \file matrix_market.hpp
+/// MatrixMarket coordinate-format I/O (the format SuiteSparse distributes).
+/// Supports `matrix coordinate real|integer|pattern general|symmetric`;
+/// symmetric inputs are expanded to full storage, pattern values become 1.0.
+
+namespace stfw::sparse {
+
+Csr read_matrix_market(std::istream& in);
+Csr read_matrix_market_file(const std::string& path);
+
+/// Writes general real coordinate format.
+void write_matrix_market(std::ostream& out, const Csr& a);
+void write_matrix_market_file(const std::string& path, const Csr& a);
+
+}  // namespace stfw::sparse

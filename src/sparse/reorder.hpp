@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+/// \file reorder.hpp
+/// Symmetric row/column reordering.
+///
+/// Reverse Cuthill-McKee pulls a symmetric pattern's nonzeros toward the
+/// diagonal; the resulting index locality is what makes contiguous row
+/// partitions communication-friendly. Useful as a cheap preprocessing pass
+/// before partitioning, and as a diagnostic for how much locality a pattern
+/// has to give.
+
+namespace stfw::sparse {
+
+/// Reverse Cuthill-McKee ordering of a square matrix with a symmetric
+/// pattern: perm[old_index] = new_index. Each connected component is
+/// ordered from a pseudo-peripheral start vertex; components are emitted in
+/// ascending order of their smallest vertex.
+std::vector<std::int32_t> rcm_ordering(const Csr& a);
+
+/// B[perm[i]][perm[j]] = A[i][j] — apply a symmetric permutation.
+Csr permute_symmetric(const Csr& a, std::span<const std::int32_t> perm);
+
+/// max over nonzeros of |i - j| (0 for diagonal/empty matrices).
+std::int64_t bandwidth(const Csr& a);
+
+/// Mean over nonzeros of |i - j| — a smoother locality measure.
+double average_bandwidth(const Csr& a);
+
+}  // namespace stfw::sparse

@@ -1,0 +1,181 @@
+#include "distributed.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <unordered_map>
+
+#include "core/error.hpp"
+
+namespace stfw::spmv {
+
+using core::Rank;
+using core::require;
+
+SpmvProblem::SpmvProblem(const sparse::Csr& a, std::span<const std::int32_t> parts,
+                         Rank num_ranks, bool build_plans)
+    : matrix_(&a), parts_(parts.begin(), parts.end()), num_ranks_(num_ranks) {
+  require(a.num_rows() == a.num_cols(), "SpmvProblem: matrix must be square (x and y conform)");
+  require(parts.size() == static_cast<std::size_t>(a.num_rows()),
+          "SpmvProblem: one part id per row required");
+  require(num_ranks >= 1, "SpmvProblem: need at least one rank");
+  for (std::int32_t p : parts_)
+    require(p >= 0 && p < num_ranks, "SpmvProblem: part id out of range");
+
+  // consumers[(owner, consumer)] -> x entries needed. Build per owner with a
+  // per-column dedup: column j owned by parts[j] must reach every distinct
+  // rank with a nonzero in column j.
+  //
+  // Walk rows once; mark (col, consumer) pairs via a per-column last-seen
+  // rank cache to cheaply skip repeats within a row block.
+  const std::int32_t n = a.num_rows();
+  std::vector<std::int64_t> local_nnz(static_cast<std::size_t>(num_ranks), 0);
+
+  // For each column, the set of consumer ranks (excluding the owner).
+  // Stored sparsely: flat list of (col, consumer) pairs, deduplicated.
+  std::vector<std::pair<std::int32_t, Rank>> needs;
+  needs.reserve(static_cast<std::size_t>(a.num_nonzeros() / 4) + 16);
+  for (std::int32_t r = 0; r < n; ++r) {
+    const Rank consumer = parts_[static_cast<std::size_t>(r)];
+    local_nnz[static_cast<std::size_t>(consumer)] += a.row_degree(r);
+    for (std::int32_t c : a.row_cols(r)) {
+      if (parts_[static_cast<std::size_t>(c)] != consumer)
+        needs.emplace_back(c, consumer);
+    }
+  }
+  std::sort(needs.begin(), needs.end());
+  needs.erase(std::unique(needs.begin(), needs.end()), needs.end());
+  max_local_nnz_ = local_nnz.empty()
+                       ? 0
+                       : *std::max_element(local_nnz.begin(), local_nnz.end());
+  total_volume_words_ = static_cast<std::int64_t>(needs.size());
+
+  // Aggregate into per-(owner, consumer) entry counts.
+  std::map<std::pair<Rank, Rank>, std::int32_t> pair_counts;
+  for (const auto& [col, consumer] : needs)
+    ++pair_counts[{parts_[static_cast<std::size_t>(col)], consumer}];
+  send_offsets_.assign(static_cast<std::size_t>(num_ranks) + 1, 0);
+  for (const auto& [key, count] : pair_counts)
+    ++send_offsets_[static_cast<std::size_t>(key.first) + 1];
+  std::partial_sum(send_offsets_.begin(), send_offsets_.end(), send_offsets_.begin());
+  send_dest_.resize(pair_counts.size());
+  send_entry_counts_.resize(pair_counts.size());
+  {
+    std::vector<std::int64_t> cursor(send_offsets_.begin(), send_offsets_.end() - 1);
+    for (const auto& [key, count] : pair_counts) {
+      const auto pos = static_cast<std::size_t>(cursor[static_cast<std::size_t>(key.first)]++);
+      send_dest_[pos] = key.second;
+      send_entry_counts_[pos] = count;
+    }
+  }
+
+  if (!build_plans) return;
+
+  // ------------------------------------------------------------------
+  // Numeric per-rank plans.
+  // ------------------------------------------------------------------
+  plans_.resize(static_cast<std::size_t>(num_ranks));
+  // Owned rows per rank.
+  for (std::int32_t r = 0; r < n; ++r)
+    plans_[static_cast<std::size_t>(parts_[static_cast<std::size_t>(r)])].owned_rows.push_back(r);
+
+  // Send plans: `needs` is sorted by (col, consumer); group by owner.
+  for (const auto& [col, consumer] : needs) {
+    RankPlan& owner_plan = plans_[static_cast<std::size_t>(parts_[static_cast<std::size_t>(col)])];
+    if (owner_plan.sends.empty() || owner_plan.sends.back().dest != consumer) {
+      // Find or create the send list for this consumer.
+      auto it = std::find_if(owner_plan.sends.begin(), owner_plan.sends.end(),
+                             [&](const RankPlan::SendTo& s) { return s.dest == consumer; });
+      if (it == owner_plan.sends.end()) {
+        owner_plan.sends.push_back(RankPlan::SendTo{consumer, {}});
+        it = owner_plan.sends.end() - 1;
+      }
+      it->x_slots.push_back(col);  // temporarily global; remapped below
+    } else {
+      owner_plan.sends.back().x_slots.push_back(col);
+    }
+  }
+
+  for (Rank p = 0; p < num_ranks_; ++p) {
+    RankPlan& plan = plans_[static_cast<std::size_t>(p)];
+    std::sort(plan.sends.begin(), plan.sends.end(),
+              [](const RankPlan::SendTo& a_, const RankPlan::SendTo& b_) {
+                return a_.dest < b_.dest;
+              });
+    for (auto& s : plan.sends) std::sort(s.x_slots.begin(), s.x_slots.end());
+
+    // Local x layout: owned entries first (owned_rows order), ghosts after,
+    // sorted by global id.
+    std::unordered_map<std::int32_t, std::int32_t> slot_of;
+    slot_of.reserve(plan.owned_rows.size() * 2);
+    plan.x_slot_global = plan.owned_rows;
+    for (std::size_t i = 0; i < plan.owned_rows.size(); ++i)
+      slot_of[plan.owned_rows[i]] = static_cast<std::int32_t>(i);
+
+    std::vector<std::int32_t> ghosts;
+    for (std::int32_t row : plan.owned_rows)
+      for (std::int32_t c : a.row_cols(row))
+        if (parts_[static_cast<std::size_t>(c)] != p) ghosts.push_back(c);
+    std::sort(ghosts.begin(), ghosts.end());
+    ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
+    for (std::int32_t g : ghosts) {
+      slot_of[g] = static_cast<std::int32_t>(plan.x_slot_global.size());
+      plan.x_slot_global.push_back(g);
+    }
+
+    // Recv plans: grouped by source rank, in the sender's (ascending global)
+    // order — the sender sorts its x_slots the same way.
+    std::map<Rank, std::vector<std::int32_t>> by_source;
+    for (std::int32_t g : ghosts)
+      by_source[parts_[static_cast<std::size_t>(g)]].push_back(slot_of[g]);
+    for (auto& [source, slots] : by_source)
+      plan.recvs.push_back(RankPlan::RecvFrom{source, std::move(slots)});
+
+    // Remap send x_slots from global ids to local owned slots.
+    for (auto& s : plan.sends)
+      for (auto& slot : s.x_slots) slot = slot_of[slot];
+
+    // Local CSR with remapped columns.
+    std::vector<std::int64_t> row_ptr(plan.owned_rows.size() + 1, 0);
+    std::vector<std::int32_t> col_idx;
+    std::vector<double> values;
+    for (std::size_t i = 0; i < plan.owned_rows.size(); ++i) {
+      const std::int32_t row = plan.owned_rows[i];
+      const auto cols = a.row_cols(row);
+      const auto vals = a.row_values(row);
+      for (std::size_t j = 0; j < cols.size(); ++j) {
+        col_idx.push_back(slot_of[cols[j]]);
+        values.push_back(vals[j]);
+      }
+      row_ptr[i + 1] = static_cast<std::int64_t>(col_idx.size());
+    }
+    plan.local = sparse::Csr(static_cast<std::int32_t>(plan.owned_rows.size()),
+                             static_cast<std::int32_t>(plan.x_slot_global.size()),
+                             std::move(row_ptr), std::move(col_idx), std::move(values));
+  }
+}
+
+const RankPlan& SpmvProblem::plan(Rank r) const {
+  require(has_plans(), "SpmvProblem::plan: built with build_plans = false");
+  require(r >= 0 && r < num_ranks_, "SpmvProblem::plan: rank out of range");
+  return plans_[static_cast<std::size_t>(r)];
+}
+
+sim::CommPattern SpmvProblem::comm_pattern(std::uint32_t bytes_per_value) const {
+  sim::CommPattern pattern(num_ranks_);
+  for (Rank owner = 0; owner < num_ranks_; ++owner) {
+    const auto b = static_cast<std::size_t>(send_offsets_[static_cast<std::size_t>(owner)]);
+    const auto e = static_cast<std::size_t>(send_offsets_[static_cast<std::size_t>(owner) + 1]);
+    for (std::size_t i = b; i < e; ++i)
+      pattern.add_send(owner, send_dest_[i],
+                       static_cast<std::uint32_t>(send_entry_counts_[i]) * bytes_per_value);
+  }
+  pattern.finalize();
+  return pattern;
+}
+
+double compute_time_us(std::int64_t max_local_nnz, double ns_per_nnz) {
+  return static_cast<double>(max_local_nnz) * ns_per_nnz / 1000.0;
+}
+
+}  // namespace stfw::spmv

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/vpt.hpp"
+#include "sim/pattern.hpp"
+#include "sparse/csr.hpp"
+
+/// \file distributed.hpp
+/// Row-parallel distributed SpMV — the paper's evaluation kernel.
+///
+/// Rows are assigned to ranks by a partition vector; the rank owning row i
+/// also owns x_i and y_i. One iteration is a communication phase (each rank
+/// sends the x entries it owns to every rank with a nonzero in the matching
+/// columns) followed by a local SpMV. The communication phase is exactly the
+/// irregular P2P scenario of Section 2: SendSet(P_i) = ranks that need any
+/// of P_i's x entries.
+
+namespace stfw::spmv {
+
+/// Per-rank execution plan.
+struct RankPlan {
+  /// Global ids of owned rows (ascending).
+  std::vector<std::int32_t> owned_rows;
+  /// Local matrix over owned rows; columns index the local x vector:
+  /// slots [0, owned_rows.size()) hold owned x entries (same order as
+  /// owned_rows), the rest are ghosts.
+  sparse::Csr local;
+  /// Global column id of every local x slot.
+  std::vector<std::int32_t> x_slot_global;
+
+  struct SendTo {
+    core::Rank dest = -1;
+    /// Local owned-x slots whose values travel, ascending global id.
+    std::vector<std::int32_t> x_slots;
+  };
+  std::vector<SendTo> sends;
+
+  struct RecvFrom {
+    core::Rank source = -1;
+    /// Ghost slots filled by this source, in the sender's slot order.
+    std::vector<std::int32_t> ghost_slots;
+  };
+  std::vector<RecvFrom> recvs;
+};
+
+/// Global description of one distributed SpMV instance.
+class SpmvProblem {
+public:
+  /// `parts[r]` assigns row/column r to a rank; all values in [0, K).
+  /// Numeric per-rank plans are skipped when build_plans is false (metric
+  /// and timing studies need only the communication pattern).
+  SpmvProblem(const sparse::Csr& a, std::span<const std::int32_t> parts, core::Rank num_ranks,
+              bool build_plans = true);
+
+  core::Rank num_ranks() const noexcept { return num_ranks_; }
+  const sparse::Csr& matrix() const noexcept { return *matrix_; }
+  std::span<const std::int32_t> parts() const noexcept { return parts_; }
+
+  bool has_plans() const noexcept { return !plans_.empty(); }
+  const RankPlan& plan(core::Rank r) const;
+
+  /// The communication phase as a simulator workload: one message per
+  /// (owner, consumer) pair, payload = #x-entries * bytes_per_value.
+  sim::CommPattern comm_pattern(std::uint32_t bytes_per_value = 8) const;
+
+  /// Total x entries crossing rank boundaries (= the column-net model's
+  /// connectivity-minus-one cost of the partition).
+  std::int64_t total_comm_volume_words() const noexcept { return total_volume_words_; }
+
+  /// max over ranks of local nonzeros (drives the compute-phase model).
+  std::int64_t max_local_nnz() const noexcept { return max_local_nnz_; }
+
+private:
+  const sparse::Csr* matrix_;
+  std::vector<std::int32_t> parts_;
+  core::Rank num_ranks_;
+  std::vector<RankPlan> plans_;
+  // (owner -> consumer -> x-entry count), CSR over owners, for comm_pattern.
+  std::vector<std::int64_t> send_offsets_;
+  std::vector<core::Rank> send_dest_;
+  std::vector<std::int32_t> send_entry_counts_;
+  std::int64_t total_volume_words_ = 0;
+  std::int64_t max_local_nnz_ = 0;
+};
+
+/// Compute-phase time model: nanoseconds-per-nonzero of an A2-class core.
+inline constexpr double kDefaultNsPerNonzero = 12.0;
+
+/// Simulated local-SpMV time (microseconds) for the slowest rank.
+double compute_time_us(std::int64_t max_local_nnz, double ns_per_nnz = kDefaultNsPerNonzero);
+
+}  // namespace stfw::spmv

@@ -1,0 +1,177 @@
+#include "runner.hpp"
+
+#include <cstring>
+
+#include "core/error.hpp"
+#include "runtime/stfw_communicator.hpp"
+
+namespace stfw::spmv {
+
+using core::Rank;
+using core::require;
+
+namespace {
+
+std::vector<std::byte> pack_doubles(std::span<const double> values) {
+  std::vector<std::byte> bytes(values.size() * sizeof(double));
+  std::memcpy(bytes.data(), values.data(), bytes.size());
+  return bytes;
+}
+
+void unpack_doubles(std::span<const std::byte> bytes, std::span<double> out) {
+  require(bytes.size() == out.size() * sizeof(double), "unpack_doubles: size mismatch");
+  std::memcpy(out.data(), bytes.data(), bytes.size());
+}
+
+}  // namespace
+
+std::vector<double> run_distributed(runtime::Cluster& cluster, const SpmvProblem& problem,
+                                    const core::Vpt& vpt, std::span<const double> x0,
+                                    int iterations) {
+  require(problem.has_plans(), "run_distributed: problem built without numeric plans");
+  require(cluster.size() == problem.num_ranks(), "run_distributed: cluster size mismatch");
+  require(x0.size() == static_cast<std::size_t>(problem.matrix().num_rows()),
+          "run_distributed: x size mismatch");
+  require(iterations >= 1, "run_distributed: need at least one iteration");
+
+  std::vector<double> result(x0.size(), 0.0);
+
+  cluster.run([&](runtime::Comm& comm) {
+    const auto me = static_cast<Rank>(comm.rank());
+    const RankPlan& plan = problem.plan(me);
+    StfwCommunicator communicator(comm, vpt);
+
+    // Local x: owned slots seeded from the global vector, ghosts zero.
+    std::vector<double> x_local(plan.x_slot_global.size(), 0.0);
+    const std::size_t num_owned = plan.owned_rows.size();
+    for (std::size_t i = 0; i < num_owned; ++i)
+      x_local[i] = x0[static_cast<std::size_t>(plan.owned_rows[i])];
+    std::vector<double> y_local(num_owned, 0.0);
+    std::vector<double> scratch;
+
+    for (int it = 0; it < iterations; ++it) {
+      // Communication phase: ship owned x entries to their consumers.
+      std::vector<OutboundMessage> sends;
+      sends.reserve(plan.sends.size());
+      for (const RankPlan::SendTo& s : plan.sends) {
+        scratch.resize(s.x_slots.size());
+        for (std::size_t i = 0; i < s.x_slots.size(); ++i)
+          scratch[i] = x_local[static_cast<std::size_t>(s.x_slots[i])];
+        sends.push_back(OutboundMessage{s.dest, pack_doubles(scratch)});
+      }
+      const std::vector<InboundMessage> received = communicator.exchange(sends);
+
+      // Scatter received x entries into ghost slots.
+      require(received.size() == plan.recvs.size(),
+              "run_distributed: unexpected number of inbound messages");
+      for (std::size_t i = 0; i < received.size(); ++i) {
+        const RankPlan::RecvFrom& r = plan.recvs[i];
+        require(received[i].source == r.source, "run_distributed: inbound source mismatch");
+        scratch.resize(r.ghost_slots.size());
+        unpack_doubles(received[i].bytes, scratch);
+        for (std::size_t j = 0; j < r.ghost_slots.size(); ++j)
+          x_local[static_cast<std::size_t>(r.ghost_slots[j])] = scratch[j];
+      }
+
+      // Compute phase.
+      plan.local.spmv(x_local, y_local);
+      if (it + 1 < iterations)
+        std::copy(y_local.begin(), y_local.end(), x_local.begin());  // x <- y
+    }
+
+    // Threads share the result buffer; owned rows are disjoint across ranks.
+    for (std::size_t i = 0; i < num_owned; ++i)
+      result[static_cast<std::size_t>(plan.owned_rows[i])] = y_local[i];
+  });
+
+  return result;
+}
+
+std::vector<double> run_distributed_spmm(runtime::Cluster& cluster, const SpmvProblem& problem,
+                                         const core::Vpt& vpt, std::span<const double> x0,
+                                         std::int32_t num_vectors, int iterations) {
+  require(problem.has_plans(), "run_distributed_spmm: problem built without numeric plans");
+  require(cluster.size() == problem.num_ranks(), "run_distributed_spmm: cluster size mismatch");
+  require(num_vectors >= 1, "run_distributed_spmm: need at least one vector");
+  require(x0.size() ==
+              static_cast<std::size_t>(problem.matrix().num_rows()) * num_vectors,
+          "run_distributed_spmm: X size mismatch");
+  require(iterations >= 1, "run_distributed_spmm: need at least one iteration");
+
+  const auto nv = static_cast<std::size_t>(num_vectors);
+  std::vector<double> result(x0.size(), 0.0);
+
+  cluster.run([&](runtime::Comm& comm) {
+    const auto me = static_cast<Rank>(comm.rank());
+    const RankPlan& plan = problem.plan(me);
+    StfwCommunicator communicator(comm, vpt);
+
+    std::vector<double> x_local(plan.x_slot_global.size() * nv, 0.0);
+    const std::size_t num_owned = plan.owned_rows.size();
+    for (std::size_t i = 0; i < num_owned; ++i)
+      std::copy_n(x0.data() + static_cast<std::size_t>(plan.owned_rows[i]) * nv, nv,
+                  x_local.data() + i * nv);
+    std::vector<double> y_local(num_owned * nv, 0.0);
+    std::vector<double> scratch;
+
+    for (int it = 0; it < iterations; ++it) {
+      std::vector<OutboundMessage> sends;
+      sends.reserve(plan.sends.size());
+      for (const RankPlan::SendTo& s : plan.sends) {
+        scratch.resize(s.x_slots.size() * nv);
+        for (std::size_t i = 0; i < s.x_slots.size(); ++i)
+          std::copy_n(x_local.data() + static_cast<std::size_t>(s.x_slots[i]) * nv, nv,
+                      scratch.data() + i * nv);
+        sends.push_back(OutboundMessage{s.dest, pack_doubles(scratch)});
+      }
+      const std::vector<InboundMessage> received = communicator.exchange(sends);
+
+      require(received.size() == plan.recvs.size(),
+              "run_distributed_spmm: unexpected number of inbound messages");
+      for (std::size_t i = 0; i < received.size(); ++i) {
+        const RankPlan::RecvFrom& r = plan.recvs[i];
+        require(received[i].source == r.source, "run_distributed_spmm: inbound source mismatch");
+        scratch.resize(r.ghost_slots.size() * nv);
+        unpack_doubles(received[i].bytes, scratch);
+        for (std::size_t j = 0; j < r.ghost_slots.size(); ++j)
+          std::copy_n(scratch.data() + j * nv, nv,
+                      x_local.data() + static_cast<std::size_t>(r.ghost_slots[j]) * nv);
+      }
+
+      plan.local.spmm(x_local, y_local, num_vectors);
+      if (it + 1 < iterations)
+        std::copy(y_local.begin(), y_local.end(), x_local.begin());
+    }
+
+    for (std::size_t i = 0; i < num_owned; ++i)
+      std::copy_n(y_local.data() + i * nv, nv,
+                  result.data() + static_cast<std::size_t>(plan.owned_rows[i]) * nv);
+  });
+
+  return result;
+}
+
+std::vector<double> run_serial(const sparse::Csr& a, std::span<const double> x0, int iterations) {
+  require(iterations >= 1, "run_serial: need at least one iteration");
+  std::vector<double> x(x0.begin(), x0.end());
+  std::vector<double> y(static_cast<std::size_t>(a.num_rows()), 0.0);
+  for (int it = 0; it < iterations; ++it) {
+    a.spmv(x, y);
+    std::swap(x, y);
+  }
+  return x;
+}
+
+std::vector<double> run_serial_spmm(const sparse::Csr& a, std::span<const double> x0,
+                                    std::int32_t num_vectors, int iterations) {
+  require(iterations >= 1, "run_serial_spmm: need at least one iteration");
+  std::vector<double> x(x0.begin(), x0.end());
+  std::vector<double> y(static_cast<std::size_t>(a.num_rows()) * num_vectors, 0.0);
+  for (int it = 0; it < iterations; ++it) {
+    a.spmm(x, y, num_vectors);
+    std::swap(x, y);
+  }
+  return x;
+}
+
+}  // namespace stfw::spmv

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/vpt.hpp"
+#include "runtime/comm.hpp"
+#include "spmv/distributed.hpp"
+
+/// \file runner.hpp
+/// Numeric distributed SpMV on the threaded runtime.
+///
+/// Every rank runs the paper's two-phase iteration: exchange the x entries
+/// over the given VPT with the store-and-forward communicator (Vpt::direct
+/// for the BL baseline), then multiply locally. Used to validate that the
+/// regularized communication computes bit-identical results to a serial
+/// SpMV, and by the examples.
+
+namespace stfw::spmv {
+
+/// Run `iterations` of x <- A x on `cluster` and return the final global
+/// vector (row i's value at index i). The problem must have numeric plans.
+std::vector<double> run_distributed(runtime::Cluster& cluster, const SpmvProblem& problem,
+                                    const core::Vpt& vpt, std::span<const double> x0,
+                                    int iterations = 1);
+
+/// SpMM variant: X0 is row-major with num_vectors columns; `iterations` of
+/// X <- A X. Each communicated x entry carries num_vectors doubles, so the
+/// exchange sits num_vectors times deeper in the bandwidth regime — the
+/// trade-off knob the large-scale analysis sweeps.
+std::vector<double> run_distributed_spmm(runtime::Cluster& cluster, const SpmvProblem& problem,
+                                         const core::Vpt& vpt, std::span<const double> x0,
+                                         std::int32_t num_vectors, int iterations = 1);
+
+/// Serial reference: `iterations` of x <- A x.
+std::vector<double> run_serial(const sparse::Csr& a, std::span<const double> x0,
+                               int iterations = 1);
+
+/// Serial SpMM reference: `iterations` of X <- A X (row-major X).
+std::vector<double> run_serial_spmm(const sparse::Csr& a, std::span<const double> x0,
+                                    std::int32_t num_vectors, int iterations = 1);
+
+}  // namespace stfw::spmv

@@ -1,0 +1,94 @@
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stfw::core::analysis {
+namespace {
+
+TEST(Analysis, MaxMessageCountBoundSpansLinearToLog) {
+  EXPECT_EQ(max_message_count_bound(Vpt::direct(256)), 255);
+  EXPECT_EQ(max_message_count_bound(Vpt::balanced(256, 2)), 30);   // 2*(16-1)
+  EXPECT_EQ(max_message_count_bound(Vpt::hypercube(256)), 8);      // lg2 256
+}
+
+TEST(Analysis, PaperSection4VolumeRatios) {
+  // Section 4 quotes exact-to-direct volume ratios at K = 256:
+  // T_2 -> 1.88, T_4 -> 3.01, T_8 -> 4.02, with loose bounds 2, 4, 8.
+  const Vpt t2 = Vpt::balanced(256, 2);
+  const Vpt t4 = Vpt::balanced(256, 4);
+  const Vpt t8 = Vpt::balanced(256, 8);
+  EXPECT_NEAR(alltoall_volume_ratio(t2), 1.88, 0.005);
+  EXPECT_NEAR(alltoall_volume_ratio(t4), 3.01, 0.005);
+  EXPECT_NEAR(alltoall_volume_ratio(t8), 4.02, 0.005);
+  EXPECT_EQ(alltoall_volume_ratio_loose(t2), 2);
+  EXPECT_EQ(alltoall_volume_ratio_loose(t4), 4);
+  EXPECT_EQ(alltoall_volume_ratio_loose(t8), 8);
+}
+
+TEST(Analysis, DirectVolumeIsKMinusOne) {
+  const Vpt t = Vpt::direct(64);
+  EXPECT_EQ(alltoall_volume_units(t), 63);
+  EXPECT_DOUBLE_EQ(alltoall_volume_ratio(t), 1.0);
+}
+
+TEST(Analysis, ForwardHopsMatchPaperClosedFormForEqualDims) {
+  // For k1 = ... = kn = k: sum_l (k-1)^l * C(n,l) * l.
+  auto closed_form = [](int k, int n) {
+    auto binom = [](int a, int b) {
+      double r = 1.0;
+      for (int i = 1; i <= b; ++i) r = r * (a - b + i) / i;
+      return r;
+    };
+    double total = 0.0;
+    for (int l = 1; l <= n; ++l) total += std::pow(k - 1, l) * binom(n, l) * l;
+    return static_cast<std::int64_t>(std::llround(total));
+  };
+  for (const auto& [k, n] : std::vector<std::pair<int, int>>{{2, 4}, {4, 3}, {8, 2}, {2, 10}}) {
+    std::vector<int> dims(static_cast<std::size_t>(n), k);
+    EXPECT_EQ(alltoall_forward_hops(Vpt(dims)), closed_form(k, n)) << "k=" << k << " n=" << n;
+  }
+}
+
+TEST(Analysis, ForwardHopsEqualSumOfHammingDistances) {
+  // Direct verification of the derivation for unequal dimension sizes.
+  for (const std::vector<int>& dims :
+       {std::vector<int>{4, 2, 8}, std::vector<int>{2, 2, 4}, std::vector<int>{16, 4}}) {
+    const Vpt t(dims);
+    std::int64_t expected = 0;
+    for (Rank r = 1; r < t.size(); ++r) expected += t.hamming(0, r);
+    EXPECT_EQ(alltoall_forward_hops(t), expected) << t.to_string();
+  }
+}
+
+TEST(Analysis, VolumeRatioIsMonotoneInDimensionAtFixedK) {
+  double prev = 0.0;
+  for (int n = 1; n <= 8; ++n) {
+    const double r = alltoall_volume_ratio(Vpt::balanced(256, n));
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+  // And never exceeds the loose bound n.
+  for (int n = 1; n <= 8; ++n)
+    EXPECT_LE(alltoall_volume_ratio(Vpt::balanced(256, n)), static_cast<double>(n));
+}
+
+TEST(Analysis, ResidentSubmessagesAreAlwaysKMinusOne) {
+  // Section 4: after any stage in the all-to-all case, each process holds
+  // exactly K - 1 submessages, for any dimension mix.
+  for (const std::vector<int>& dims :
+       {std::vector<int>{4, 4, 4}, std::vector<int>{2, 8, 4}, std::vector<int>{16, 16}}) {
+    const Vpt t(dims);
+    for (int d = 0; d < t.dim(); ++d)
+      EXPECT_EQ(resident_submessages_after_stage(t, d), t.size() - 1) << t.to_string();
+  }
+}
+
+TEST(Analysis, BufferBoundUnits) {
+  EXPECT_EQ(buffer_bound_units(Vpt::balanced(64, 3)), 63);
+  EXPECT_EQ(buffer_bound_units(Vpt::direct(512)), 511);
+}
+
+}  // namespace
+}  // namespace stfw::core::analysis

@@ -1,0 +1,111 @@
+#include "runtime/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace stfw::runtime {
+namespace {
+
+std::vector<std::byte> bytes_of_string(const char* s) {
+  std::vector<std::byte> b(std::strlen(s));
+  std::memcpy(b.data(), s, b.size());
+  return b;
+}
+
+class CollectivesParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectivesParam, BroadcastReachesEveryRankFromEveryRoot) {
+  const int size = GetParam();
+  Cluster cluster(size);
+  for (int root = 0; root < size; root += std::max(1, size / 3)) {
+    cluster.run([root](Comm& comm) {
+      std::vector<std::byte> payload;
+      if (comm.rank() == root) payload = bytes_of_string("broadcast payload");
+      const auto result = broadcast(comm, root, std::move(payload));
+      ASSERT_EQ(result.size(), std::strlen("broadcast payload"));
+      EXPECT_EQ(std::memcmp(result.data(), "broadcast payload", result.size()), 0);
+    });
+  }
+}
+
+TEST_P(CollectivesParam, ReduceSumsContributions) {
+  const int size = GetParam();
+  Cluster cluster(size);
+  cluster.run([size](Comm& comm) {
+    const std::vector<double> mine{static_cast<double>(comm.rank()), 1.0};
+    const auto result = reduce_sum(comm, 0, mine);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(result.size(), 2u);
+      EXPECT_DOUBLE_EQ(result[0], size * (size - 1) / 2.0);
+      EXPECT_DOUBLE_EQ(result[1], static_cast<double>(size));
+    } else {
+      EXPECT_TRUE(result.empty());
+    }
+  });
+}
+
+TEST_P(CollectivesParam, AllreduceGivesEveryoneTheSum) {
+  const int size = GetParam();
+  Cluster cluster(size);
+  cluster.run([size](Comm& comm) {
+    const std::vector<double> mine{1.0, static_cast<double>(comm.rank())};
+    const auto result = allreduce_sum(comm, mine);
+    ASSERT_EQ(result.size(), 2u);
+    EXPECT_DOUBLE_EQ(result[0], static_cast<double>(size));
+    EXPECT_DOUBLE_EQ(result[1], size * (size - 1) / 2.0);
+  });
+}
+
+TEST_P(CollectivesParam, AlltoallvPersonalizedExchange) {
+  const int size = GetParam();
+  Cluster cluster(size);
+  cluster.run([size](Comm& comm) {
+    // Rank i sends (i * size + j) as a one-int payload to rank j; j == i+1
+    // (mod size) gets nothing, exercising the empty-buffer path.
+    std::vector<std::vector<std::byte>> send(static_cast<std::size_t>(size));
+    for (int j = 0; j < size; ++j) {
+      if (j == (comm.rank() + 1) % size) continue;
+      const int v = comm.rank() * size + j;
+      send[static_cast<std::size_t>(j)].resize(sizeof(int));
+      std::memcpy(send[static_cast<std::size_t>(j)].data(), &v, sizeof(int));
+    }
+    const auto recv = alltoallv(comm, std::move(send));
+    ASSERT_EQ(recv.size(), static_cast<std::size_t>(size));
+    for (int i = 0; i < size; ++i) {
+      if (comm.rank() == (i + 1) % size) {
+        EXPECT_TRUE(recv[static_cast<std::size_t>(i)].empty());
+        continue;
+      }
+      int v = -1;
+      ASSERT_EQ(recv[static_cast<std::size_t>(i)].size(), sizeof(int));
+      std::memcpy(&v, recv[static_cast<std::size_t>(i)].data(), sizeof(int));
+      EXPECT_EQ(v, i * size + comm.rank());
+    }
+  });
+}
+
+TEST_P(CollectivesParam, ExscanComputesExclusivePrefix) {
+  const int size = GetParam();
+  Cluster cluster(size);
+  cluster.run([](Comm& comm) {
+    const std::int64_t mine = comm.rank() + 1;
+    const std::int64_t prefix = exscan_sum(comm, mine);
+    // Exclusive prefix of 1, 2, 3, ... is r * (r + 1) / 2.
+    EXPECT_EQ(prefix, static_cast<std::int64_t>(comm.rank()) * (comm.rank() + 1) / 2);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectivesParam,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16, 33));
+
+TEST(Collectives, BroadcastValidatesRoot) {
+  Cluster cluster(2);
+  EXPECT_THROW(cluster.run([](Comm& comm) { broadcast(comm, 5, {}); }), core::Error);
+}
+
+}  // namespace
+}  // namespace stfw::runtime

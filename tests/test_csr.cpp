@@ -1,0 +1,148 @@
+#include "sparse/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/error.hpp"
+
+namespace stfw::sparse {
+namespace {
+
+Csr small_matrix() {
+  // [ 1 0 2 ]
+  // [ 0 3 0 ]
+  // [ 4 0 5 ]
+  return Csr::from_triplets(3, 3,
+                            {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0}, {2, 0, 4.0}, {2, 2, 5.0}});
+}
+
+TEST(Csr, FromTripletsSortsAndStores) {
+  const Csr a = small_matrix();
+  EXPECT_EQ(a.num_rows(), 3);
+  EXPECT_EQ(a.num_cols(), 3);
+  EXPECT_EQ(a.num_nonzeros(), 5);
+  EXPECT_EQ(a.row_degree(0), 2);
+  EXPECT_EQ(a.row_degree(1), 1);
+  EXPECT_EQ(a.row_cols(0)[0], 0);
+  EXPECT_EQ(a.row_cols(0)[1], 2);
+  EXPECT_DOUBLE_EQ(a.row_values(2)[1], 5.0);
+}
+
+TEST(Csr, FromTripletsMergesDuplicates) {
+  const Csr a = Csr::from_triplets(2, 2, {{0, 0, 1.0}, {0, 0, 2.5}, {1, 1, 1.0}});
+  EXPECT_EQ(a.num_nonzeros(), 2);
+  EXPECT_DOUBLE_EQ(a.row_values(0)[0], 3.5);
+}
+
+TEST(Csr, SpmvMatchesHandComputation) {
+  const Csr a = small_matrix();
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y(3);
+  a.spmv(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 1.0 * 1 + 2.0 * 3);
+  EXPECT_DOUBLE_EQ(y[1], 3.0 * 2);
+  EXPECT_DOUBLE_EQ(y[2], 4.0 * 1 + 5.0 * 3);
+}
+
+TEST(Csr, SpmmMatchesColumnwiseSpmv) {
+  const Csr a = small_matrix();
+  constexpr std::int32_t kVectors = 3;
+  // Row-major X: x[i * kVectors + v].
+  std::vector<double> x(9), y(9), y_ref(3);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i) * 0.5 - 2.0;
+  a.spmm(x, y, kVectors);
+  for (std::int32_t v = 0; v < kVectors; ++v) {
+    std::vector<double> xv(3);
+    for (std::int32_t i = 0; i < 3; ++i)
+      xv[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i * kVectors + v)];
+    a.spmv(xv, y_ref);
+    for (std::int32_t i = 0; i < 3; ++i)
+      EXPECT_DOUBLE_EQ(y[static_cast<std::size_t>(i * kVectors + v)],
+                       y_ref[static_cast<std::size_t>(i)])
+          << "vector " << v << " row " << i;
+  }
+}
+
+TEST(Csr, SpmmValidatesSizes) {
+  const Csr a = small_matrix();
+  std::vector<double> x(6), y(9);
+  EXPECT_THROW(a.spmm(x, y, 3), core::Error);
+  EXPECT_THROW(a.spmm(x, y, 0), core::Error);
+}
+
+TEST(Csr, SpmvValidatesSizes) {
+  const Csr a = small_matrix();
+  std::vector<double> x(2), y(3);
+  EXPECT_THROW(a.spmv(x, y), core::Error);
+}
+
+TEST(Csr, TransposeRoundTrip) {
+  std::mt19937_64 rng(3);
+  std::vector<Triplet> triplets;
+  std::uniform_int_distribution<std::int32_t> rd(0, 9), cd(0, 14);
+  std::uniform_real_distribution<double> vd(-1, 1);
+  for (int i = 0; i < 60; ++i) triplets.push_back({rd(rng), cd(rng), vd(rng)});
+  const Csr a = Csr::from_triplets(10, 15, triplets);
+  const Csr t = a.transpose();
+  EXPECT_EQ(t.num_rows(), 15);
+  EXPECT_EQ(t.num_cols(), 10);
+  EXPECT_EQ(t.num_nonzeros(), a.num_nonzeros());
+  const Csr tt = t.transpose();
+  EXPECT_EQ(tt.row_ptr().size(), a.row_ptr().size());
+  EXPECT_TRUE(std::equal(tt.col_idx().begin(), tt.col_idx().end(), a.col_idx().begin()));
+  EXPECT_TRUE(std::equal(tt.values().begin(), tt.values().end(), a.values().begin()));
+}
+
+TEST(Csr, SymmetrizedHasSymmetricPattern) {
+  const Csr a = Csr::from_triplets(3, 3, {{0, 1, 2.0}, {2, 0, 4.0}, {1, 1, 1.0}});
+  EXPECT_FALSE(a.has_symmetric_pattern());
+  const Csr s = a.symmetrized();
+  EXPECT_TRUE(s.has_symmetric_pattern());
+  // a_01 becomes (a_01 + a_10)/2 = 1.0 on both sides.
+  EXPECT_DOUBLE_EQ(s.row_values(0)[std::distance(
+                       s.row_cols(0).begin(),
+                       std::find(s.row_cols(0).begin(), s.row_cols(0).end(), 1))],
+                   1.0);
+}
+
+TEST(Csr, FullDiagonalDetection) {
+  EXPECT_TRUE(small_matrix().has_full_diagonal());  // 1, 3, 5 on the diagonal
+  const Csr missing = Csr::from_triplets(2, 2, {{0, 0, 1.0}, {0, 1, 1.0}});
+  EXPECT_FALSE(missing.has_full_diagonal());
+}
+
+TEST(Csr, ValidatesConstruction) {
+  EXPECT_THROW(Csr(2, 2, {0, 1}, {0}, {1.0}), core::Error);        // row_ptr too short
+  EXPECT_THROW(Csr(1, 1, {0, 1}, {5}, {1.0}), core::Error);        // column out of range
+  EXPECT_THROW(Csr(1, 1, {0, 2}, {0}, {1.0}), core::Error);        // row_ptr end mismatch
+  EXPECT_THROW(Csr::from_triplets(1, 1, {{0, 3, 1.0}}), core::Error);
+}
+
+TEST(Csr, EmptyMatrix) {
+  const Csr a = Csr::from_triplets(0, 0, {});
+  EXPECT_EQ(a.num_nonzeros(), 0);
+  const Csr b = Csr::from_triplets(3, 3, {});
+  std::vector<double> x(3, 1.0), y(3, -1.0);
+  b.spmv(x, y);
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(DegreeStatsTest, MatchesHandComputation) {
+  // Degrees: 2, 1, 2 -> avg 5/3, max 2, var = 2/9, cv = sqrt(2/9)/(5/3).
+  const DegreeStats s = degree_stats(small_matrix());
+  EXPECT_EQ(s.max_degree, 2);
+  EXPECT_NEAR(s.avg_degree, 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.cv, std::sqrt(2.0 / 9.0) / (5.0 / 3.0), 1e-12);
+  EXPECT_NEAR(s.maxdr, 2.0 / 3.0, 1e-12);
+}
+
+TEST(DegreeStatsTest, UniformDegreesHaveZeroCv) {
+  const Csr a = Csr::from_triplets(4, 4, {{0, 0, 1}, {1, 1, 1}, {2, 2, 1}, {3, 3, 1}});
+  const DegreeStats s = degree_stats(a);
+  EXPECT_DOUBLE_EQ(s.cv, 0.0);
+  EXPECT_EQ(s.max_degree, 1);
+}
+
+}  // namespace
+}  // namespace stfw::sparse

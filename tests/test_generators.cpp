@@ -1,0 +1,177 @@
+#include "sparse/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace stfw::sparse {
+namespace {
+
+TEST(Generators, RandomUniformHasExactNnz) {
+  const Csr a = random_uniform(50, 60, 500, 7);
+  EXPECT_EQ(a.num_rows(), 50);
+  EXPECT_EQ(a.num_cols(), 60);
+  EXPECT_EQ(a.num_nonzeros(), 500);
+}
+
+TEST(Generators, RandomUniformIsDeterministic) {
+  const Csr a = random_uniform(30, 30, 200, 11);
+  const Csr b = random_uniform(30, 30, 200, 11);
+  EXPECT_TRUE(std::equal(a.col_idx().begin(), a.col_idx().end(), b.col_idx().begin()));
+  const Csr c = random_uniform(30, 30, 200, 12);
+  EXPECT_FALSE(std::equal(a.col_idx().begin(), a.col_idx().end(), c.col_idx().begin()) &&
+               std::equal(a.values().begin(), a.values().end(), c.values().begin()));
+}
+
+TEST(Generators, Stencil2dShape) {
+  const Csr a = stencil_2d(10, 8);
+  EXPECT_EQ(a.num_rows(), 80);
+  EXPECT_TRUE(a.has_symmetric_pattern());
+  EXPECT_TRUE(a.has_full_diagonal());
+  const DegreeStats s = degree_stats(a);
+  EXPECT_EQ(s.max_degree, 5);  // interior point: self + 4 neighbors
+  // Regular pattern: tiny cv (the anti-case of the paper's irregular set).
+  EXPECT_LT(s.cv, 0.2);
+}
+
+TEST(Generators, Stencil3dShape) {
+  const Csr a = stencil_3d(5, 5, 5);
+  EXPECT_EQ(a.num_rows(), 125);
+  EXPECT_TRUE(a.has_symmetric_pattern());
+  EXPECT_EQ(degree_stats(a).max_degree, 7);
+}
+
+TEST(Generators, LognormalDegreesHitTargets) {
+  const auto w = lognormal_degrees(20000, 30.0, 1.5, 4000, 3);
+  const double mean = std::accumulate(w.begin(), w.end(), 0.0) / static_cast<double>(w.size());
+  EXPECT_NEAR(mean, 30.0, 1.0);
+  const double mx = *std::max_element(w.begin(), w.end());
+  EXPECT_DOUBLE_EQ(mx, 4000.0);  // forced dense row
+  for (double x : w) {
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 4000.0);
+  }
+}
+
+TEST(Generators, ChungLuMatchesExpectedDegrees) {
+  // Uniform weights: every vertex should get close to the target degree.
+  std::vector<double> w(5000, 20.0);
+  const Csr a = chung_lu_symmetric(w, 17);
+  EXPECT_TRUE(a.has_symmetric_pattern());
+  EXPECT_TRUE(a.has_full_diagonal());
+  const DegreeStats s = degree_stats(a);
+  // Diagonal adds one to each degree.
+  EXPECT_NEAR(s.avg_degree, 21.0, 1.5);
+  EXPECT_LT(s.cv, 0.35);
+}
+
+TEST(Generators, ChungLuRespectsSkewedWeights) {
+  // One hub with weight ~ n/2 plus a light background.
+  std::vector<double> w(4000, 4.0);
+  w[0] = 2000.0;
+  const Csr a = chung_lu_symmetric(w, 23);
+  const DegreeStats s = degree_stats(a);
+  // The hub emerges as a dense row.
+  EXPECT_GT(s.max_degree, 1200);
+  EXPECT_GT(s.cv, 2.0);
+  EXPECT_TRUE(a.has_symmetric_pattern());
+}
+
+TEST(Generators, PaperTableHasAll22Matrices) {
+  const auto all = paper_matrices();
+  EXPECT_EQ(all.size(), 22u);
+  EXPECT_EQ(paper_matrices_small().size(), 15u);
+  const auto large = paper_matrices_large();
+  EXPECT_EQ(large.size(), 10u);
+  for (const auto& m : large) EXPECT_GT(m.nnz, 10'000'000);
+  EXPECT_EQ(find_paper_matrix("gupta2").max_degree, 8413);
+  EXPECT_THROW(find_paper_matrix("nope"), core::Error);
+}
+
+TEST(Generators, ScaledSpecPreservesShape) {
+  // Scaling preserves the two *shape* statistics the evaluation depends on:
+  // maxdr (fraction of ranks a dense row reaches) and the max/avg degree
+  // ratio (irregularity). Rows and avg degree both shrink by `scale`.
+  const MatrixSpec& orig = find_paper_matrix("pkustk04");
+  const MatrixSpec s = scaled_spec(orig, 0.25, 1000);
+  EXPECT_LT(s.rows, orig.rows);
+  EXPECT_GE(s.rows, 1000);
+  const double orig_avg = static_cast<double>(orig.nnz) / orig.rows;
+  const double s_avg = static_cast<double>(s.nnz) / s.rows;
+  EXPECT_NEAR(s_avg, orig_avg * 0.25, orig_avg * 0.05);
+  EXPECT_NEAR(s.maxdr, orig.maxdr, 0.01);
+  const double orig_ratio = static_cast<double>(orig.max_degree) / orig_avg;
+  const double s_ratio = static_cast<double>(s.max_degree) / s_avg;
+  EXPECT_NEAR(s_ratio, orig_ratio, 0.4 * orig_ratio);
+  EXPECT_DOUBLE_EQ(s.cv, orig.cv);
+  // min_rows floor wins over tiny scales; avg degree is floored at 6.
+  const MatrixSpec t = scaled_spec(orig, 0.0001, 2048);
+  EXPECT_EQ(t.rows, 2048);
+  EXPECT_GE(static_cast<double>(t.nnz) / t.rows, 6.0);
+  // scale = 1 keeps everything (modulo integer rounding of nnz).
+  const MatrixSpec u = scaled_spec(orig, 1.0, 1);
+  EXPECT_EQ(u.rows, orig.rows);
+  EXPECT_NEAR(static_cast<double>(u.nnz), static_cast<double>(orig.nnz),
+              static_cast<double>(orig.rows));
+}
+
+struct GenCase {
+  const char* name;
+  double scale;
+};
+
+class PaperMatrixFidelity : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(PaperMatrixFidelity, StatisticsTrackTable1) {
+  const auto& [name, scale] = GetParam();
+  const MatrixSpec spec = scaled_spec(find_paper_matrix(name), scale, 512);
+  const Csr a = generate(spec, 99);
+  EXPECT_EQ(a.num_rows(), spec.rows);
+  EXPECT_TRUE(a.has_symmetric_pattern());
+  EXPECT_TRUE(a.has_full_diagonal());
+  const DegreeStats s = degree_stats(a);
+  // nnz within 2x (Chung-Lu caps very heavy tails), max degree within the
+  // target up to Poisson fluctuation (realized degrees scatter ~sqrt(w)
+  // around their expectation). These statistics drive the communication
+  // pattern.
+  const double target_avg = static_cast<double>(spec.nnz) / spec.rows;
+  EXPECT_GT(s.avg_degree, 0.45 * target_avg) << name;
+  EXPECT_LT(s.avg_degree, 1.6 * target_avg) << name;
+  EXPECT_GT(s.max_degree, spec.max_degree / 2) << name;
+  EXPECT_LE(s.max_degree,
+            spec.max_degree + 5 * static_cast<std::int64_t>(
+                                      std::sqrt(static_cast<double>(spec.max_degree))) + 8)
+      << name;
+  if (spec.cv > 1.0) EXPECT_GT(s.cv, 0.4) << name;  // irregularity survives
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PaperMatrixFidelity,
+                         ::testing::Values(GenCase{"cbuckle", 0.5},
+                                           GenCase{"sparsine", 0.25},
+                                           GenCase{"coAuthorsDBLP", 0.05},
+                                           GenCase{"GaAsH6", 0.1},
+                                           GenCase{"gupta2", 0.1},
+                                           GenCase{"pattern1", 0.2},
+                                           GenCase{"mip1", 0.05},
+                                           GenCase{"TSOPF_FS_b300_c2", 0.05}));
+
+TEST(Generators, GenerateIsDeterministic) {
+  const MatrixSpec spec = scaled_spec(find_paper_matrix("sparsine"), 0.1, 256);
+  const Csr a = generate(spec, 5);
+  const Csr b = generate(spec, 5);
+  EXPECT_EQ(a.num_nonzeros(), b.num_nonzeros());
+  EXPECT_TRUE(std::equal(a.col_idx().begin(), a.col_idx().end(), b.col_idx().begin()));
+}
+
+TEST(Generators, ValidatesArguments) {
+  EXPECT_THROW(random_uniform(2, 2, 10, 1), core::Error);
+  EXPECT_THROW(lognormal_degrees(10, 5.0, 0.5, 100, 1), core::Error);  // max > n
+  EXPECT_THROW(scaled_spec(find_paper_matrix("cbuckle"), 0.0, 1), core::Error);
+  EXPECT_THROW(scaled_spec(find_paper_matrix("cbuckle"), 1.5, 1), core::Error);
+}
+
+}  // namespace
+}  // namespace stfw::sparse

@@ -1,0 +1,96 @@
+#include "sim/leader_aggregation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/error.hpp"
+#include "core/vpt.hpp"
+#include "sim/bsp_simulator.hpp"
+
+namespace stfw::sim {
+namespace {
+
+using core::Rank;
+
+TEST(LeaderAggregation, IntraNodeTrafficStaysDirect) {
+  // 32 ranks on 2 BG/Q nodes (16 ranks/node): purely local traffic makes no
+  // leader or inter-node messages at all.
+  const Rank K = 32;
+  const auto machine = netsim::Machine::blue_gene_q(K);
+  CommPattern p(K);
+  for (Rank r = 0; r < 16; ++r) p.add_send(r, (r + 1) % 16, 64);
+  p.finalize();
+  const auto result = simulate_leader_aggregation(p, machine);
+  EXPECT_EQ(result.metrics.max_send_count(), 1);
+  EXPECT_DOUBLE_EQ(result.stage_times_us[1], 0.0);
+  EXPECT_DOUBLE_EQ(result.stage_times_us[2], 0.0);
+  EXPECT_EQ(result.metrics.total_volume_words(), 16 * 8);
+}
+
+TEST(LeaderAggregation, OffNodeTrafficRoutesThroughLeaders) {
+  // One non-leader rank sends to one non-leader rank on another node:
+  // exactly three messages — to leader, leader to leader, leader to dest.
+  const Rank K = 32;
+  const auto machine = netsim::Machine::blue_gene_q(K);
+  CommPattern p(K);
+  p.add_send(3, 21, 128);  // node 0 rank -> node 1 rank (leaders are 0 and 16)
+  p.finalize();
+  const auto result = simulate_leader_aggregation(p, machine);
+  EXPECT_EQ(result.metrics.send_counts()[3], 1);   // -> leader 0
+  EXPECT_EQ(result.metrics.send_counts()[0], 1);   // -> leader 16
+  EXPECT_EQ(result.metrics.send_counts()[16], 1);  // -> rank 21
+  EXPECT_EQ(result.metrics.recv_counts()[21], 1);
+  // Volume: the 128-byte payload moved three times.
+  EXPECT_EQ(result.metrics.total_volume_words(), 3 * 128 / 8);
+  EXPECT_GT(result.stage_times_us[0], 0.0);
+  EXPECT_GT(result.stage_times_us[1], 0.0);
+  EXPECT_GT(result.stage_times_us[2], 0.0);
+}
+
+TEST(LeaderAggregation, BoundsNonLeaderMessageCounts) {
+  // Hub-and-spoke: rank 5 sends to everyone. Under leader aggregation its
+  // own count collapses to (local dests + 1); its leader pays instead.
+  const Rank K = 128;
+  const auto machine = netsim::Machine::blue_gene_q(K);  // 8 nodes
+  CommPattern p(K);
+  for (Rank d = 0; d < K; ++d)
+    if (d != 5) p.add_send(5, d, 16);
+  p.finalize();
+  const auto result = simulate_leader_aggregation(p, machine);
+  EXPECT_EQ(result.metrics.send_counts()[5], 15 + 1);  // 15 local + 1 to leader
+  // Leader 0 exchanges with the 7 other node leaders.
+  EXPECT_EQ(result.metrics.send_counts()[0], 7);
+  // Destination leaders scatter to at most 15 non-leader locals each.
+  EXPECT_LE(result.metrics.max_send_count(), 16);
+}
+
+TEST(LeaderAggregation, LeaderSerializationLosesToStfwOnBalancedIrregularTraffic) {
+  // When *every* rank is irregular (not just one hub), the leader funnel
+  // becomes the bottleneck while the VPT spreads routing over all ranks:
+  // STFW's slowest process does strictly less than the busiest leader.
+  const Rank K = 256;
+  const auto machine = netsim::Machine::cray_xk7(K);
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<Rank> any(0, K - 1);
+  CommPattern p(K);
+  for (Rank r = 0; r < K; ++r)
+    for (int j = 0; j < 24; ++j) {
+      const Rank d = any(rng);
+      if (d != r) p.add_send(r, d, 32);
+    }
+  p.finalize();
+  const auto leader = simulate_leader_aggregation(p, machine);
+  SimOptions opts;
+  opts.machine = &machine;
+  const auto stfw = simulate_exchange(core::Vpt::balanced(K, 4), p, opts);
+  EXPECT_LT(stfw.comm_time_us, leader.comm_time_us);
+}
+
+TEST(LeaderAggregation, Validates) {
+  CommPattern p(4);
+  EXPECT_THROW(simulate_leader_aggregation(p, netsim::Machine::blue_gene_q(4)), core::Error);
+}
+
+}  // namespace
+}  // namespace stfw::sim

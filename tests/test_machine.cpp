@@ -1,0 +1,71 @@
+#include "netsim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace stfw::netsim {
+namespace {
+
+TEST(Machine, PresetsCoverTheirRankCounts) {
+  for (core::Rank k : {core::Rank{64}, core::Rank{512}, core::Rank{4096}, core::Rank{16384}}) {
+    for (const Machine& m :
+         {Machine::blue_gene_q(k), Machine::cray_xk7(k), Machine::cray_xc40(k)}) {
+      EXPECT_GE(m.topology().num_nodes() * m.ranks_per_node(), k) << m.name();
+      EXPECT_LT(m.node_of(k - 1), m.topology().num_nodes()) << m.name();
+      EXPECT_EQ(m.node_of(0), 0);
+    }
+  }
+}
+
+TEST(Machine, SendCostDecomposition) {
+  const Machine m = Machine::blue_gene_q(64);
+  const double same_node = m.send_cost_us(0, 1, 0);  // ranks 0,1 share node 0
+  EXPECT_DOUBLE_EQ(same_node, m.alpha_us());
+  const double with_bytes = m.send_cost_us(0, 1, 1000);
+  EXPECT_DOUBLE_EQ(with_bytes, m.alpha_us() + 1000 * m.beta_us_per_byte());
+  EXPECT_DOUBLE_EQ(m.recv_cost_us(1000), m.recv_alpha_us() + 1000 * m.beta_us_per_byte());
+}
+
+TEST(Machine, CostGrowsWithDistanceAndSize) {
+  const Machine m = Machine::cray_xk7(4096);
+  // Rank 4000 lives on a far node; hop term must make it dearer than a
+  // same-node target.
+  EXPECT_GT(m.send_cost_us(0, 4000, 64), m.send_cost_us(0, 1, 64));
+  EXPECT_GT(m.send_cost_us(0, 4000, 4096), m.send_cost_us(0, 4000, 64));
+}
+
+TEST(Machine, Xc40IsMostLatencyBound) {
+  // Section 6.4 attributes the XC40's larger STFW wins to its larger
+  // startup-to-per-byte ratio; the presets must preserve that ordering.
+  const auto bgq = Machine::blue_gene_q(512);
+  const auto xk7 = Machine::cray_xk7(512);
+  const auto xc40 = Machine::cray_xc40(512);
+  EXPECT_GT(xc40.latency_equivalent_bytes(), bgq.latency_equivalent_bytes());
+  EXPECT_GT(xc40.latency_equivalent_bytes(), xk7.latency_equivalent_bytes());
+}
+
+TEST(Machine, RanksPerNodeMatchTheSystems) {
+  EXPECT_EQ(Machine::blue_gene_q(64).ranks_per_node(), 16);
+  EXPECT_EQ(Machine::cray_xk7(64).ranks_per_node(), 16);
+  EXPECT_EQ(Machine::cray_xc40(64).ranks_per_node(), 32);
+}
+
+TEST(Machine, PresetsHaveInjectionRates) {
+  EXPECT_GT(Machine::blue_gene_q(64).injection_bytes_per_us(), 0.0);
+  EXPECT_GT(Machine::cray_xk7(64).injection_bytes_per_us(), 0.0);
+  EXPECT_GT(Machine::cray_xc40(64).injection_bytes_per_us(), 0.0);
+  // Gemini's shared NIC is the narrowest of the three.
+  EXPECT_LT(Machine::cray_xk7(64).injection_bytes_per_us(),
+            Machine::blue_gene_q(64).injection_bytes_per_us());
+}
+
+TEST(Machine, ValidatesParameters) {
+  auto topo = std::make_shared<TorusTopology>(std::vector<int>{4});
+  EXPECT_THROW(Machine("bad", nullptr, 1, 1, 1, 1, 1), core::Error);
+  EXPECT_THROW(Machine("bad", topo, 0, 1, 1, 1, 1), core::Error);
+  EXPECT_THROW(Machine("bad", topo, 1, -1, 1, 1, 1), core::Error);
+}
+
+}  // namespace
+}  // namespace stfw::netsim

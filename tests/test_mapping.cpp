@@ -1,0 +1,146 @@
+#include "mapping/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/error.hpp"
+#include "sim/bsp_simulator.hpp"
+
+namespace stfw::mapping {
+namespace {
+
+using core::Rank;
+using core::Vpt;
+
+sim::CommPattern clustered_pattern(Rank K, Rank cluster, std::uint32_t heavy,
+                                   std::uint32_t light, std::uint64_t seed) {
+  // Heavy traffic inside clusters of `cluster` *scattered* ranks, light
+  // noise elsewhere. A good VPT mapping co-locates each cluster.
+  std::mt19937_64 rng(seed);
+  std::vector<Rank> shuffled(static_cast<std::size_t>(K));
+  std::iota(shuffled.begin(), shuffled.end(), 0);
+  std::shuffle(shuffled.begin(), shuffled.end(), rng);
+  sim::CommPattern p(K);
+  for (Rank base = 0; base < K; base += cluster)
+    for (Rank i = 0; i < cluster; ++i)
+      for (Rank j = 0; j < cluster; ++j)
+        if (i != j)
+          p.add_send(shuffled[static_cast<std::size_t>(base + i)],
+                     shuffled[static_cast<std::size_t>(base + j)], heavy);
+  std::uniform_int_distribution<Rank> any(0, K - 1);
+  for (Rank r = 0; r < K; ++r) {
+    const Rank d = any(rng);
+    if (d != r) p.add_send(r, d, light);
+  }
+  p.finalize();
+  return p;
+}
+
+TEST(PermutationTest, IdentityAndInverse) {
+  const auto id = Permutation::identity(8);
+  EXPECT_TRUE(id.is_identity());
+  EXPECT_EQ(id(5), 5);
+  const Permutation p({2, 0, 1});
+  EXPECT_FALSE(p.is_identity());
+  const Permutation inv = p.inverse();
+  for (Rank r = 0; r < 3; ++r) EXPECT_EQ(inv(p(r)), r);
+}
+
+TEST(PermutationTest, RejectsNonBijections) {
+  EXPECT_THROW(Permutation({0, 0, 1}), core::Error);
+  EXPECT_THROW(Permutation({0, 3}), core::Error);
+  EXPECT_THROW(Permutation({-1, 0}), core::Error);
+}
+
+TEST(Mapping, PermutePatternRelabelsEndpoints) {
+  sim::CommPattern p(4);
+  p.add_send(0, 1, 8);
+  p.add_send(2, 3, 16);
+  p.finalize();
+  const Permutation perm({3, 2, 1, 0});  // reverse
+  const auto q = permute_pattern(p, perm);
+  ASSERT_EQ(q.sends(3).size(), 1u);
+  EXPECT_EQ(q.sends(3)[0].dest, 2);
+  ASSERT_EQ(q.sends(1).size(), 1u);
+  EXPECT_EQ(q.sends(1)[0].dest, 0);
+  EXPECT_EQ(q.total_payload_bytes(), p.total_payload_bytes());
+}
+
+TEST(Mapping, VptVolumeCostMatchesSimulatedVolume) {
+  // The cost function is exactly the payload-bytes-times-hops volume the
+  // simulator charges.
+  const Vpt vpt({4, 4});
+  std::mt19937_64 rng(3);
+  sim::CommPattern p(16);
+  std::uniform_int_distribution<Rank> any(0, 15);
+  for (int i = 0; i < 60; ++i) {
+    const Rank a = any(rng), b = any(rng);
+    if (a != b) p.add_send(a, b, 24);
+  }
+  p.finalize();
+  const auto id = Permutation::identity(16);
+  const auto result = sim::simulate_exchange(vpt, p);
+  EXPECT_EQ(vpt_volume_cost(p, vpt, id),
+            static_cast<std::uint64_t>(result.metrics.total_volume_words()) * 8);
+}
+
+TEST(Mapping, OptimizerReducesVptVolume) {
+  const Rank K = 64;
+  const Vpt vpt = Vpt::balanced(K, 3);
+  const auto pattern = clustered_pattern(K, 4, 64, 8, 7);
+  const auto id = Permutation::identity(K);
+  const auto opt = optimize_vpt_mapping(pattern, vpt);
+  const auto cost_id = vpt_volume_cost(pattern, vpt, id);
+  const auto cost_opt = vpt_volume_cost(pattern, vpt, opt);
+  EXPECT_LT(cost_opt, cost_id) << "mapping should reduce forwarding volume";
+  // And the simulator agrees end-to-end.
+  const auto sim_id = sim::simulate_exchange(vpt, pattern);
+  const auto sim_opt = sim::simulate_exchange(vpt, permute_pattern(pattern, opt));
+  EXPECT_LT(sim_opt.metrics.total_volume_words(), sim_id.metrics.total_volume_words());
+}
+
+TEST(Mapping, OptimizerReducesPhysicalHops) {
+  const Rank K = 256;
+  const auto machine = netsim::Machine::cray_xk7(K);
+  const auto pattern = clustered_pattern(K, 16, 128, 8, 11);
+  const auto id = Permutation::identity(K);
+  const auto opt = optimize_physical_mapping(pattern, machine);
+  EXPECT_LT(physical_hop_cost(pattern, machine, opt), physical_hop_cost(pattern, machine, id));
+}
+
+TEST(Mapping, DeterministicForFixedSeed) {
+  const Rank K = 32;
+  const Vpt vpt = Vpt::balanced(K, 2);
+  const auto pattern = clustered_pattern(K, 4, 32, 4, 5);
+  MapOptions opts;
+  opts.seed = 99;
+  const auto a = optimize_vpt_mapping(pattern, vpt, opts);
+  const auto b = optimize_vpt_mapping(pattern, vpt, opts);
+  EXPECT_EQ(a.positions(), b.positions());
+}
+
+TEST(Mapping, MappedExchangeStillDeliversEverything) {
+  // Remapping must never break correctness: same multiset of (src, dest)
+  // after inverting the permutation.
+  const Rank K = 32;
+  const Vpt vpt = Vpt::balanced(K, 3);
+  const auto pattern = clustered_pattern(K, 4, 16, 4, 13);
+  const auto opt = optimize_vpt_mapping(pattern, vpt);
+  sim::SimOptions sopts;
+  sopts.collect_delivered = true;
+  const auto result = sim::simulate_exchange(vpt, permute_pattern(pattern, opt), sopts);
+  std::int64_t delivered = 0;
+  for (const auto& inbox : result.delivered) delivered += static_cast<std::int64_t>(inbox.size());
+  EXPECT_EQ(delivered, pattern.total_messages());
+}
+
+TEST(Mapping, ValidatesSizes) {
+  sim::CommPattern p(4);
+  p.finalize();
+  EXPECT_THROW(vpt_volume_cost(p, Vpt::direct(8), Permutation::identity(4)), core::Error);
+  EXPECT_THROW(permute_pattern(p, Permutation::identity(8)), core::Error);
+}
+
+}  // namespace
+}  // namespace stfw::mapping

@@ -1,0 +1,89 @@
+#include "sparse/matrix_market.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "sparse/generators.hpp"
+
+namespace stfw::sparse {
+namespace {
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  const Csr a = random_uniform(20, 30, 100, 42);
+  std::stringstream ss;
+  write_matrix_market(ss, a);
+  const Csr b = read_matrix_market(ss);
+  EXPECT_EQ(b.num_rows(), a.num_rows());
+  EXPECT_EQ(b.num_cols(), a.num_cols());
+  EXPECT_EQ(b.num_nonzeros(), a.num_nonzeros());
+  EXPECT_TRUE(std::equal(a.col_idx().begin(), a.col_idx().end(), b.col_idx().begin()));
+  for (std::size_t i = 0; i < a.values().size(); ++i)
+    EXPECT_NEAR(a.values()[i], b.values()[i], 1e-9);
+}
+
+TEST(MatrixMarket, ReadsSymmetricStorage) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "% a comment line\n"
+      "3 3 3\n"
+      "1 1 5.0\n"
+      "2 1 2.0\n"
+      "3 3 1.0\n");
+  const Csr a = read_matrix_market(ss);
+  EXPECT_EQ(a.num_nonzeros(), 4);  // off-diagonal mirrored, diagonal not
+  EXPECT_TRUE(a.has_symmetric_pattern());
+  EXPECT_DOUBLE_EQ(a.row_values(0)[1], 2.0);  // mirrored a_12
+}
+
+TEST(MatrixMarket, ReadsPatternField) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  const Csr a = read_matrix_market(ss);
+  EXPECT_EQ(a.num_nonzeros(), 2);
+  EXPECT_DOUBLE_EQ(a.row_values(0)[0], 1.0);
+}
+
+TEST(MatrixMarket, ReadsIntegerField) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 2 1\n"
+      "1 1 7\n");
+  const Csr a = read_matrix_market(ss);
+  EXPECT_DOUBLE_EQ(a.row_values(0)[0], 7.0);
+}
+
+TEST(MatrixMarket, RejectsMalformedInput) {
+  {
+    std::stringstream ss("not a matrix market file\n");
+    EXPECT_THROW(read_matrix_market(ss), core::Error);
+  }
+  {
+    std::stringstream ss("%%MatrixMarket matrix array real general\n2 2\n");
+    EXPECT_THROW(read_matrix_market(ss), core::Error);
+  }
+  {
+    std::stringstream ss("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n");
+    EXPECT_THROW(read_matrix_market(ss), core::Error);  // truncated entries
+  }
+  {
+    std::stringstream ss("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n");
+    EXPECT_THROW(read_matrix_market(ss), core::Error);  // entry out of range
+  }
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  const Csr a = stencil_2d(5, 4);
+  const std::string path = ::testing::TempDir() + "/stfw_mm_test.mtx";
+  write_matrix_market_file(path, a);
+  const Csr b = read_matrix_market_file(path);
+  EXPECT_EQ(b.num_nonzeros(), a.num_nonzeros());
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/path.mtx"), core::Error);
+}
+
+}  // namespace
+}  // namespace stfw::sparse

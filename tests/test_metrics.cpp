@@ -1,0 +1,53 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace stfw::core {
+namespace {
+
+TEST(Metrics, StartsAtZero) {
+  ExchangeMetrics m(4);
+  EXPECT_EQ(m.num_ranks(), 4);
+  EXPECT_EQ(m.max_send_count(), 0);
+  EXPECT_DOUBLE_EQ(m.avg_send_count(), 0.0);
+  EXPECT_DOUBLE_EQ(m.avg_send_volume_words(), 0.0);
+  EXPECT_EQ(m.max_buffer_bytes(), 0u);
+}
+
+TEST(Metrics, AggregatesSendsPerRank) {
+  ExchangeMetrics m(4);
+  m.record_send(0, 80);
+  m.record_send(0, 40);
+  m.record_send(2, 160);
+  EXPECT_EQ(m.max_send_count(), 2);
+  EXPECT_DOUBLE_EQ(m.avg_send_count(), 3.0 / 4.0);
+  // Volumes in 8-byte words: rank0 = 15, rank2 = 20 -> avg (15+20)/4.
+  EXPECT_DOUBLE_EQ(m.avg_send_volume_words(), (15.0 + 20.0) / 4.0);
+  EXPECT_EQ(m.max_send_volume_words(), 20);
+  EXPECT_EQ(m.total_volume_words(), 35);
+}
+
+TEST(Metrics, TracksReceivesIndependently) {
+  ExchangeMetrics m(2);
+  m.record_send(0, 8);
+  m.record_recv(1, 8);
+  EXPECT_EQ(m.send_counts()[0], 1);
+  EXPECT_EQ(m.send_counts()[1], 0);
+  EXPECT_EQ(m.recv_counts()[1], 1);
+  EXPECT_EQ(m.recv_payload_bytes()[1], 8u);
+}
+
+TEST(Metrics, BufferBytesKeepMax) {
+  ExchangeMetrics m(3);
+  m.record_buffer_bytes(0, 100);
+  m.record_buffer_bytes(1, 300);
+  m.record_buffer_bytes(2, 200);
+  EXPECT_EQ(m.max_buffer_bytes(), 300u);
+}
+
+TEST(Metrics, RejectsEmpty) { EXPECT_THROW(ExchangeMetrics(0), Error); }
+
+}  // namespace
+}  // namespace stfw::core

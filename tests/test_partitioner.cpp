@@ -1,0 +1,145 @@
+#include "partition/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/error.hpp"
+#include "sparse/generators.hpp"
+
+namespace stfw::partition {
+namespace {
+
+void expect_valid_partition(std::span<const std::int32_t> labels, std::int32_t parts) {
+  for (std::int32_t l : labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, parts);
+  }
+}
+
+TEST(Partitioner, BisectionOfAStencilIsBalancedAndCheap) {
+  const sparse::Csr a = sparse::stencil_2d(24, 24);
+  const Hypergraph h = Hypergraph::column_net_model(a);
+  PartitionOptions opts;
+  opts.num_parts = 2;
+  const auto labels = partition(h, opts);
+  expect_valid_partition(labels, 2);
+  EXPECT_LE(imbalance(h, labels, 2), opts.epsilon + 0.02);
+  // A good bisection of a 24x24 grid cuts ~one grid line; anything below
+  // 4x that is clearly "working" (random would cut ~half the nets).
+  EXPECT_LT(connectivity_cost(h, labels, 2), 4 * 24 * 3);
+}
+
+TEST(Partitioner, KWayBalanceHolds) {
+  const sparse::Csr a =
+      sparse::generate(sparse::scaled_spec(sparse::find_paper_matrix("sparsine"), 0.1, 512), 3);
+  const Hypergraph h = Hypergraph::column_net_model(a);
+  for (std::int32_t k : {4, 8, 16}) {
+    PartitionOptions opts;
+    opts.num_parts = k;
+    opts.seed = 7;
+    const auto labels = partition(h, opts);
+    expect_valid_partition(labels, k);
+    // Recursive bisection compounds per-level slack; allow a loose budget.
+    EXPECT_LE(imbalance(h, labels, k), 0.35) << "k=" << k;
+  }
+}
+
+TEST(Partitioner, BeatsRandomPartitionOnConnectivity) {
+  const sparse::Csr a =
+      sparse::generate(sparse::scaled_spec(sparse::find_paper_matrix("GaAsH6"), 0.05, 512), 5);
+  const Hypergraph h = Hypergraph::column_net_model(a);
+  PartitionOptions opts;
+  opts.num_parts = 8;
+  const auto ours = partition(h, opts);
+  const auto rand = random_partition(a.num_rows(), 8, 99);
+  EXPECT_LT(connectivity_cost(h, ours, 8), connectivity_cost(h, rand, 8));
+}
+
+TEST(Partitioner, DeterministicForFixedSeed) {
+  const sparse::Csr a = sparse::stencil_2d(16, 16);
+  const Hypergraph h = Hypergraph::column_net_model(a);
+  PartitionOptions opts;
+  opts.num_parts = 4;
+  opts.seed = 42;
+  EXPECT_EQ(partition(h, opts), partition(h, opts));
+}
+
+TEST(Partitioner, HandlesMorePartsThanVertices) {
+  const sparse::Csr a = sparse::stencil_2d(3, 3);  // 9 vertices
+  const Hypergraph h = Hypergraph::column_net_model(a);
+  PartitionOptions opts;
+  opts.num_parts = 16;
+  const auto labels = partition(h, opts);
+  expect_valid_partition(labels, 16);
+  // No part holds two vertices while another holds none... at minimum every
+  // vertex got a legal label; stronger: all labels distinct.
+  std::set<std::int32_t> distinct(labels.begin(), labels.end());
+  EXPECT_EQ(distinct.size(), 9u);
+}
+
+TEST(Partitioner, SinglePartIsTrivial) {
+  const sparse::Csr a = sparse::stencil_2d(4, 4);
+  PartitionOptions opts;
+  opts.num_parts = 1;
+  const auto labels = partition_rows(a, opts);
+  for (std::int32_t l : labels) EXPECT_EQ(l, 0);
+}
+
+TEST(Partitioner, DeriveCoarserMergesSiblings) {
+  const sparse::Csr a = sparse::stencil_2d(20, 20);
+  const Hypergraph h = Hypergraph::column_net_model(a);
+  PartitionOptions opts;
+  opts.num_parts = 16;
+  opts.seed = 3;
+  const auto fine = partition(h, opts);
+  const auto mid = derive_coarser(fine, 2);
+  expect_valid_partition(mid, 8);
+  // Sibling structure: rows in fine part p land in mid part p/2.
+  for (std::size_t i = 0; i < fine.size(); ++i) EXPECT_EQ(mid[i], fine[i] / 2);
+  // Coarser partitions stay balanced and can only reduce connectivity.
+  EXPECT_LE(imbalance(h, mid, 8), 0.35);
+  EXPECT_LE(connectivity_cost(h, mid, 8), connectivity_cost(h, fine, 16));
+  const auto coarsest = derive_coarser(fine, 16);
+  for (std::int32_t l : coarsest) EXPECT_EQ(l, 0);
+}
+
+TEST(Partitioner, BlockPartitionBalancesNnz) {
+  const sparse::Csr a =
+      sparse::generate(sparse::scaled_spec(sparse::find_paper_matrix("cbuckle"), 0.2, 256), 9);
+  const auto labels = block_partition_rows(a, 8);
+  expect_valid_partition(labels, 8);
+  // Contiguity: labels are non-decreasing.
+  EXPECT_TRUE(std::is_sorted(labels.begin(), labels.end()));
+  // nnz balance within a factor ~2 of ideal (block splits cannot split rows).
+  std::vector<std::int64_t> w(8, 0);
+  for (std::int32_t r = 0; r < a.num_rows(); ++r)
+    w[static_cast<std::size_t>(labels[static_cast<std::size_t>(r)])] += a.row_degree(r);
+  const auto mx = *std::max_element(w.begin(), w.end());
+  EXPECT_LT(static_cast<double>(mx), 2.0 * static_cast<double>(a.num_nonzeros()) / 8.0);
+}
+
+TEST(Partitioner, CyclicAndRandomCoverAllParts) {
+  const auto cyc = cyclic_partition(100, 8);
+  expect_valid_partition(cyc, 8);
+  EXPECT_EQ(cyc[0], 0);
+  EXPECT_EQ(cyc[9], 1);
+  const auto rnd = random_partition(1000, 8, 5);
+  expect_valid_partition(rnd, 8);
+  std::set<std::int32_t> seen(rnd.begin(), rnd.end());
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Partitioner, ValidatesOptions) {
+  const sparse::Csr a = sparse::stencil_2d(4, 4);
+  const Hypergraph h = Hypergraph::column_net_model(a);
+  PartitionOptions opts;
+  opts.num_parts = 0;
+  EXPECT_THROW(partition(h, opts), core::Error);
+  EXPECT_THROW(block_partition_rows(a, 0), core::Error);
+  EXPECT_THROW(cyclic_partition(10, 0), core::Error);
+}
+
+}  // namespace
+}  // namespace stfw::partition

@@ -1,0 +1,66 @@
+#include "sim/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace stfw::sim {
+namespace {
+
+TEST(Pattern, BuildAndQuery) {
+  CommPattern p(4);
+  p.add_send(0, 1, 8);
+  p.add_send(0, 3, 16);
+  p.add_send(2, 0, 24);
+  p.add_send(0, 2, 8);
+  p.finalize();
+
+  EXPECT_EQ(p.total_messages(), 4);
+  const auto s0 = p.sends(0);
+  ASSERT_EQ(s0.size(), 3u);
+  // Sorted by destination.
+  EXPECT_EQ(s0[0].dest, 1);
+  EXPECT_EQ(s0[1].dest, 2);
+  EXPECT_EQ(s0[2].dest, 3);
+  EXPECT_TRUE(p.sends(1).empty());
+  ASSERT_EQ(p.sends(2).size(), 1u);
+  EXPECT_EQ(p.sends(2)[0].payload_bytes, 24u);
+  EXPECT_TRUE(p.sends(3).empty());
+}
+
+TEST(Pattern, CountsAndVolume) {
+  CommPattern p(4);
+  p.add_send(1, 0, 8);
+  p.add_send(1, 2, 8);
+  p.add_send(3, 0, 32);
+  p.finalize();
+  const auto counts = p.send_counts();
+  EXPECT_EQ(counts, (std::vector<std::int64_t>{0, 2, 0, 1}));
+  EXPECT_EQ(p.max_send_count(), 2);
+  EXPECT_DOUBLE_EQ(p.avg_send_count(), 3.0 / 4.0);
+  EXPECT_EQ(p.total_payload_bytes(), 48u);
+}
+
+TEST(Pattern, GuardsAgainstMisuse) {
+  CommPattern p(2);
+  EXPECT_THROW(p.sends(0), core::Error);  // before finalize
+  p.add_send(0, 1, 8);
+  p.finalize();
+  EXPECT_THROW(p.add_send(0, 1, 8), core::Error);  // after finalize
+  EXPECT_THROW(p.finalize(), core::Error);
+  EXPECT_THROW(p.sends(5), core::Error);
+  CommPattern q(2);
+  EXPECT_THROW(q.add_send(0, 2, 8), core::Error);
+  EXPECT_THROW(q.add_send(-1, 0, 8), core::Error);
+}
+
+TEST(Pattern, EmptyPatternIsValid) {
+  CommPattern p(3);
+  p.finalize();
+  EXPECT_EQ(p.total_messages(), 0);
+  EXPECT_EQ(p.max_send_count(), 0);
+  EXPECT_EQ(p.total_payload_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace stfw::sim

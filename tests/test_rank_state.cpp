@@ -1,0 +1,245 @@
+#include "core/rank_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace stfw::core {
+namespace {
+
+std::vector<StageMessage> outbox_of(StfwRankState& state, int stage) {
+  std::vector<StageMessage> out;
+  state.make_stage_outbox(stage, out);
+  return out;
+}
+
+TEST(RankState, SelfSendDeliversImmediately) {
+  const Vpt t({4, 4});
+  StfwRankState s(t, 5);
+  s.add_send(5, 0, 16);
+  ASSERT_EQ(s.delivered().size(), 1u);
+  EXPECT_EQ(s.delivered()[0].source, 5);
+  EXPECT_EQ(s.delivered()[0].dest, 5);
+  EXPECT_EQ(s.delivered_payload_bytes(), 16u);
+  EXPECT_EQ(s.buffered_payload_bytes(), 0u);
+}
+
+TEST(RankState, DirectVptSendsEverythingInStageZero) {
+  const Vpt t = Vpt::direct(8);
+  StfwRankState s(t, 0);
+  for (Rank d = 1; d < 8; ++d) s.add_send(d, 0, 8);
+  EXPECT_EQ(s.buffered_payload_bytes(), 7u * 8u);
+  auto out = outbox_of(s, 0);
+  EXPECT_EQ(out.size(), 7u);  // one message per destination
+  for (const auto& m : out) {
+    EXPECT_EQ(m.from, 0);
+    EXPECT_EQ(m.subs.size(), 1u);
+    EXPECT_EQ(m.subs[0].dest, m.to);
+  }
+  EXPECT_EQ(s.buffered_payload_bytes(), 0u);
+}
+
+TEST(RankState, MessagesToSameNeighborCoalesce) {
+  // T_2(4,4), rank 0 = (0,0). Destinations (1,0), (1,1), (1,2), (1,3) all
+  // have digit0 = 1, so stage 0 routes them through the single neighbor
+  // with digit0 = 1 — one coalesced message with four submessages.
+  const Vpt t({4, 4});
+  StfwRankState s(t, 0);
+  for (int y = 0; y < 4; ++y) {
+    const int coords[2] = {1, y};
+    s.add_send(t.rank_of(coords), 0, 8);
+  }
+  auto out = outbox_of(s, 0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].to, 1);  // (1,0)
+  EXPECT_EQ(out[0].subs.size(), 4u);
+  EXPECT_EQ(out[0].payload_bytes(), 32u);
+}
+
+TEST(RankState, SecondStageSeedsSkipStageZero) {
+  // Destination shares digit 0 with the source: first hop is stage 1.
+  const Vpt t({4, 4});
+  StfwRankState s(t, 0);  // (0,0)
+  const int coords[2] = {0, 2};
+  s.add_send(t.rank_of(coords), 0, 8);
+  EXPECT_TRUE(outbox_of(s, 0).empty());
+  auto out = outbox_of(s, 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].to, t.rank_of(coords));
+}
+
+TEST(RankState, PaperFigure4Walkthrough) {
+  // Figure 4, T_3(4,4,4): P_a's three destinations all differ from P_a in
+  // dimension 1, so stage 1 produces ONE coalesced message M_ad to its
+  // dimension-1 neighbor P_d carrying all three submessages; P_d then
+  // delivers its own, forwards (P_e, m_ae) in stage 2 and (P_c, m_ac) in
+  // stage 3. Digits (0-based, dimension 1 first):
+  //   P_a = (0,1,1), P_c = (2,1,3), P_d = (2,1,1), P_e = (2,3,1).
+  const Vpt t({4, 4, 4});
+  auto rank = [&](int d0, int d1, int d2) {
+    const int c[3] = {d0, d1, d2};
+    return t.rank_of(c);
+  };
+  const Rank pa = rank(0, 1, 1);
+  const Rank pc = rank(2, 1, 3);
+  const Rank pd = rank(2, 1, 1);
+  const Rank pe = rank(2, 3, 1);
+
+  StfwRankState a(t, pa);
+  a.add_send(pc, 0, 8);
+  a.add_send(pd, 0, 8);
+  a.add_send(pe, 0, 8);
+
+  auto out0 = outbox_of(a, 0);
+  ASSERT_EQ(out0.size(), 1u);  // a single M_ad despite three destinations
+  EXPECT_EQ(out0[0].to, pd);
+  EXPECT_EQ(out0[0].subs.size(), 3u);
+  EXPECT_TRUE(outbox_of(a, 1).empty());
+  EXPECT_TRUE(outbox_of(a, 2).empty());
+
+  // P_d receives M_ad in stage 1 and sorts the submessages out.
+  StfwRankState d(t, pd);
+  std::vector<StageMessage> sink;
+  d.make_stage_outbox(0, sink);
+  d.accept(0, out0[0].subs);
+  ASSERT_EQ(d.delivered().size(), 1u);  // m_ad is for P_d itself
+  EXPECT_EQ(d.delivered()[0].dest, pd);
+
+  auto dout1 = outbox_of(d, 1);  // stage 2: (P_e, m_ae) via dimension 2
+  ASSERT_EQ(dout1.size(), 1u);
+  EXPECT_EQ(dout1[0].to, rank(2, 3, 1));
+  ASSERT_EQ(dout1[0].subs.size(), 1u);
+  EXPECT_EQ(dout1[0].subs[0].dest, pe);
+
+  auto dout2 = outbox_of(d, 2);  // stage 3: (P_c, m_ac) via dimension 3
+  ASSERT_EQ(dout2.size(), 1u);
+  EXPECT_EQ(dout2[0].to, pc);
+  ASSERT_EQ(dout2[0].subs.size(), 1u);
+  EXPECT_EQ(dout2[0].subs[0].dest, pc);
+}
+
+TEST(RankState, ForwardingMergesStreamsForSameDestination) {
+  // Section 3: submessages from *distinct* sources destined for the *same*
+  // process meet in the same forward buffer and travel inside one message
+  // from then on; submessages from the *same* source to *distinct*
+  // destinations go to different buffers and stay in distinct messages.
+  const Vpt t({2, 2, 2});
+  StfwRankState s(t, 0);  // intermediate process (0,0,0)
+  std::vector<StageMessage> sink;
+  s.make_stage_outbox(0, sink);  // enter stage 0 (nothing of our own)
+  ASSERT_TRUE(sink.empty());
+
+  const int same_dest_coords[3] = {0, 1, 0};
+  const int other_dest_coords[3] = {0, 0, 1};
+  const Rank same_dest = t.rank_of(same_dest_coords);
+  const Rank other_dest = t.rank_of(other_dest_coords);
+  const Submessage subs[3] = {
+      {1, same_dest, 0, 8},   // source 1 -> D
+      {1, other_dest, 0, 8},  // source 1 -> D' (same source, distinct dest)
+      {3, same_dest, 0, 8},   // source 3 -> D (distinct source, same dest)
+  };
+  s.accept(0, subs);
+
+  auto out1 = outbox_of(s, 1);
+  ASSERT_EQ(out1.size(), 1u);
+  EXPECT_EQ(out1[0].to, same_dest);
+  EXPECT_EQ(out1[0].subs.size(), 2u);  // both streams merged into one message
+
+  auto out2 = outbox_of(s, 2);
+  ASSERT_EQ(out2.size(), 1u);
+  EXPECT_EQ(out2[0].to, other_dest);
+  EXPECT_EQ(out2[0].subs.size(), 1u);  // the same-source stream stayed apart
+}
+
+TEST(RankState, AcceptScattersIntoLaterStages) {
+  const Vpt t({2, 2, 2});
+  StfwRankState s(t, 0);  // (0,0,0)
+  std::vector<StageMessage> sink;
+  s.make_stage_outbox(0, sink);  // enter stage 0
+
+  const int d1_coords[3] = {0, 1, 0};  // forwarded in stage 1
+  const int d2_coords[3] = {0, 0, 1};  // forwarded in stage 2
+  const Rank via_stage1 = t.rank_of(d1_coords);
+  const Rank via_stage2 = t.rank_of(d2_coords);
+  const Submessage subs[3] = {
+      {1, via_stage1, 0, 8},
+      {1, via_stage2, 0, 8},
+      {1, 0, 0, 8},  // for me
+  };
+  s.accept(0, subs);
+  EXPECT_EQ(s.delivered().size(), 1u);
+  EXPECT_EQ(s.buffered_payload_bytes(), 16u);
+
+  auto out1 = outbox_of(s, 1);
+  ASSERT_EQ(out1.size(), 1u);
+  EXPECT_EQ(out1[0].to, via_stage1);
+  auto out2 = outbox_of(s, 2);
+  ASSERT_EQ(out2.size(), 1u);
+  EXPECT_EQ(out2[0].to, via_stage2);
+  EXPECT_EQ(s.buffered_payload_bytes(), 0u);
+}
+
+TEST(RankState, PeakBufferTracksHighWater) {
+  const Vpt t = Vpt::direct(4);
+  StfwRankState s(t, 0);
+  s.add_send(1, 0, 100);
+  s.add_send(2, 0, 50);
+  EXPECT_EQ(s.peak_buffered_payload_bytes(), 150u);
+  std::vector<StageMessage> sink;
+  s.make_stage_outbox(0, sink);
+  EXPECT_EQ(s.buffered_payload_bytes(), 0u);
+  EXPECT_EQ(s.peak_buffered_payload_bytes(), 150u);  // high water sticks
+}
+
+TEST(RankState, StagesMustRunInOrder) {
+  const Vpt t({2, 2});
+  StfwRankState s(t, 0);
+  std::vector<StageMessage> sink;
+  EXPECT_THROW(s.make_stage_outbox(1, sink), Error);
+  s.make_stage_outbox(0, sink);
+  EXPECT_THROW(s.make_stage_outbox(0, sink), Error);
+  EXPECT_THROW(s.make_stage_outbox(2, sink), Error);
+}
+
+TEST(RankState, AcceptRequiresMatchingStage) {
+  const Vpt t({2, 2});
+  StfwRankState s(t, 0);
+  const Submessage sub{1, 0, 0, 8};
+  EXPECT_THROW(s.accept(0, std::span<const Submessage>(&sub, 1)), Error);  // before outbox
+}
+
+TEST(RankState, AddSendAfterStartIsAnError) {
+  const Vpt t({2, 2});
+  StfwRankState s(t, 0);
+  std::vector<StageMessage> sink;
+  s.make_stage_outbox(0, sink);
+  EXPECT_THROW(s.add_send(1, 0, 8), Error);
+}
+
+TEST(RankState, ResetAllowsReuse) {
+  const Vpt t({2, 2});
+  StfwRankState s(t, 0);
+  s.add_send(3, 0, 8);
+  std::vector<StageMessage> sink;
+  s.make_stage_outbox(0, sink);
+  s.make_stage_outbox(1, sink);
+  s.reset();
+  EXPECT_EQ(s.delivered().size(), 0u);
+  EXPECT_EQ(s.peak_buffered_payload_bytes(), 0u);
+  s.add_send(1, 0, 8);  // no throw
+  sink.clear();
+  s.make_stage_outbox(0, sink);
+  EXPECT_EQ(sink.size(), 1u);
+}
+
+TEST(RankState, RejectsOutOfRangeDestination) {
+  const Vpt t({2, 2});
+  StfwRankState s(t, 0);
+  EXPECT_THROW(s.add_send(4, 0, 8), Error);
+  EXPECT_THROW(s.add_send(-1, 0, 8), Error);
+}
+
+}  // namespace
+}  // namespace stfw::core

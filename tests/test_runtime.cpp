@@ -1,0 +1,210 @@
+#include "runtime/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace stfw::runtime {
+namespace {
+
+std::vector<std::byte> payload(int v) {
+  std::vector<std::byte> b(sizeof(int));
+  std::memcpy(b.data(), &v, sizeof(int));
+  return b;
+}
+
+int value_of(const Message& m) {
+  int v = 0;
+  std::memcpy(&v, m.data.data(), sizeof(int));
+  return v;
+}
+
+TEST(Runtime, PingPong) {
+  Cluster cluster(2);
+  cluster.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, payload(123));
+      const Message reply = comm.recv(1, 8);
+      EXPECT_EQ(value_of(reply), 124);
+    } else {
+      const Message m = comm.recv(0, 7);
+      EXPECT_EQ(value_of(m), 123);
+      comm.send(0, 8, payload(value_of(m) + 1));
+    }
+  });
+}
+
+TEST(Runtime, PointToPointOrderingPerSourceAndTag) {
+  Cluster cluster(2);
+  cluster.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 100; ++i) comm.send(1, 1, payload(i));
+    } else {
+      for (int i = 0; i < 100; ++i) EXPECT_EQ(value_of(comm.recv(0, 1)), i);
+    }
+  });
+}
+
+TEST(Runtime, RecvFiltersByTag) {
+  Cluster cluster(2);
+  cluster.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, payload(10));
+      comm.send(1, 2, payload(20));
+    } else {
+      // Receive tag 2 first even though tag 1 arrived earlier.
+      EXPECT_EQ(value_of(comm.recv(0, 2)), 20);
+      EXPECT_EQ(value_of(comm.recv(0, 1)), 10);
+    }
+  });
+}
+
+TEST(Runtime, RecvAnySource) {
+  Cluster cluster(4);
+  cluster.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::int64_t sum = 0;
+      for (int i = 0; i < 3; ++i) sum += value_of(comm.recv(kAnySource, 5));
+      EXPECT_EQ(sum, 1 + 2 + 3);
+    } else {
+      comm.send(0, 5, payload(comm.rank()));
+    }
+  });
+}
+
+TEST(Runtime, DrainAfterBarrierSeesAllStageSends) {
+  constexpr int kRanks = 8;
+  Cluster cluster(kRanks);
+  cluster.run([](Comm& comm) {
+    // Everyone sends to everyone (including a tag the drain must not touch).
+    for (int d = 0; d < kRanks; ++d) {
+      if (d == comm.rank()) continue;
+      comm.send(d, 1, payload(comm.rank()));
+    }
+    comm.send((comm.rank() + 1) % kRanks, 99, payload(-1));
+    comm.barrier();
+    const auto msgs = comm.drain(1);
+    ASSERT_EQ(msgs.size(), static_cast<std::size_t>(kRanks - 1));
+    // Sorted by source, and the other tag is untouched.
+    for (std::size_t i = 1; i < msgs.size(); ++i) EXPECT_GT(msgs[i].source, msgs[i - 1].source);
+    EXPECT_TRUE(comm.probe(kAnySource, 99));
+    comm.recv(kAnySource, 99);  // leave mailboxes clean
+  });
+}
+
+TEST(Runtime, BarrierSynchronizesPhases) {
+  constexpr int kRanks = 16;
+  Cluster cluster(kRanks);
+  std::atomic<int> phase_counter{0};
+  cluster.run([&](Comm& comm) {
+    for (int phase = 0; phase < 10; ++phase) {
+      phase_counter.fetch_add(1);
+      comm.barrier();
+      // After the barrier every rank must have bumped the counter.
+      EXPECT_GE(phase_counter.load(), (phase + 1) * kRanks);
+      comm.barrier();
+    }
+  });
+  EXPECT_EQ(phase_counter.load(), 10 * kRanks);
+}
+
+TEST(Runtime, AllgatherCollectsContributions) {
+  constexpr int kRanks = 8;
+  Cluster cluster(kRanks);
+  cluster.run([](Comm& comm) {
+    const auto all = comm.allgather(payload(comm.rank() * 10));
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(kRanks));
+    for (int r = 0; r < kRanks; ++r) {
+      int v = 0;
+      std::memcpy(&v, all[static_cast<std::size_t>(r)].data(), sizeof(int));
+      EXPECT_EQ(v, r * 10);
+    }
+  });
+}
+
+TEST(Runtime, ExceptionPropagatesAndUnblocksPeers) {
+  Cluster cluster(4);
+  EXPECT_THROW(cluster.run([](Comm& comm) {
+                 if (comm.rank() == 0) throw core::Error("boom");
+                 // Peers block forever without abort handling.
+                 comm.recv(0, 1);
+               }),
+               core::Error);
+  // The cluster remains usable.
+  cluster.run([](Comm& comm) { comm.barrier(); });
+}
+
+TEST(Runtime, SendValidatesDestination) {
+  Cluster cluster(2);
+  EXPECT_THROW(cluster.run([](Comm& comm) { comm.send(5, 0, {}); }), core::Error);
+}
+
+TEST(Runtime, ReusableAcrossRuns) {
+  Cluster cluster(4);
+  for (int round = 0; round < 3; ++round) {
+    cluster.run([round](Comm& comm) {
+      comm.send((comm.rank() + 1) % 4, round, payload(round));
+      const Message m = comm.recv((comm.rank() + 3) % 4, round);
+      EXPECT_EQ(value_of(m), round);
+    });
+  }
+}
+
+TEST(Runtime, StressManyTagsAndInterleavedTraffic) {
+  // Many concurrent logical streams: every rank sends a burst on several
+  // tags to several peers, then receives them back in arbitrary order.
+  constexpr int kRanks = 12;
+  constexpr int kTags = 5;
+  constexpr int kBurst = 20;
+  Cluster cluster(kRanks);
+  cluster.run([](Comm& comm) {
+    for (int tag = 0; tag < kTags; ++tag)
+      for (int b = 0; b < kBurst; ++b)
+        for (int offset : {1, 3, 7}) {
+          const int dest = (comm.rank() + offset) % kRanks;
+          comm.send(dest, tag, payload(tag * 1000 + b));
+        }
+    // Receive: per (source, tag) stream the burst must arrive in order.
+    for (int offset : {1, 3, 7}) {
+      const int source = (comm.rank() - offset % kRanks + kRanks) % kRanks;
+      for (int tag = kTags - 1; tag >= 0; --tag)  // reverse tag order on purpose
+        for (int b = 0; b < kBurst; ++b)
+          EXPECT_EQ(value_of(comm.recv(source, tag)), tag * 1000 + b);
+    }
+  });
+}
+
+TEST(Runtime, ExchangeStressRepeatedEpochs) {
+  // Repeated collective exchanges interleaved with point-to-point chatter
+  // must never cross-contaminate epochs.
+  constexpr int kRanks = 8;
+  Cluster cluster(kRanks);
+  cluster.run([](Comm& comm) {
+    for (int epoch = 0; epoch < 25; ++epoch) {
+      const int dest = (comm.rank() + epoch) % kRanks;
+      if (dest != comm.rank()) comm.send(dest, 100 + epoch, payload(epoch));
+      comm.barrier();
+      const auto msgs = comm.drain(100 + epoch);
+      const bool expecting = (comm.rank() - epoch % kRanks + kRanks) % kRanks != comm.rank();
+      ASSERT_EQ(msgs.size(), expecting ? 1u : 0u) << "epoch " << epoch;
+      if (expecting) EXPECT_EQ(value_of(msgs[0]), epoch);
+    }
+  });
+}
+
+TEST(Runtime, SingleRankClusterWorks) {
+  Cluster cluster(1);
+  cluster.run([](Comm& comm) {
+    EXPECT_EQ(comm.size(), 1);
+    comm.barrier();
+    const auto all = comm.allgather(payload(7));
+    ASSERT_EQ(all.size(), 1u);
+  });
+}
+
+}  // namespace
+}  // namespace stfw::runtime

@@ -1,0 +1,127 @@
+#include "spmv/distributed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/error.hpp"
+#include "partition/hypergraph.hpp"
+#include "partition/partitioner.hpp"
+#include "sparse/generators.hpp"
+
+namespace stfw::spmv {
+namespace {
+
+TEST(SpmvProblem, TinyHandExample) {
+  // [ 1 2 0 0 ]   rows 0,1 -> rank 0; rows 2,3 -> rank 1.
+  // [ 0 3 4 0 ]   rank 0 needs x2 (from rank 1); rank 1 needs x1 (rank 0).
+  // [ 0 5 6 0 ]
+  // [ 0 0 0 7 ]
+  const sparse::Csr a = sparse::Csr::from_triplets(
+      4, 4, {{0, 0, 1}, {0, 1, 2}, {1, 1, 3}, {1, 2, 4}, {2, 1, 5}, {2, 2, 6}, {3, 3, 7}});
+  const std::vector<std::int32_t> parts{0, 0, 1, 1};
+  const SpmvProblem problem(a, parts, 2);
+
+  EXPECT_EQ(problem.total_comm_volume_words(), 2);
+  EXPECT_EQ(problem.max_local_nnz(), 4);
+
+  const auto pattern = problem.comm_pattern();
+  ASSERT_EQ(pattern.sends(0).size(), 1u);
+  EXPECT_EQ(pattern.sends(0)[0].dest, 1);
+  EXPECT_EQ(pattern.sends(0)[0].payload_bytes, 8u);  // one x entry
+  ASSERT_EQ(pattern.sends(1).size(), 1u);
+  EXPECT_EQ(pattern.sends(1)[0].dest, 0);
+
+  const RankPlan& p0 = problem.plan(0);
+  EXPECT_EQ(p0.owned_rows, (std::vector<std::int32_t>{0, 1}));
+  ASSERT_EQ(p0.sends.size(), 1u);
+  EXPECT_EQ(p0.sends[0].dest, 1);
+  ASSERT_EQ(p0.sends[0].x_slots.size(), 1u);
+  EXPECT_EQ(p0.x_slot_global[static_cast<std::size_t>(p0.sends[0].x_slots[0])], 1);  // sends x1
+  ASSERT_EQ(p0.recvs.size(), 1u);
+  EXPECT_EQ(p0.recvs[0].source, 1);
+  ASSERT_EQ(p0.recvs[0].ghost_slots.size(), 1u);
+  EXPECT_EQ(p0.x_slot_global[static_cast<std::size_t>(p0.recvs[0].ghost_slots[0])], 2);
+
+  // Local matrices: rank 0 has rows 0,1 with 4 nonzeros over 3 local slots.
+  EXPECT_EQ(p0.local.num_rows(), 2);
+  EXPECT_EQ(p0.local.num_cols(), 3);
+  EXPECT_EQ(p0.local.num_nonzeros(), 4);
+}
+
+TEST(SpmvProblem, CommVolumeEqualsConnectivityCost) {
+  // The paper's rationale for hypergraph partitioning: total SpMV volume ==
+  // connectivity-minus-one of the column-net model.
+  const sparse::Csr a =
+      sparse::generate(sparse::scaled_spec(sparse::find_paper_matrix("msc10848"), 0.2, 512), 8);
+  const partition::Hypergraph h = partition::Hypergraph::column_net_model(a);
+  for (std::int32_t k : {4, 16}) {
+    partition::PartitionOptions opts;
+    opts.num_parts = k;
+    const auto parts = partition::partition(h, opts);
+    const SpmvProblem problem(a, parts, k, /*build_plans=*/false);
+    EXPECT_EQ(problem.total_comm_volume_words(), partition::connectivity_cost(h, parts, k))
+        << "k=" << k;
+    // Pattern payload agrees (8 bytes per entry).
+    EXPECT_EQ(problem.comm_pattern().total_payload_bytes(),
+              static_cast<std::uint64_t>(problem.total_comm_volume_words()) * 8);
+  }
+}
+
+TEST(SpmvProblem, SendAndRecvPlansMirrorEachOther) {
+  const sparse::Csr a = sparse::random_uniform(80, 80, 800, 2).symmetrized();
+  const auto parts = partition::cyclic_partition(80, 8);
+  const SpmvProblem problem(a, parts, 8);
+  // For every (owner -> consumer, count) there is a matching recv plan.
+  for (core::Rank owner = 0; owner < 8; ++owner) {
+    for (const RankPlan::SendTo& s : problem.plan(owner).sends) {
+      const RankPlan& consumer = problem.plan(s.dest);
+      const auto it = std::find_if(consumer.recvs.begin(), consumer.recvs.end(),
+                                   [&](const RankPlan::RecvFrom& r) { return r.source == owner; });
+      ASSERT_NE(it, consumer.recvs.end());
+      EXPECT_EQ(it->ghost_slots.size(), s.x_slots.size());
+      // Sender slot order and receiver ghost order name the same globals.
+      for (std::size_t i = 0; i < s.x_slots.size(); ++i) {
+        const std::int32_t sent_global =
+            problem.plan(owner).x_slot_global[static_cast<std::size_t>(s.x_slots[i])];
+        const std::int32_t recv_global =
+            consumer.x_slot_global[static_cast<std::size_t>(it->ghost_slots[i])];
+        EXPECT_EQ(sent_global, recv_global);
+      }
+    }
+  }
+}
+
+TEST(SpmvProblem, MaxLocalNnzTracksPartition) {
+  const sparse::Csr a = sparse::stencil_2d(16, 16);
+  const auto even = partition::block_partition_rows(a, 4);
+  const SpmvProblem p_even(a, even, 4, false);
+  // All rows in one rank: max == total.
+  const std::vector<std::int32_t> all_zero(static_cast<std::size_t>(a.num_rows()), 0);
+  const SpmvProblem p_skew(a, all_zero, 4, false);
+  EXPECT_EQ(p_skew.max_local_nnz(), a.num_nonzeros());
+  EXPECT_LT(p_even.max_local_nnz(), a.num_nonzeros() / 2);
+}
+
+TEST(SpmvProblem, ValidatesInput) {
+  const sparse::Csr square = sparse::stencil_2d(4, 4);
+  const sparse::Csr rect = sparse::random_uniform(4, 6, 8, 1);
+  std::vector<std::int32_t> parts(16, 0);
+  EXPECT_THROW(SpmvProblem(rect, std::vector<std::int32_t>(4, 0), 1), core::Error);
+  EXPECT_THROW(SpmvProblem(square, std::vector<std::int32_t>(3, 0), 1), core::Error);
+  std::vector<std::int32_t> bad = parts;
+  bad[0] = 7;
+  EXPECT_THROW(SpmvProblem(square, bad, 4), core::Error);
+  const SpmvProblem no_plans(square, parts, 1, false);
+  EXPECT_THROW(no_plans.plan(0), core::Error);
+}
+
+TEST(SpmvProblem, ComputeTimeModel) {
+  EXPECT_DOUBLE_EQ(compute_time_us(0), 0.0);
+  EXPECT_DOUBLE_EQ(compute_time_us(1000, 12.0), 12.0);
+  EXPECT_DOUBLE_EQ(compute_time_us(500000, 10.0), 5000.0);
+}
+
+}  // namespace
+}  // namespace stfw::spmv

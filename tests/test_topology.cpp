@@ -1,0 +1,97 @@
+#include "netsim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace stfw::netsim {
+namespace {
+
+TEST(Torus, RingDistancesWithWraparound) {
+  const TorusTopology t({8});
+  EXPECT_EQ(t.num_nodes(), 8);
+  EXPECT_EQ(t.hops(0, 0), 0);
+  EXPECT_EQ(t.hops(0, 1), 1);
+  EXPECT_EQ(t.hops(0, 4), 4);
+  EXPECT_EQ(t.hops(0, 7), 1);  // wrap-around
+  EXPECT_EQ(t.hops(2, 6), 4);
+}
+
+TEST(Torus, MultiDimensionalHopsAreSumOfRings) {
+  const TorusTopology t({4, 4, 4});
+  EXPECT_EQ(t.num_nodes(), 64);
+  // node = x + 4y + 16z
+  EXPECT_EQ(t.hops(0, 1 + 4 * 1 + 16 * 1), 3);
+  EXPECT_EQ(t.hops(0, 2 + 4 * 2 + 16 * 2), 6);  // max per dim is 2 in a 4-ring
+  EXPECT_EQ(t.hops(0, 3), 1);                   // wrap in x
+}
+
+TEST(Torus, HopsAreSymmetricAndTriangular) {
+  const TorusTopology t({3, 5});
+  for (int a = 0; a < t.num_nodes(); ++a)
+    for (int b = 0; b < t.num_nodes(); ++b) {
+      EXPECT_EQ(t.hops(a, b), t.hops(b, a));
+      for (int c = 0; c < t.num_nodes(); c += 4)
+        EXPECT_LE(t.hops(a, b), t.hops(a, c) + t.hops(c, b));
+    }
+}
+
+TEST(Torus, FittingProducesNearCubicShape) {
+  const auto t3 = TorusTopology::fitting(1000, 3);
+  EXPECT_GE(t3.num_nodes(), 1000);
+  const auto& d = t3.dims();
+  ASSERT_EQ(d.size(), 3u);
+  const auto [mn, mx] = std::minmax_element(d.begin(), d.end());
+  EXPECT_LE(*mx - *mn, 2);
+
+  const auto t5 = TorusTopology::fitting(1024, 5);
+  EXPECT_GE(t5.num_nodes(), 1024);
+  EXPECT_EQ(t5.dims().size(), 5u);
+
+  const auto t1 = TorusTopology::fitting(7, 1);
+  EXPECT_EQ(t1.num_nodes(), 7);
+}
+
+TEST(Torus, RejectsBadInput) {
+  EXPECT_THROW(TorusTopology({}), core::Error);
+  EXPECT_THROW(TorusTopology({0}), core::Error);
+  const TorusTopology t({4});
+  EXPECT_THROW(t.hops(0, 4), core::Error);
+  EXPECT_THROW(t.hops(-1, 0), core::Error);
+}
+
+TEST(Dragonfly, HopTiers) {
+  const DragonflyTopology d(4, 8, 4);  // 4 groups x 8 routers x 4 nodes
+  EXPECT_EQ(d.num_nodes(), 128);
+  EXPECT_EQ(d.hops(0, 0), 0);
+  EXPECT_EQ(d.hops(0, 1), 1);    // same router
+  EXPECT_EQ(d.hops(0, 4), 2);    // same group, different router
+  EXPECT_EQ(d.hops(0, 31), 2);   // last node of group 0
+  EXPECT_EQ(d.hops(0, 32), 5);   // first node of group 1
+  EXPECT_EQ(d.hops(0, 127), 5);
+}
+
+TEST(Dragonfly, HopsAreSymmetric) {
+  const DragonflyTopology d(3, 4, 2);
+  for (int a = 0; a < d.num_nodes(); ++a)
+    for (int b = 0; b < d.num_nodes(); ++b) EXPECT_EQ(d.hops(a, b), d.hops(b, a));
+}
+
+TEST(Dragonfly, FittingUsesAriesProportions) {
+  const auto d = DragonflyTopology::fitting(512);
+  EXPECT_GE(d.num_nodes(), 512);
+  EXPECT_EQ(d.routers_per_group(), 96);
+  EXPECT_EQ(d.nodes_per_router(), 4);
+  const auto big = DragonflyTopology::fitting(2000);
+  EXPECT_GE(big.num_nodes(), 2000);
+  EXPECT_GE(big.groups(), 6);
+}
+
+TEST(Dragonfly, RejectsBadInput) {
+  EXPECT_THROW(DragonflyTopology(0, 1, 1), core::Error);
+  const DragonflyTopology d(2, 2, 2);
+  EXPECT_THROW(d.hops(0, 8), core::Error);
+}
+
+}  // namespace
+}  // namespace stfw::netsim

@@ -1,0 +1,120 @@
+#include "core/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/error.hpp"
+
+namespace stfw::core {
+namespace {
+
+std::vector<std::byte> bytes_of(std::initializer_list<int> values) {
+  std::vector<std::byte> out;
+  for (int v : values) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST(Wire, EmptyMessageRoundTrip) {
+  PayloadArena arena;
+  StageMessage m{0, 1, {}};
+  const auto wire = serialize(m, arena);
+  EXPECT_EQ(wire.size(), wire_size_bytes(0, 0));
+  PayloadArena arena2;
+  const auto subs = deserialize(wire, arena2);
+  EXPECT_TRUE(subs.empty());
+}
+
+TEST(Wire, RoundTripPreservesHeadersAndPayloads) {
+  PayloadArena arena;
+  StageMessage m{3, 7, {}};
+  const auto p1 = bytes_of({1, 2, 3, 4});
+  const auto p2 = bytes_of({});
+  const auto p3 = bytes_of({0xde, 0xad, 0xbe, 0xef, 0x42});
+  m.subs.push_back(Submessage{2, 9, arena.add(p1), 4});
+  m.subs.push_back(Submessage{3, 5, arena.add(p2), 0});
+  m.subs.push_back(Submessage{11, 9, arena.add(p3), 5});
+
+  const auto wire = serialize(m, arena);
+  EXPECT_EQ(wire.size(), wire_size_bytes(3, 9));
+
+  PayloadArena arena2;
+  const auto subs = deserialize(wire, arena2);
+  ASSERT_EQ(subs.size(), 3u);
+  EXPECT_EQ(subs[0].source, 2);
+  EXPECT_EQ(subs[0].dest, 9);
+  EXPECT_EQ(subs[1].source, 3);
+  EXPECT_EQ(subs[1].dest, 5);
+  EXPECT_EQ(subs[2].source, 11);
+  EXPECT_EQ(subs[2].dest, 9);
+  const auto v1 = arena2.view(subs[0]);
+  const auto v3 = arena2.view(subs[2]);
+  EXPECT_TRUE(std::equal(v1.begin(), v1.end(), p1.begin(), p1.end()));
+  EXPECT_TRUE(std::equal(v3.begin(), v3.end(), p3.begin(), p3.end()));
+}
+
+TEST(Wire, RandomizedRoundTrip) {
+  std::mt19937_64 rng(42);
+  std::uniform_int_distribution<int> count_dist(0, 40);
+  std::uniform_int_distribution<int> len_dist(0, 64);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  for (int trial = 0; trial < 50; ++trial) {
+    PayloadArena arena;
+    StageMessage m{1, 2, {}};
+    const int count = count_dist(rng);
+    std::vector<std::vector<std::byte>> payloads;
+    for (int i = 0; i < count; ++i) {
+      std::vector<std::byte> p(static_cast<std::size_t>(len_dist(rng)));
+      for (auto& b : p) b = static_cast<std::byte>(byte_dist(rng));
+      m.subs.push_back(
+          Submessage{i, i + 1, arena.add(p), static_cast<std::uint32_t>(p.size())});
+      payloads.push_back(std::move(p));
+    }
+    PayloadArena arena2;
+    const auto subs = deserialize(serialize(m, arena), arena2);
+    ASSERT_EQ(subs.size(), payloads.size());
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      const auto view = arena2.view(subs[i]);
+      EXPECT_TRUE(std::equal(view.begin(), view.end(), payloads[i].begin(), payloads[i].end()));
+    }
+  }
+}
+
+TEST(Wire, RejectsTruncatedHeader) {
+  const auto wire = bytes_of({1, 0, 0});  // 3 bytes < u32 count
+  PayloadArena arena;
+  EXPECT_THROW(deserialize(wire, arena), Error);
+}
+
+TEST(Wire, RejectsTruncatedPayload) {
+  PayloadArena arena;
+  StageMessage m{0, 1, {}};
+  const auto p = bytes_of({1, 2, 3, 4, 5, 6, 7, 8});
+  m.subs.push_back(Submessage{0, 1, arena.add(p), 8});
+  auto wire = serialize(m, arena);
+  wire.resize(wire.size() - 3);
+  PayloadArena arena2;
+  EXPECT_THROW(deserialize(wire, arena2), Error);
+}
+
+TEST(Wire, RejectsTrailingGarbage) {
+  PayloadArena arena;
+  StageMessage m{0, 1, {}};
+  auto wire = serialize(m, arena);
+  wire.push_back(std::byte{0});
+  PayloadArena arena2;
+  EXPECT_THROW(deserialize(wire, arena2), Error);
+}
+
+TEST(PayloadArenaTest, ViewsRemainValidAcrossAdds) {
+  PayloadArena arena;
+  const auto p1 = bytes_of({1, 2, 3});
+  const Submessage s1{0, 1, arena.add(p1), 3};
+  for (int i = 0; i < 1000; ++i) arena.add(p1);
+  const auto view = arena.view(s1);
+  EXPECT_TRUE(std::equal(view.begin(), view.end(), p1.begin(), p1.end()));
+  EXPECT_EQ(arena.size_bytes(), 3u * 1001u);
+}
+
+}  // namespace
+}  // namespace stfw::core

@@ -1,0 +1,205 @@
+// stfw command-line driver.
+//
+// Evaluates BL and STFW schemes for an SpMV communication workload and
+// prints the Table 2/3-style metric rows, without writing any code:
+//
+//   stfw_cli --matrix gupta2 --ranks 512 --machine bgq
+//   stfw_cli --mtx /path/to/matrix.mtx --ranks 256 --dims 4,4,4,4
+//   stfw_cli --matrix pattern1 --ranks 1024 --machine xk7 \
+//            --entry-bytes 2048 --partitioner block --map-vpt
+//
+// Options:
+//   --matrix NAME        Table 1 stand-in (see --list)
+//   --mtx PATH           MatrixMarket file instead of a generator
+//   --scale S            generator scale for --matrix (default 0.08)
+//   --ranks K            number of processes (default 256)
+//   --dims a,b,c         explicit VPT dimensions (may repeat); default:
+//                        BL + every balanced dimension for K
+//   --machine M          bgq | xk7 | xc40 (default bgq)
+//   --partitioner P      hypergraph | block | cyclic | random (default
+//                        hypergraph)
+//   --entry-bytes B      payload bytes per communicated x entry (default 8)
+//   --map-vpt            apply the Section 8 VPT mapping optimizer
+//   --seed N             generator/partitioner seed (default 1)
+//   --list               print the known matrix names and exit
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/vpt.hpp"
+#include "mapping/mapping.hpp"
+#include "netsim/machine.hpp"
+#include "partition/partitioner.hpp"
+#include "sim/bsp_simulator.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/matrix_market.hpp"
+#include "spmv/distributed.hpp"
+
+using namespace stfw;
+
+namespace {
+
+struct Options {
+  std::string matrix = "gupta2";
+  std::string mtx_path;
+  double scale = 0.08;
+  core::Rank ranks = 256;
+  std::vector<std::vector<int>> dims;
+  std::string machine = "bgq";
+  std::string partitioner = "hypergraph";
+  std::uint32_t entry_bytes = 8;
+  bool map_vpt = false;
+  std::uint64_t seed = 1;
+};
+
+std::vector<int> parse_dims(const std::string& spec) {
+  std::vector<int> dims;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    dims.push_back(std::atoi(spec.substr(pos, comma - pos).c_str()));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  core::require(!dims.empty(), "--dims: expected a comma-separated list");
+  return dims;
+}
+
+[[noreturn]] void usage_error(const char* msg) {
+  std::fprintf(stderr, "stfw_cli: %s (see the header of tools/stfw_cli.cpp)\n", msg);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--matrix") {
+      o.matrix = value();
+    } else if (arg == "--mtx") {
+      o.mtx_path = value();
+    } else if (arg == "--scale") {
+      o.scale = std::atof(value().c_str());
+    } else if (arg == "--ranks") {
+      o.ranks = std::atoi(value().c_str());
+    } else if (arg == "--dims") {
+      o.dims.push_back(parse_dims(value()));
+    } else if (arg == "--machine") {
+      o.machine = value();
+    } else if (arg == "--partitioner") {
+      o.partitioner = value();
+    } else if (arg == "--entry-bytes") {
+      o.entry_bytes = static_cast<std::uint32_t>(std::atoi(value().c_str()));
+    } else if (arg == "--map-vpt") {
+      o.map_vpt = true;
+    } else if (arg == "--seed") {
+      o.seed = static_cast<std::uint64_t>(std::atoll(value().c_str()));
+    } else if (arg == "--list") {
+      for (const auto& m : sparse::paper_matrices())
+        std::printf("%-20s %-22s rows=%-8d nnz=%lld\n", std::string(m.name).c_str(),
+                    std::string(m.kind).c_str(), m.rows, static_cast<long long>(m.nnz));
+      std::exit(0);
+    } else {
+      usage_error(("unknown option " + arg).c_str());
+    }
+  }
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options o = parse(argc, argv);
+
+    sparse::Csr matrix;
+    std::string source;
+    if (!o.mtx_path.empty()) {
+      matrix = sparse::read_matrix_market_file(o.mtx_path);
+      if (!matrix.has_symmetric_pattern()) matrix = matrix.symmetrized();
+      source = o.mtx_path;
+    } else {
+      const auto spec = sparse::scaled_spec(sparse::find_paper_matrix(o.matrix), o.scale,
+                                            std::min(sparse::find_paper_matrix(o.matrix).rows,
+                                                     4 * o.ranks));
+      matrix = sparse::generate(spec, o.seed);
+      source = o.matrix + " stand-in (scale " + std::to_string(o.scale) + ")";
+    }
+    const auto stats = sparse::degree_stats(matrix);
+    std::printf("matrix: %s — %d rows, %lld nnz, max degree %lld, cv %.2f\n", source.c_str(),
+                matrix.num_rows(), static_cast<long long>(matrix.num_nonzeros()),
+                static_cast<long long>(stats.max_degree), stats.cv);
+
+    std::vector<std::int32_t> parts;
+    if (o.partitioner == "hypergraph") {
+      partition::PartitionOptions popts;
+      popts.num_parts = o.ranks;
+      popts.seed = o.seed;
+      parts = partition::partition_rows(matrix, popts);
+    } else if (o.partitioner == "block") {
+      parts = partition::block_partition_rows(matrix, o.ranks);
+    } else if (o.partitioner == "cyclic") {
+      parts = partition::cyclic_partition(matrix.num_rows(), o.ranks);
+    } else if (o.partitioner == "random") {
+      parts = partition::random_partition(matrix.num_rows(), o.ranks, o.seed);
+    } else {
+      usage_error("unknown partitioner");
+    }
+
+    const spmv::SpmvProblem problem(matrix, parts, o.ranks, /*build_plans=*/false);
+    sim::CommPattern pattern = problem.comm_pattern(o.entry_bytes);
+    std::printf("pattern: %lld messages, %.1f avg / %lld max per rank, %llu payload bytes\n",
+                static_cast<long long>(pattern.total_messages()), pattern.avg_send_count(),
+                static_cast<long long>(pattern.max_send_count()),
+                static_cast<unsigned long long>(pattern.total_payload_bytes()));
+
+    const netsim::Machine machine = o.machine == "xk7"    ? netsim::Machine::cray_xk7(o.ranks)
+                                    : o.machine == "xc40" ? netsim::Machine::cray_xc40(o.ranks)
+                                    : o.machine == "bgq"
+                                        ? netsim::Machine::blue_gene_q(o.ranks)
+                                        : (usage_error("unknown machine"),
+                                           netsim::Machine::blue_gene_q(o.ranks));
+    std::printf("machine: %s\n\n", machine.name().c_str());
+
+    std::vector<core::Vpt> vpts;
+    if (o.dims.empty()) {
+      vpts.push_back(core::Vpt::direct(o.ranks));
+      if (core::is_pow2(o.ranks))
+        for (int n = 2; n <= core::floor_log2(o.ranks); ++n)
+          vpts.push_back(core::Vpt::balanced(o.ranks, n));
+    } else {
+      for (const auto& d : o.dims) vpts.push_back(core::Vpt(d));
+    }
+
+    std::printf("%-22s | %8s %8s %10s | %10s %8s\n", "VPT", "mmax", "mavg", "vol(words)",
+                "comm(us)", "buf(KB)");
+    for (const core::Vpt& vpt : vpts) {
+      core::require(vpt.size() == o.ranks, "--dims: product must equal --ranks");
+      sim::CommPattern run_pattern = problem.comm_pattern(o.entry_bytes);
+      if (o.map_vpt && vpt.dim() > 1) {
+        const auto perm = mapping::optimize_vpt_mapping(run_pattern, vpt, {o.seed});
+        run_pattern = mapping::permute_pattern(run_pattern, perm);
+      }
+      sim::SimOptions sopts;
+      sopts.machine = &machine;
+      const sim::SimResult r = sim::simulate_exchange(vpt, run_pattern, sopts);
+      std::printf("%-22s | %8lld %8.1f %10lld | %10.0f %8.1f\n", vpt.to_string().c_str(),
+                  static_cast<long long>(r.metrics.max_send_count()),
+                  r.metrics.avg_send_count(),
+                  static_cast<long long>(r.metrics.total_volume_words()), r.comm_time_us,
+                  static_cast<double>(r.metrics.max_buffer_bytes()) / 1024.0);
+    }
+    return 0;
+  } catch (const core::Error& e) {
+    std::fprintf(stderr, "stfw_cli: %s\n", e.what());
+    return 1;
+  }
+}
