@@ -33,7 +33,8 @@ void profile(const stfw::bench::Instance& inst, stfw::core::Rank K) {
   for (int h = kHeight; h >= 1; --h) {
     const double level = static_cast<double>(mmax) * h / kHeight;
     std::putchar(std::abs(level - avg) < static_cast<double>(mmax) / kHeight ? '~' : ' ');
-    for (int b = 0; b < kBuckets; ++b) std::putchar(bucket[b] >= level ? '#' : ' ');
+    for (int b = 0; b < kBuckets; ++b)
+      std::putchar(bucket[static_cast<std::size_t>(b)] >= level ? '#' : ' ');
     if (h == kHeight) std::printf(" <- max (%lld msgs)", static_cast<long long>(mmax));
     std::putchar('\n');
   }

@@ -23,7 +23,8 @@ void BM_VptCoordRoundTrip(benchmark::State& state) {
   for (auto _ : state) {
     const auto c = vpt.coords_of(r);
     benchmark::DoNotOptimize(vpt.rank_of(c));
-    r = (r * 2654435761u + 1) % vpt.size();
+    r = static_cast<Rank>((static_cast<std::uint32_t>(r) * 2654435761u + 1) %
+                          static_cast<std::uint32_t>(vpt.size()));
   }
 }
 BENCHMARK(BM_VptCoordRoundTrip)->Arg(2)->Arg(6)->Arg(12);
@@ -68,7 +69,8 @@ void BM_WireSerializeRoundTrip(benchmark::State& state) {
     benchmark::DoNotOptimize(core::deserialize(wire, scratch));
   }
   state.SetBytesProcessed(state.iterations() *
-                          static_cast<std::int64_t>(core::wire_size_bytes(64, 64 * state.range(0))));
+                          static_cast<std::int64_t>(core::wire_size_bytes(
+                              64, 64 * static_cast<std::uint64_t>(state.range(0)))));
 }
 BENCHMARK(BM_WireSerializeRoundTrip)->Arg(16)->Arg(256)->Arg(4096);
 

@@ -20,6 +20,32 @@ public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Structured diagnostic thrown by the debug-mode exchange validator
+/// (src/validate/) when a store-and-forward invariant of Algorithm 1 is
+/// violated. Carries the machine-readable context alongside the formatted
+/// message so tests and tooling can assert on the exact check that fired.
+class ValidationError : public Error {
+public:
+  ValidationError(std::string check, int rank, int stage, const std::string& detail)
+      : Error("[validate:" + check + "] rank " + std::to_string(rank) + " stage " +
+              std::to_string(stage) + ": " + detail),
+        check_(std::move(check)),
+        rank_(rank),
+        stage_(stage) {}
+
+  /// Identifier of the violated invariant, e.g. "neighbor-send" or
+  /// "payload-conservation".
+  const std::string& check() const noexcept { return check_; }
+  int rank() const noexcept { return rank_; }
+  /// Stage in which the violation was observed; -1 for exchange-wide checks.
+  int stage() const noexcept { return stage_; }
+
+private:
+  std::string check_;
+  int rank_;
+  int stage_;
+};
+
 [[noreturn]] inline void fail(const std::string& msg,
                               std::source_location loc = std::source_location::current()) {
   throw Error(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) + ": " + msg);

@@ -36,6 +36,7 @@ void StfwRankState::stash(int stage_from, const Submessage& s) {
   const int x = vpt_->coord(s.dest, d);
   fwbuf_[static_cast<std::size_t>(d)][x].push_back(s);
   buffered_bytes_ += s.size_bytes;
+  ++buffered_count_;
   peak_buffered_bytes_ = std::max(peak_buffered_bytes_, buffered_bytes_);
 }
 
@@ -57,6 +58,7 @@ void StfwRankState::make_stage_outbox(int stage, std::vector<StageMessage>& out)
     m.to = vpt_->with_coord(me_, stage, x);
     m.subs = std::move(slots[x]);
     buffered_bytes_ -= m.payload_bytes();
+    buffered_count_ -= m.subs.size();
     out.push_back(std::move(m));
   }
   slots.clear();
@@ -78,6 +80,7 @@ void StfwRankState::reset() {
   delivered_.clear();
   stages_consumed_ = 0;
   buffered_bytes_ = 0;
+  buffered_count_ = 0;
   peak_buffered_bytes_ = 0;
   delivered_bytes_ = 0;
 }

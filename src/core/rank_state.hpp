@@ -54,6 +54,10 @@ public:
   /// Bytes of payload currently parked in forward buffers.
   std::uint64_t buffered_payload_bytes() const noexcept { return buffered_bytes_; }
 
+  /// Submessages currently parked in forward buffers — the paper's per-stage
+  /// residency count (≤ K-1 for single-message-per-pair patterns).
+  std::uint64_t buffered_submessage_count() const noexcept { return buffered_count_; }
+
   /// High-water mark of buffered_payload_bytes() over the exchange, the
   /// store-and-forward part of the paper's buffer-size metric.
   std::uint64_t peak_buffered_payload_bytes() const noexcept { return peak_buffered_bytes_; }
@@ -78,6 +82,7 @@ private:
   std::vector<std::unordered_map<int, std::vector<Submessage>>> fwbuf_;
   std::vector<Submessage> delivered_;
   std::uint64_t buffered_bytes_ = 0;
+  std::uint64_t buffered_count_ = 0;
   std::uint64_t peak_buffered_bytes_ = 0;
   std::uint64_t delivered_bytes_ = 0;
 };

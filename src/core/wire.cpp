@@ -8,10 +8,13 @@ namespace stfw::core {
 
 namespace {
 
+// resize + memcpy rather than insert(end, p, p + sizeof(T)): gcc 12's
+// -Wstringop-overflow misfires on the 4-byte insert path at -O2.
 template <class T>
 void put(std::vector<std::byte>& out, T v) {
-  const auto* p = reinterpret_cast<const std::byte*>(&v);
-  out.insert(out.end(), p, p + sizeof(T));
+  const std::size_t pos = out.size();
+  out.resize(pos + sizeof(T));
+  std::memcpy(out.data() + pos, &v, sizeof(T));
 }
 
 template <class T>

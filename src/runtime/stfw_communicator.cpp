@@ -1,9 +1,16 @@
 #include "stfw_communicator.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
 
 #include "core/error.hpp"
 #include "core/wire.hpp"
+
+#if STFW_VALIDATE_ENABLED
+#include "validate/exchange_validator.hpp"
+#endif
 
 namespace stfw {
 
@@ -12,8 +19,32 @@ using core::StageMessage;
 using core::StfwRankState;
 using core::Submessage;
 
+namespace {
+
+bool validation_default() {
+#if STFW_VALIDATE_ENABLED
+  const char* env = std::getenv("STFW_VALIDATE");
+  if (env != nullptr && (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+                         std::strcmp(env, "false") == 0))
+    return false;
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool StfwCommunicator::validation_available() noexcept {
+#if STFW_VALIDATE_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
 StfwCommunicator::StfwCommunicator(runtime::Comm& comm, core::Vpt vpt)
-    : comm_(&comm), vpt_(std::move(vpt)) {
+    : comm_(&comm), vpt_(std::move(vpt)), validate_(validation_default()) {
   core::require(vpt_.size() == comm.size(),
                 "StfwCommunicator: VPT size must equal communicator size");
 }
@@ -24,8 +55,16 @@ std::vector<InboundMessage> StfwCommunicator::exchange(std::span<const OutboundM
   PayloadArena arena;
   stats_ = LocalExchangeStats{};
 
+#if STFW_VALIDATE_ENABLED
+  std::optional<validate::ExchangeValidator> validator;
+  if (validate_) validator.emplace(vpt_, me);
+#endif
+
   std::uint64_t seed_bytes = 0;
   for (const OutboundMessage& s : sends) {
+#if STFW_VALIDATE_ENABLED
+    if (validator) validator->on_seed(s.dest, s.bytes);
+#endif
     const std::uint64_t off = arena.add(s.bytes);
     state.add_send(s.dest, off, static_cast<std::uint32_t>(s.bytes.size()));
     seed_bytes += s.bytes.size();
@@ -39,6 +78,9 @@ std::vector<InboundMessage> StfwCommunicator::exchange(std::span<const OutboundM
     outbox.clear();
     state.make_stage_outbox(stage, outbox);
     for (const StageMessage& m : outbox) {
+#if STFW_VALIDATE_ENABLED
+      if (validator) validator->on_stage_send(stage, m);
+#endif
       auto wire = core::serialize(m, arena);
       ++stats_.messages_sent;
       stats_.payload_bytes_sent += m.payload_bytes();
@@ -51,9 +93,18 @@ std::vector<InboundMessage> StfwCommunicator::exchange(std::span<const OutboundM
     for (runtime::Message& m : comm_->drain(tag)) {
       ++stats_.messages_received;
       const std::vector<Submessage> subs = core::deserialize(m.data, arena);
+#if STFW_VALIDATE_ENABLED
+      if (validator)
+        validator->on_stage_recv(stage, static_cast<core::Rank>(m.source), subs);
+#endif
       state.accept(stage, subs);
     }
     transit_peak = std::max(transit_peak, state.buffered_payload_bytes());
+#if STFW_VALIDATE_ENABLED
+    if (validator)
+      validator->on_stage_complete(stage, state.buffered_payload_bytes(),
+                                   state.buffered_submessage_count());
+#endif
   }
   ++epoch_;
 
@@ -61,8 +112,18 @@ std::vector<InboundMessage> StfwCommunicator::exchange(std::span<const OutboundM
   // the store-and-forward transit residency.
   stats_.peak_buffer_bytes = seed_bytes + state.delivered_payload_bytes() + transit_peak;
 
-  std::vector<InboundMessage> result;
   std::vector<Submessage> delivered = state.take_delivered();
+
+#if STFW_VALIDATE_ENABLED
+  if (validator) {
+    // Collective conservation + buffer-bound verdict: every rank shares its
+    // seed-side claims and checks its deliveries against them.
+    const auto summaries = comm_->allgather(validator->summary_blob());
+    validator->finish(delivered, arena, stats_.messages_sent, summaries);
+  }
+#endif
+
+  std::vector<InboundMessage> result;
   std::stable_sort(delivered.begin(), delivered.end(),
                    [](const Submessage& a, const Submessage& b) { return a.source < b.source; });
   result.reserve(delivered.size());

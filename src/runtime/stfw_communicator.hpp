@@ -55,10 +55,23 @@ public:
   /// Statistics of the most recent exchange() on this rank.
   const LocalExchangeStats& last_stats() const noexcept { return stats_; }
 
+  /// True when the build carries the debug-mode exchange validator
+  /// (CMake option STFW_VALIDATE=ON; see docs/validation.md).
+  static bool validation_available() noexcept;
+
+  /// Whether exchange() runs under the invariant validator. Defaults to ON
+  /// in validator-enabled builds unless the STFW_VALIDATE environment
+  /// variable is "0"/"off"/"false". The validator's conservation check is
+  /// collective, so all ranks must agree on this flag; without
+  /// STFW_VALIDATE=ON in the build the flag has no effect.
+  bool validation_enabled() const noexcept { return validate_; }
+  void set_validation(bool on) noexcept { validate_ = on; }
+
 private:
   runtime::Comm* comm_;
   core::Vpt vpt_;
   int epoch_ = 0;  // distinguishes tags across repeated exchanges
+  bool validate_;
   LocalExchangeStats stats_;
 };
 

@@ -71,9 +71,9 @@ void Csr::spmv(std::span<const double> x, std::span<double> y) const {
 
 void Csr::spmm(std::span<const double> x, std::span<double> y, std::int32_t num_vectors) const {
   require(num_vectors >= 1, "Csr::spmm: need at least one vector");
-  require(x.size() == static_cast<std::size_t>(num_cols_) * num_vectors,
+  require(x.size() == static_cast<std::size_t>(num_cols_) * static_cast<std::size_t>(num_vectors),
           "Csr::spmm: x size mismatch");
-  require(y.size() == static_cast<std::size_t>(num_rows_) * num_vectors,
+  require(y.size() == static_cast<std::size_t>(num_rows_) * static_cast<std::size_t>(num_vectors),
           "Csr::spmm: y size mismatch");
   const auto nv = static_cast<std::size_t>(num_vectors);
   for (std::int32_t r = 0; r < num_rows_; ++r) {

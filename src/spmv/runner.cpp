@@ -93,8 +93,8 @@ std::vector<double> run_distributed_spmm(runtime::Cluster& cluster, const SpmvPr
   require(problem.has_plans(), "run_distributed_spmm: problem built without numeric plans");
   require(cluster.size() == problem.num_ranks(), "run_distributed_spmm: cluster size mismatch");
   require(num_vectors >= 1, "run_distributed_spmm: need at least one vector");
-  require(x0.size() ==
-              static_cast<std::size_t>(problem.matrix().num_rows()) * num_vectors,
+  require(x0.size() == static_cast<std::size_t>(problem.matrix().num_rows()) *
+                           static_cast<std::size_t>(num_vectors),
           "run_distributed_spmm: X size mismatch");
   require(iterations >= 1, "run_distributed_spmm: need at least one iteration");
 
@@ -166,7 +166,8 @@ std::vector<double> run_serial_spmm(const sparse::Csr& a, std::span<const double
                                     std::int32_t num_vectors, int iterations) {
   require(iterations >= 1, "run_serial_spmm: need at least one iteration");
   std::vector<double> x(x0.begin(), x0.end());
-  std::vector<double> y(static_cast<std::size_t>(a.num_rows()) * num_vectors, 0.0);
+  std::vector<double> y(
+      static_cast<std::size_t>(a.num_rows()) * static_cast<std::size_t>(num_vectors), 0.0);
   for (int it = 0; it < iterations; ++it) {
     a.spmm(x, y, num_vectors);
     std::swap(x, y);

@@ -100,9 +100,9 @@ TEST(Csr, SymmetrizedHasSymmetricPattern) {
   const Csr s = a.symmetrized();
   EXPECT_TRUE(s.has_symmetric_pattern());
   // a_01 becomes (a_01 + a_10)/2 = 1.0 on both sides.
-  EXPECT_DOUBLE_EQ(s.row_values(0)[std::distance(
+  EXPECT_DOUBLE_EQ(s.row_values(0)[static_cast<std::size_t>(std::distance(
                        s.row_cols(0).begin(),
-                       std::find(s.row_cols(0).begin(), s.row_cols(0).end(), 1))],
+                       std::find(s.row_cols(0).begin(), s.row_cols(0).end(), 1)))],
                    1.0);
 }
 

@@ -145,7 +145,9 @@ TEST_P(PaperMatrixFidelity, StatisticsTrackTable1) {
             spec.max_degree + 5 * static_cast<std::int64_t>(
                                       std::sqrt(static_cast<double>(spec.max_degree))) + 8)
       << name;
-  if (spec.cv > 1.0) EXPECT_GT(s.cv, 0.4) << name;  // irregularity survives
+  if (spec.cv > 1.0) {
+    EXPECT_GT(s.cv, 0.4) << name;  // irregularity survives
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, PaperMatrixFidelity,

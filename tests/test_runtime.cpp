@@ -191,7 +191,9 @@ TEST(Runtime, ExchangeStressRepeatedEpochs) {
       const auto msgs = comm.drain(100 + epoch);
       const bool expecting = (comm.rank() - epoch % kRanks + kRanks) % kRanks != comm.rank();
       ASSERT_EQ(msgs.size(), expecting ? 1u : 0u) << "epoch " << epoch;
-      if (expecting) EXPECT_EQ(value_of(msgs[0]), epoch);
+      if (expecting) {
+        EXPECT_EQ(value_of(msgs[0]), epoch);
+      }
     }
   });
 }

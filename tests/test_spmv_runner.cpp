@@ -131,7 +131,7 @@ TEST_P(DistributedSpmm, MatchesSerialReference) {
                                                : core::Vpt(param.vpt_dims);
   runtime::Cluster cluster(K);
   const auto x0 = random_vector(
-      static_cast<std::size_t>(a.num_rows()) * param.num_vectors, 3);
+      static_cast<std::size_t>(a.num_rows()) * static_cast<std::size_t>(param.num_vectors), 3);
   const auto distributed =
       run_distributed_spmm(cluster, problem, vpt, x0, param.num_vectors, param.iterations);
   const auto serial = run_serial_spmm(a, x0, param.num_vectors, param.iterations);

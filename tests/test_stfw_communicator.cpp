@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
 #include <map>
 #include <mutex>
@@ -9,6 +10,7 @@
 
 #include "core/analysis.hpp"
 #include "core/error.hpp"
+#include "core/wire.hpp"
 
 namespace stfw {
 namespace {
@@ -178,6 +180,64 @@ TEST(Communicator, MaxMessageCountRespectsSection4Bound) {
   // For the complete exchange the bound is tight.
   EXPECT_EQ(*std::max_element(sent.begin(), sent.end()), vpt.max_message_count_bound());
 }
+
+#ifdef STFW_VALIDATE_ENABLED
+TEST(Communicator, ValidatorActiveByDefaultInValidateBuilds) {
+  ASSERT_TRUE(StfwCommunicator::validation_available());
+}
+
+TEST(Communicator, ValidatorDetectsMisroutedMessage) {
+  // A forged stage-0 wire message whose submessage header claims a final
+  // destination the receiving rank cannot legally hold under dimension-order
+  // routing. The validator must catch it before the rank-state scatters it.
+  const Vpt vpt({2, 2});
+  runtime::Cluster cluster(4);
+  EXPECT_THROW(
+      cluster.run([&](runtime::Comm& comm) {
+        StfwCommunicator communicator(comm, vpt);
+        communicator.set_validation(true);
+        if (comm.rank() == 1) {
+          core::PayloadArena arena;
+          core::StageMessage forged;
+          forged.from = 1;
+          forged.to = 0;  // a legitimate dimension-0 neighbor of rank 1
+          const std::vector<std::byte> payload(8, std::byte{0x5a});
+          // Final destination 3 = (1,1): rank 0's dimension-0 digit cannot
+          // match it, so the header is misrouted/corrupted.
+          forged.subs.push_back(core::Submessage{1, 3, arena.add(payload),
+                                                 static_cast<std::uint32_t>(payload.size())});
+          comm.send(0, /*tag=*/0, core::serialize(forged, arena));
+        }
+        communicator.exchange({});
+      }),
+      core::ValidationError);
+}
+
+TEST(Communicator, ValidatorDetectsLostPayload) {
+  // A raw message that bypasses the communicator entirely: rank 1 injects a
+  // well-formed stage message the validator's conservation pass has no seed
+  // claim for, so the exchange-wide payload-conservation check must fire.
+  const Vpt vpt({2, 2});
+  runtime::Cluster cluster(4);
+  EXPECT_THROW(
+      cluster.run([&](runtime::Comm& comm) {
+        StfwCommunicator communicator(comm, vpt);
+        communicator.set_validation(true);
+        if (comm.rank() == 1) {
+          core::PayloadArena arena;
+          core::StageMessage forged;
+          forged.from = 1;
+          forged.to = 0;
+          const std::vector<std::byte> payload(4, std::byte{0x7e});
+          forged.subs.push_back(core::Submessage{1, 0, arena.add(payload),
+                                                 static_cast<std::uint32_t>(payload.size())});
+          comm.send(0, /*tag=*/0, core::serialize(forged, arena));
+        }
+        communicator.exchange({});
+      }),
+      core::ValidationError);
+}
+#endif  // STFW_VALIDATE_ENABLED
 
 TEST(Communicator, RejectsMismatchedVptSize) {
   runtime::Cluster cluster(4);

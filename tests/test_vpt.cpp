@@ -106,8 +106,11 @@ TEST(Vpt, WithCoordReplacesOneDigit) {
     for (int v = 0; v < 4; ++v) {
       const Rank s = t.with_coord(r, d, v);
       EXPECT_EQ(t.coord(s, d), v);
-      for (int c = 0; c < 3; ++c)
-        if (c != d) EXPECT_EQ(t.coord(s, c), t.coord(r, c));
+      for (int c = 0; c < 3; ++c) {
+        if (c != d) {
+          EXPECT_EQ(t.coord(s, c), t.coord(r, c));
+        }
+      }
     }
 }
 

@@ -92,7 +92,9 @@ TEST(Wire, RejectsTruncatedPayload) {
   const auto p = bytes_of({1, 2, 3, 4, 5, 6, 7, 8});
   m.subs.push_back(Submessage{0, 1, arena.add(p), 8});
   auto wire = serialize(m, arena);
-  wire.resize(wire.size() - 3);
+  // erase, not resize(size() - 3): gcc 12 cannot see that size() >= 3 here and
+  // flags the shrinking resize with a bogus -Wstringop-overflow under asan.
+  wire.erase(wire.end() - 3, wire.end());
   PayloadArena arena2;
   EXPECT_THROW(deserialize(wire, arena2), Error);
 }

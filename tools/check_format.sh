@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Formatting gate: verify (default) or rewrite (--fix) the tree with
+# clang-format against the repo-root .clang-format.
+#
+# Usage:
+#   tools/check_format.sh          # dry run, exit 1 on any diff
+#   tools/check_format.sh --fix    # rewrite files in place
+#
+# Skips with exit 0 when clang-format is unavailable (the container image
+# ships only gcc), mirroring tools/run_static_analysis.sh.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+FORMAT_BIN="${CLANG_FORMAT:-clang-format}"
+if ! command -v "${FORMAT_BIN}" >/dev/null 2>&1; then
+  echo "check_format: ${FORMAT_BIN} not found; skipping the format gate." >&2
+  echo "check_format: install clang-format (or set CLANG_FORMAT) to enable it." >&2
+  exit 0
+fi
+
+mapfile -t sources < <(git ls-files '*.cpp' '*.hpp')
+if [[ ${#sources[@]} -eq 0 ]]; then
+  echo "check_format: no sources found" >&2
+  exit 2
+fi
+
+if [[ "${1:-}" == "--fix" ]]; then
+  "${FORMAT_BIN}" -i --style=file "${sources[@]}"
+  echo "check_format: reformatted ${#sources[@]} files."
+  exit 0
+fi
+
+bad=0
+for src in "${sources[@]}"; do
+  if ! "${FORMAT_BIN}" --style=file --dry-run --Werror "${src}" >/dev/null 2>&1; then
+    echo "needs formatting: ${src}"
+    bad=1
+  fi
+done
+if [[ ${bad} -ne 0 ]]; then
+  echo "check_format: run tools/check_format.sh --fix" >&2
+  exit 1
+fi
+echo "check_format: clean."

@@ -5,7 +5,7 @@
 //
 //   stfw_cli --matrix gupta2 --ranks 512 --machine bgq
 //   stfw_cli --mtx /path/to/matrix.mtx --ranks 256 --dims 4,4,4,4
-//   stfw_cli --matrix pattern1 --ranks 1024 --machine xk7 \
+//   stfw_cli --matrix pattern1 --ranks 1024 --machine xk7
 //            --entry-bytes 2048 --partitioner block --map-vpt
 //
 // Options:
