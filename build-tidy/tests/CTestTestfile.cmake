@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tidy/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tidy/tests/test_vpt[1]_include.cmake")
+include("/root/repo/build-tidy/tests/test_rank_state[1]_include.cmake")
+include("/root/repo/build-tidy/tests/test_wire[1]_include.cmake")
+include("/root/repo/build-tidy/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build-tidy/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build-tidy/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build-tidy/tests/test_collectives[1]_include.cmake")
+include("/root/repo/build-tidy/tests/test_stfw_communicator[1]_include.cmake")
+include("/root/repo/build-tidy/tests/test_exchange_stats[1]_include.cmake")
+include("/root/repo/build-tidy/tests/test_validate[1]_include.cmake")
+include("/root/repo/build-tidy/tests/test_pattern[1]_include.cmake")
+include("/root/repo/build-tidy/tests/test_bsp_simulator[1]_include.cmake")
+include("/root/repo/build-tidy/tests/test_leader_aggregation[1]_include.cmake")
+include("/root/repo/build-tidy/tests/test_topology[1]_include.cmake")
+include("/root/repo/build-tidy/tests/test_machine[1]_include.cmake")
+include("/root/repo/build-tidy/tests/test_csr[1]_include.cmake")
+include("/root/repo/build-tidy/tests/test_matrix_market[1]_include.cmake")
+include("/root/repo/build-tidy/tests/test_generators[1]_include.cmake")
+include("/root/repo/build-tidy/tests/test_reorder[1]_include.cmake")
+include("/root/repo/build-tidy/tests/test_hypergraph[1]_include.cmake")
+include("/root/repo/build-tidy/tests/test_partitioner[1]_include.cmake")
+include("/root/repo/build-tidy/tests/test_spmv_problem[1]_include.cmake")
+include("/root/repo/build-tidy/tests/test_spmv_runner[1]_include.cmake")
+include("/root/repo/build-tidy/tests/test_mapping[1]_include.cmake")
+include("/root/repo/build-tidy/tests/test_integration[1]_include.cmake")
