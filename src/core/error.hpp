@@ -3,6 +3,8 @@
 #include <source_location>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 /// \file error.hpp
 /// Error handling for the stfw library.
@@ -10,7 +12,11 @@
 /// Precondition violations on the public API throw stfw::core::Error so
 /// misuse is diagnosable in tests and applications; internal invariants use
 /// STFW_ASSERT, which is compiled in all build types (the checks are cheap
-/// relative to communication work).
+/// relative to communication work). The fault-tolerance layer
+/// (docs/fault_model.md) adds structured subtypes: TimeoutError for expired
+/// deadlines, DeadlockError for watchdog verdicts, ClusterAbortedError for
+/// secondary failures caused by a peer's abort, and MultiRankError when
+/// several ranks fail in one Cluster::run.
 
 namespace stfw::core {
 
@@ -44,6 +50,82 @@ private:
   std::string check_;
   int rank_;
   int stage_;
+};
+
+/// A blocking communication primitive exceeded its deadline. Carries the
+/// waiter's identity and what it was waiting for, so a stalled peer is
+/// nameable from the exception alone ("rank 1 waited 100ms for rank 0").
+class TimeoutError : public Error {
+public:
+  TimeoutError(std::string op, int rank, int peer, int tag, long long waited_ms,
+               const std::string& detail = {})
+      : Error("[timeout:" + op + "] rank " + std::to_string(rank) + " waited " +
+              std::to_string(waited_ms) + "ms" +
+              (peer >= 0 ? " for rank " + std::to_string(peer) : std::string()) +
+              (op == "recv" ? " (tag " + std::to_string(tag) + ")" : std::string()) +
+              (detail.empty() ? std::string() : ": " + detail)),
+        op_(std::move(op)),
+        rank_(rank),
+        peer_(peer),
+        tag_(tag),
+        waited_ms_(waited_ms) {}
+
+  /// Primitive that timed out: "recv", "barrier", "allgather", ...
+  const std::string& op() const noexcept { return op_; }
+  /// Rank that was waiting.
+  int rank() const noexcept { return rank_; }
+  /// Rank being waited for (the stuck/stalled rank); kAnySource/-1 if any.
+  int peer() const noexcept { return peer_; }
+  int tag() const noexcept { return tag_; }
+  long long waited_ms() const noexcept { return waited_ms_; }
+
+private:
+  std::string op_;
+  int rank_;
+  int peer_;
+  int tag_;
+  long long waited_ms_;
+};
+
+/// The cluster watchdog concluded that no progress is possible and reports
+/// where every rank is stuck (see Cluster::set_watchdog).
+class DeadlockError : public TimeoutError {
+public:
+  DeadlockError(int rank, long long waited_ms, const std::string& report)
+      : TimeoutError("deadlock", rank, -1, 0, waited_ms, report) {}
+};
+
+/// Secondary failure: a blocking call was unblocked because *another* rank
+/// threw. Cluster::run filters these out of its error aggregation so the
+/// primary cause is what callers see.
+class ClusterAbortedError : public Error {
+public:
+  explicit ClusterAbortedError(const std::string& what) : Error(what) {}
+};
+
+/// More than one rank failed with a primary error in a single Cluster::run.
+/// what() summarizes every failing rank; failures() carries them verbatim.
+class MultiRankError : public Error {
+public:
+  struct RankFailure {
+    int rank;
+    std::string message;
+  };
+
+  explicit MultiRankError(std::vector<RankFailure> failures)
+      : Error(summarize(failures)), failures_(std::move(failures)) {}
+
+  const std::vector<RankFailure>& failures() const noexcept { return failures_; }
+
+private:
+  static std::string summarize(const std::vector<RankFailure>& failures) {
+    std::string s = std::to_string(failures.size()) + " ranks failed:";
+    for (const RankFailure& f : failures)
+      s += "\n  [rank " + std::to_string(f.rank) + "] " + f.message;
+    return s;
+  }
+
+  std::vector<RankFailure> failures_;
 };
 
 [[noreturn]] inline void fail(const std::string& msg,

@@ -27,6 +27,13 @@ struct Submessage {
   Rank dest = -1;
   std::uint64_t offset = 0;
   std::uint32_t size_bytes = 0;
+  /// Per-source sequence number assigned at seeding, so (source, id)
+  /// identifies a submessage exchange-wide. The resilient exchange carries
+  /// it on the wire to deduplicate end-to-end when a retry-exhausted frame
+  /// is re-routed directly even though the original was in fact accepted
+  /// (the at-least-once window of docs/fault_model.md). The plain exchange
+  /// ignores it.
+  std::uint32_t id = 0;
 
   friend bool operator==(const Submessage&, const Submessage&) = default;
 };

@@ -12,10 +12,10 @@ StfwRankState::StfwRankState(const Vpt& vpt, Rank me) : vpt_(&vpt), me_(me) {
 }
 
 void StfwRankState::add_send(Rank dest, std::uint64_t payload_offset,
-                             std::uint32_t payload_bytes) {
+                             std::uint32_t payload_bytes, std::uint32_t id) {
   require(dest >= 0 && dest < vpt_->size(), "add_send: destination out of range");
   require(stages_consumed_ == 0, "add_send: exchange already started");
-  const Submessage s{me_, dest, payload_offset, payload_bytes};
+  const Submessage s{me_, dest, payload_offset, payload_bytes, id};
   if (dest == me_) {
     delivered_.push_back(s);
     delivered_bytes_ += payload_bytes;

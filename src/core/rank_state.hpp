@@ -33,7 +33,10 @@ public:
   /// Algorithm 1 lines 4-6: queue an original message for `dest` in the
   /// buffer of the first dimension where our coordinates differ. A message
   /// to ourselves is delivered immediately (it never hits the network).
-  void add_send(Rank dest, std::uint64_t payload_offset, std::uint32_t payload_bytes);
+  /// `id` is the per-source submessage id (see Submessage::id); the plain
+  /// exchange leaves it 0.
+  void add_send(Rank dest, std::uint64_t payload_offset, std::uint32_t payload_bytes,
+                std::uint32_t id = 0);
 
   /// Algorithm 1 lines 9-12: move the non-empty dimension-d buffers out as
   /// coalesced messages, one per neighbor coordinate. Buffers for stage d

@@ -61,4 +61,92 @@ std::vector<Submessage> deserialize(std::span<const std::byte> wire, PayloadAren
   return subs;
 }
 
+std::vector<std::byte> serialize_tracked(const StageMessage& msg, const PayloadArena& arena) {
+  std::vector<std::byte> out;
+  out.reserve(wire_size_bytes(msg.subs.size(), msg.payload_bytes()) + 4 * msg.subs.size());
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(msg.subs.size()));
+  for (const Submessage& s : msg.subs) {
+    put<std::int32_t>(out, s.source);
+    put<std::int32_t>(out, s.dest);
+    put<std::uint32_t>(out, s.id);
+    put<std::uint32_t>(out, s.size_bytes);
+    const auto payload = arena.view(s);
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  return out;
+}
+
+std::vector<Submessage> deserialize_tracked(std::span<const std::byte> wire,
+                                            PayloadArena& arena) {
+  std::size_t pos = 0;
+  const auto count = get<std::uint32_t>(wire, pos);
+  std::vector<Submessage> subs;
+  subs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Submessage s;
+    s.source = get<std::int32_t>(wire, pos);
+    s.dest = get<std::int32_t>(wire, pos);
+    s.id = get<std::uint32_t>(wire, pos);
+    s.size_bytes = get<std::uint32_t>(wire, pos);
+    require(pos + s.size_bytes <= wire.size(), "deserialize: truncated payload");
+    s.offset = arena.add(std::span<const std::byte>(wire.data() + pos, s.size_bytes));
+    pos += s.size_bytes;
+    subs.push_back(s);
+  }
+  require(pos == wire.size(), "deserialize: trailing bytes");
+  return subs;
+}
+
+std::uint64_t fnv1a(std::span<const std::byte> bytes, std::uint64_t h) noexcept {
+  for (const std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::vector<std::byte> encode_frame(FrameHeader header, std::span<const std::byte> body) {
+  header.body_len = static_cast<std::uint32_t>(body.size());
+  std::vector<std::byte> out;
+  out.reserve(kFrameOverheadBytes + body.size());
+  put<std::uint32_t>(out, kFrameMagic);
+  put<std::uint16_t>(out, static_cast<std::uint16_t>(header.kind));
+  put<std::uint16_t>(out, header.stage);
+  put<std::uint32_t>(out, header.epoch);
+  put<std::uint32_t>(out, header.seq);
+  put<std::int32_t>(out, header.sender);
+  put<std::uint32_t>(out, header.body_len);
+  // Checksum covers everything framed so far plus the body.
+  const std::uint64_t sum = fnv1a(body, fnv1a(out));
+  put<std::uint64_t>(out, sum);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::optional<DecodedFrame> decode_frame(std::span<const std::byte> wire) noexcept {
+  if (wire.size() < kFrameOverheadBytes) return std::nullopt;
+  std::size_t pos = 0;
+  if (get<std::uint32_t>(wire, pos) != kFrameMagic) return std::nullopt;
+  DecodedFrame f;
+  const auto kind = get<std::uint16_t>(wire, pos);
+  if (kind != static_cast<std::uint16_t>(FrameKind::kData) &&
+      kind != static_cast<std::uint16_t>(FrameKind::kAck) &&
+      kind != static_cast<std::uint16_t>(FrameKind::kDirect) &&
+      kind != static_cast<std::uint16_t>(FrameKind::kNack))
+    return std::nullopt;
+  f.header.kind = static_cast<FrameKind>(kind);
+  f.header.stage = get<std::uint16_t>(wire, pos);
+  f.header.epoch = get<std::uint32_t>(wire, pos);
+  f.header.seq = get<std::uint32_t>(wire, pos);
+  f.header.sender = get<std::int32_t>(wire, pos);
+  f.header.body_len = get<std::uint32_t>(wire, pos);
+  const std::size_t checksum_pos = pos;
+  const auto claimed = get<std::uint64_t>(wire, pos);
+  if (wire.size() != kFrameOverheadBytes + f.header.body_len) return std::nullopt;
+  f.body = wire.subspan(pos);
+  const std::uint64_t sum = fnv1a(f.body, fnv1a(wire.first(checksum_pos)));
+  if (sum != claimed) return std::nullopt;
+  return f;
+}
+
 }  // namespace stfw::core

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -17,6 +18,11 @@
 /// The threaded runtime ships stage messages in this format (as a real MPI
 /// implementation would); the BSP simulator skips the byte copies but the
 /// format is still what the buffer-size metric charges for.
+///
+/// On top of it sits a *frame* layer used by the resilient exchange
+/// (docs/fault_model.md): every transmission is wrapped in a checksummed,
+/// sequence-numbered header so drops, duplicates, reordering and truncation
+/// become detectable and recoverable instead of fatal.
 
 namespace stfw::core {
 
@@ -32,5 +38,66 @@ std::vector<std::byte> serialize(const StageMessage& msg, const PayloadArena& ar
 /// Parse a wire buffer; payloads are appended to `arena` and the returned
 /// submessages reference it. Throws Error on malformed input.
 std::vector<Submessage> deserialize(std::span<const std::byte> wire, PayloadArena& arena);
+
+/// Variants of serialize/deserialize that additionally carry each
+/// submessage's per-source id (layout: u32 count, then per submessage
+/// { i32 source, i32 dest, u32 id, u32 len, u8 bytes[len] }). The resilient
+/// exchange uses these so final destinations can deduplicate a submessage
+/// that arrives both via store-and-forward and via the direct fallback; the
+/// plain exchange keeps the id-less paper format above.
+std::vector<std::byte> serialize_tracked(const StageMessage& msg, const PayloadArena& arena);
+std::vector<Submessage> deserialize_tracked(std::span<const std::byte> wire, PayloadArena& arena);
+
+// --- resilient frame layer -------------------------------------------------
+//
+// Frame layout (little-endian, packed):
+//   u32 magic  u16 kind  u16 stage  u32 epoch  u32 seq  i32 sender
+//   u32 body_len  u64 checksum  u8 body[body_len]
+//
+// `seq` is monotonically increasing per sender within one exchange, so every
+// frame a rank emits is globally identified by (sender, epoch, seq); acks
+// echo the seq they acknowledge. `checksum` is FNV-1a over all preceding
+// header bytes plus the body, which catches the truncation and bit-rot
+// faults the injector can produce.
+
+inline constexpr std::uint32_t kFrameMagic = 0x53544652u;  // "STFR"
+inline constexpr std::uint64_t kFrameOverheadBytes = 32;
+
+enum class FrameKind : std::uint16_t {
+  kData = 1,    // a serialized StageMessage routed between stage neighbors
+  kAck = 2,     // acknowledges (sender, seq); empty body
+  kDirect = 3,  // degradation fallback: submessages sent straight to dest
+  kNack = 4,    // refuses (sender, seq): receiver moved past that stage; the
+                // sender should re-route directly instead of retrying
+};
+
+struct FrameHeader {
+  FrameKind kind = FrameKind::kData;
+  std::uint16_t stage = 0;  // sending stage; unused for kAck/kDirect
+  std::uint32_t epoch = 0;  // exchange number on the communicator
+  std::uint32_t seq = 0;    // per-sender frame counter (acked seq for kAck)
+  std::int32_t sender = -1; // authoritative origin of the frame
+  std::uint32_t body_len = 0;
+};
+
+/// A decoded frame; `body` aliases the input buffer.
+struct DecodedFrame {
+  FrameHeader header;
+  std::span<const std::byte> body;
+};
+
+/// FNV-1a (64-bit) over `bytes`, continuing from `h`.
+std::uint64_t fnv1a(std::span<const std::byte> bytes,
+                    std::uint64_t h = 14695981039346656037ull) noexcept;
+
+/// Wrap `body` in a frame with `header` (its body_len is overwritten) and a
+/// freshly computed checksum.
+std::vector<std::byte> encode_frame(FrameHeader header, std::span<const std::byte> body);
+
+/// Parse a frame. Returns std::nullopt — never throws — when the buffer is
+/// truncated, carries the wrong magic, or fails the checksum: a corrupt
+/// frame is indistinguishable from a lost one and is recovered the same way
+/// (sender retransmission), so it is dropped rather than raised.
+std::optional<DecodedFrame> decode_frame(std::span<const std::byte> wire) noexcept;
 
 }  // namespace stfw::core

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+/// \file fault_injector.hpp
+/// Deterministic fault injection for the in-process runtime.
+///
+/// The paper's Algorithm 1 assumes every rank participates flawlessly in all
+/// n stages; one lost message or stalled rank deadlocks the whole exchange.
+/// FaultInjector makes those failure modes reproducible: plugged into
+/// runtime::Cluster it intercepts every message post and may drop, delay,
+/// duplicate, reorder or truncate it, and at stage boundaries it can stall
+/// or crash a configured rank. All decisions come from per-sender RNG
+/// streams derived from one seed, so a failing configuration replays
+/// bit-identically. See docs/fault_model.md for the full fault model and
+/// which layers recover from what.
+
+namespace stfw::fault {
+
+/// Thrown by a rank the injector was configured to crash (crash_rank /
+/// crash_stage) — models a process failure at a deterministic site.
+class FaultInjectedError : public core::Error {
+public:
+  explicit FaultInjectedError(const std::string& what) : core::Error(what) {}
+};
+
+struct FaultConfig {
+  std::uint64_t seed = 1;
+
+  // Per-message fault probabilities in [0, 1]; evaluated independently at
+  // every post. Truncation and delay compose with delivery; drop, duplicate
+  // and reorder are mutually exclusive (first match wins).
+  double drop_prob = 0.0;
+  double duplicate_prob = 0.0;
+  double reorder_prob = 0.0;   // delivered ahead of queued same-tag traffic
+  double truncate_prob = 0.0;  // delivered with the tail chopped off
+  double delay_prob = 0.0;     // held back, delivered by the monitor thread
+  std::chrono::milliseconds delay_min{1};
+  std::chrono::milliseconds delay_max{5};
+
+  /// Only messages with tag >= min_tag are candidates. Exchange stage
+  /// traffic uses non-negative tags while the runtime's own collectives use
+  /// negative tags, so the default faults the exchange but leaves control
+  /// collectives reliable (the loss model of a transport with a reliable
+  /// side channel).
+  int min_tag = 0;
+
+  // Rank-level faults, triggered at the stage sites the exchange announces
+  // via at_stage(). stage == -1 means "any stage".
+  int stall_rank = -1;
+  int stall_stage = -1;
+  std::chrono::milliseconds stall_duration{0};
+  int crash_rank = -1;
+  int crash_stage = -1;
+
+  /// Reads STFW_FAULT_SEED, STFW_FAULT_DROP, STFW_FAULT_DUP,
+  /// STFW_FAULT_REORDER, STFW_FAULT_TRUNCATE, STFW_FAULT_DELAY (probability)
+  /// and STFW_FAULT_DELAY_MAX_MS; unset variables keep their defaults. CI's
+  /// fault matrix drives the test grid through these.
+  static FaultConfig from_env();
+};
+
+/// What Cluster::post should do with one message.
+struct MessageDecision {
+  bool drop = false;
+  bool duplicate = false;
+  bool reorder = false;
+  std::uint32_t truncate_to = UINT32_MAX;  // < size: deliver only a prefix
+  std::chrono::milliseconds delay{0};      // > 0: hold back this long
+};
+
+/// Tallies of injected faults, for tests asserting that a run actually
+/// exercised the recovery paths.
+struct FaultCounters {
+  std::int64_t drops = 0;
+  std::int64_t duplicates = 0;
+  std::int64_t reorders = 0;
+  std::int64_t truncations = 0;
+  std::int64_t delays = 0;
+  std::int64_t stalls = 0;
+  std::int64_t crashes = 0;
+};
+
+class FaultInjector {
+public:
+  explicit FaultInjector(FaultConfig config);
+
+  const FaultConfig& config() const noexcept { return config_; }
+
+  /// Decide the fate of a message about to be posted. Called by the cluster
+  /// on the sender's thread; decisions for a given sender form one
+  /// deterministic stream.
+  MessageDecision on_post(int source, int dest, int tag, std::size_t size_bytes);
+
+  /// Stage-boundary site: stalls the calling thread or throws
+  /// FaultInjectedError when `rank` matches the configured stall/crash rank
+  /// and `stage` the configured stage (-1 matches any).
+  void at_stage(int rank, int stage);
+
+  FaultCounters counters() const;
+
+private:
+  struct Stream {
+    std::mutex mu;  // a sender's posts are sequential; uncontended in practice
+    std::mt19937_64 rng;
+  };
+
+  FaultConfig config_;
+  std::vector<std::unique_ptr<Stream>> streams_;  // one per sender rank, grown lazily
+  std::mutex streams_mu_;
+
+  std::atomic<std::int64_t> drops_{0};
+  std::atomic<std::int64_t> duplicates_{0};
+  std::atomic<std::int64_t> reorders_{0};
+  std::atomic<std::int64_t> truncations_{0};
+  std::atomic<std::int64_t> delays_{0};
+  std::atomic<std::int64_t> stalls_{0};
+  std::atomic<std::int64_t> crashes_{0};
+
+  Stream& stream_for(int source);
+};
+
+}  // namespace stfw::fault

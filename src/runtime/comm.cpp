@@ -2,13 +2,23 @@
 
 #include <algorithm>
 #include <exception>
-#include <thread>
 
 #include "core/error.hpp"
+#include "fault/fault_injector.hpp"
 
 namespace stfw::runtime {
 
 using core::require;
+
+namespace {
+
+long long ms_since(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - t)
+      .count();
+}
+
+}  // namespace
 
 int Comm::size() const noexcept { return cluster_->size(); }
 
@@ -17,15 +27,36 @@ void Comm::send(int dest, int tag, std::vector<std::byte> data) {
   cluster_->post(dest, Message{rank_, tag, std::move(data)});
 }
 
-Message Comm::recv(int source, int tag) { return cluster_->blocking_recv(rank_, source, tag); }
+Message Comm::recv(int source, int tag) {
+  return cluster_->blocking_recv(rank_, source, tag, Deadline::never());
+}
+
+Message Comm::recv(int source, int tag, Deadline deadline) {
+  return cluster_->blocking_recv(rank_, source, tag, deadline);
+}
 
 std::vector<Message> Comm::drain(int tag) { return cluster_->drain(rank_, tag); }
 
 bool Comm::probe(int source, int tag) { return cluster_->probe(rank_, source, tag); }
 
-void Comm::barrier() { cluster_->barrier_wait(); }
+bool Comm::wait_message(Deadline deadline) { return cluster_->wait_message(rank_, deadline); }
+
+void Comm::barrier() { cluster_->barrier_wait(rank_, Deadline::never()); }
+
+void Comm::barrier(Deadline deadline) { cluster_->barrier_wait(rank_, deadline); }
+
+void Comm::flush_delayed() { cluster_->flush_delayed(); }
+
+fault::FaultInjector* Comm::fault_injector() const noexcept {
+  return cluster_->fault_injector().get();
+}
 
 std::vector<std::vector<std::byte>> Comm::allgather(std::vector<std::byte> mine) {
+  return allgather(std::move(mine), Deadline::never());
+}
+
+std::vector<std::vector<std::byte>> Comm::allgather(std::vector<std::byte> mine,
+                                                    Deadline deadline) {
   constexpr int kGatherTag = -1000;
   constexpr int kBcastTag = -1001;
   const int n = size();
@@ -33,7 +64,7 @@ std::vector<std::vector<std::byte>> Comm::allgather(std::vector<std::byte> mine)
   if (rank_ == 0) {
     all[0] = std::move(mine);
     for (int i = 1; i < n; ++i) {
-      Message m = recv(kAnySource, kGatherTag);
+      Message m = recv(kAnySource, kGatherTag, deadline);
       all[static_cast<std::size_t>(m.source)] = std::move(m.data);
     }
     // Broadcast back as a single concatenated buffer with a length header.
@@ -47,7 +78,7 @@ std::vector<std::vector<std::byte>> Comm::allgather(std::vector<std::byte> mine)
     for (int i = 1; i < n; ++i) send(i, kBcastTag, packed);
   } else {
     send(0, kGatherTag, std::move(mine));
-    Message m = recv(0, kBcastTag);
+    Message m = recv(0, kBcastTag, deadline);
     std::size_t pos = 0;
     for (int i = 0; i < n; ++i) {
       std::uint64_t len = 0;
@@ -67,13 +98,34 @@ Cluster::Cluster(int num_ranks) : num_ranks_(num_ranks) {
   require(num_ranks >= 1, "Cluster: need at least one rank");
   mailboxes_.reserve(static_cast<std::size_t>(num_ranks));
   for (int i = 0; i < num_ranks; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
+  block_state_.resize(static_cast<std::size_t>(num_ranks));
 }
 
 Cluster::~Cluster() = default;
 
+void Cluster::set_fault_injector(std::shared_ptr<fault::FaultInjector> injector) {
+  injector_ = std::move(injector);
+}
+
 void Cluster::run(const std::function<void(Comm&)>& fn) {
   for (const auto& mb : mailboxes_)
     require(mb->queue.empty(), "Cluster::run: mailbox not empty from previous run");
+
+  {
+    std::lock_guard<std::mutex> lock(block_mu_);
+    for (auto& b : block_state_) b = BlockInfo{};
+    deadlock_victim_ = -1;
+    deadlock_report_.clear();
+  }
+  deadlocked_.store(false);
+  last_progress_ = progress_.load();
+  last_progress_time_ = std::chrono::steady_clock::now();
+
+  const bool need_monitor = watchdog_window_.count() > 0 || injector_ != nullptr;
+  if (need_monitor) {
+    monitor_stop_.store(false);
+    monitor_ = std::thread([this] { monitor_loop(); });
+  }
 
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(num_ranks_));
   std::vector<std::thread> threads;
@@ -87,22 +139,69 @@ void Cluster::run(const std::function<void(Comm&)>& fn) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         abort_all();  // unblock peers stuck in recv() or barrier()
       }
+      set_block_state(r, BlockInfo::Kind::kDone);
     });
   }
   for (auto& t : threads) t.join();
+
+  if (need_monitor) {
+    monitor_stop_.store(true);
+    monitor_.join();
+  }
+  {
+    // Delayed messages still pending when the run ends were "in flight" at
+    // program exit; they are dropped, keeping the cluster clean for reuse.
+    std::lock_guard<std::mutex> lock(delayed_mu_);
+    delayed_.clear();
+  }
+
   const bool had_error =
       std::any_of(errors.begin(), errors.end(), [](const std::exception_ptr& e) { return !!e; });
-  if (had_error) {
-    // Discard messages stranded by the abort so the cluster stays reusable.
-    for (const auto& mb : mailboxes_) {
-      std::lock_guard<std::mutex> lock(mb->mu);
-      mb->queue.clear();
+  if (!had_error) return;
+
+  // Discard messages stranded by the abort so the cluster stays reusable.
+  for (const auto& mb : mailboxes_) {
+    std::lock_guard<std::mutex> lock(mb->mu);
+    mb->queue.clear();
+  }
+  aborted_.store(false);
+  deadlocked_.store(false);
+  barrier_count_ = 0;
+
+  // Partition into primary errors and secondary ClusterAbortedError noise
+  // (ranks merely unblocked by a peer's failure).
+  std::vector<std::size_t> primaries;
+  for (std::size_t r = 0; r < errors.size(); ++r) {
+    if (!errors[r]) continue;
+    try {
+      std::rethrow_exception(errors[r]);
+    } catch (const core::ClusterAbortedError&) {
+      continue;
+    } catch (...) {
+      primaries.push_back(r);
     }
-    aborted_.store(false);
-    barrier_count_ = 0;
+  }
+  if (primaries.empty()) {
+    // Every failure was abort-induced (should not happen, but never silently
+    // swallow): surface the first one.
     for (const auto& e : errors)
       if (e) std::rethrow_exception(e);
   }
+  if (primaries.size() == 1) std::rethrow_exception(errors[primaries[0]]);
+
+  std::vector<core::MultiRankError::RankFailure> failures;
+  failures.reserve(primaries.size());
+  for (const std::size_t r : primaries) {
+    std::string what = "unknown exception";
+    try {
+      std::rethrow_exception(errors[r]);
+    } catch (const std::exception& e) {
+      what = e.what();
+    } catch (...) {
+    }
+    failures.push_back({static_cast<int>(r), std::move(what)});
+  }
+  throw core::MultiRankError(std::move(failures));
 }
 
 void Cluster::abort_all() {
@@ -117,14 +216,78 @@ void Cluster::abort_all() {
   }
 }
 
+void Cluster::set_block_state(int me, BlockInfo::Kind kind, int source, int tag) {
+  std::lock_guard<std::mutex> lock(block_mu_);
+  BlockInfo& b = block_state_[static_cast<std::size_t>(me)];
+  b.kind = kind;
+  b.source = source;
+  b.tag = tag;
+  b.since = std::chrono::steady_clock::now();
+}
+
+void Cluster::throw_if_torn_down(int me, const char* op) {
+  if (deadlocked_.load()) {
+    std::string report;
+    bool victim = false;
+    {
+      std::lock_guard<std::mutex> lock(block_mu_);
+      victim = (deadlock_victim_ == me);
+      report = deadlock_report_;
+    }
+    if (victim)
+      throw core::DeadlockError(me, watchdog_window_.count(), report);
+    throw core::ClusterAbortedError(std::string("Comm::") + op +
+                                    ": cluster aborted by the deadlock watchdog");
+  }
+  if (aborted_.load())
+    throw core::ClusterAbortedError(std::string("Comm::") + op +
+                                    ": cluster aborted by a peer exception");
+}
+
+// --- fault-injected posting -------------------------------------------------
+
 void Cluster::post(int dest, Message msg) {
+  if (injector_ != nullptr) {
+    const fault::MessageDecision d =
+        injector_->on_post(msg.source, dest, msg.tag, msg.data.size());
+    if (d.drop) return;
+    if (d.duplicate) post_raw(dest, msg);  // extra pristine copy, in order
+    if (d.truncate_to < msg.data.size()) msg.data.resize(d.truncate_to);
+    if (d.delay.count() > 0) {
+      std::lock_guard<std::mutex> lock(delayed_mu_);
+      delayed_.push_back(
+          DelayedMessage{std::chrono::steady_clock::now() + d.delay, dest, std::move(msg)});
+      return;
+    }
+    post_raw(dest, std::move(msg), d.reorder);
+    return;
+  }
+  post_raw(dest, std::move(msg));
+}
+
+void Cluster::post_raw(int dest, Message msg, bool to_front) {
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dest)];
   {
     std::lock_guard<std::mutex> lock(mb.mu);
-    mb.queue.push_back(std::move(msg));
+    if (to_front)
+      mb.queue.push_front(std::move(msg));
+    else
+      mb.queue.push_back(std::move(msg));
   }
+  progress_.fetch_add(1, std::memory_order_relaxed);
   mb.cv.notify_all();
 }
+
+void Cluster::flush_delayed() {
+  std::vector<DelayedMessage> due;
+  {
+    std::lock_guard<std::mutex> lock(delayed_mu_);
+    due.swap(delayed_);
+  }
+  for (DelayedMessage& d : due) post_raw(d.dest, std::move(d.msg));
+}
+
+// --- blocking primitives ----------------------------------------------------
 
 namespace {
 
@@ -134,8 +297,10 @@ bool matches(const Message& m, int source, int tag) {
 
 }  // namespace
 
-Message Cluster::blocking_recv(int me, int source, int tag) {
+Message Cluster::blocking_recv(int me, int source, int tag, Deadline deadline) {
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(me)];
+  const auto entered = std::chrono::steady_clock::now();
+  bool registered = false;
   std::unique_lock<std::mutex> lock(mb.mu);
   for (;;) {
     auto it = std::find_if(mb.queue.begin(), mb.queue.end(),
@@ -143,10 +308,24 @@ Message Cluster::blocking_recv(int me, int source, int tag) {
     if (it != mb.queue.end()) {
       Message out = std::move(*it);
       mb.queue.erase(it);
+      if (registered) set_block_state(me, BlockInfo::Kind::kRunning);
+      progress_.fetch_add(1, std::memory_order_relaxed);
       return out;
     }
-    if (aborted_.load()) core::fail("Comm::recv: cluster aborted by a peer exception");
-    mb.cv.wait(lock);
+    throw_if_torn_down(me, "recv");
+    if (deadline.expired()) {
+      if (registered) set_block_state(me, BlockInfo::Kind::kRunning);
+      throw core::TimeoutError("recv", me, source, tag, ms_since(entered),
+                               "no matching message arrived before the deadline");
+    }
+    if (!registered) {
+      set_block_state(me, BlockInfo::Kind::kRecv, source, tag);
+      registered = true;
+    }
+    if (deadline.is_never())
+      mb.cv.wait(lock);
+    else
+      mb.cv.wait_until(lock, deadline.at);
   }
 }
 
@@ -177,19 +356,176 @@ bool Cluster::probe(int me, int source, int tag) {
                      [&](const Message& m) { return matches(m, source, tag); });
 }
 
-void Cluster::barrier_wait() {
+bool Cluster::wait_message(int me, Deadline deadline) {
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(me)];
+  bool registered = false;
+  std::unique_lock<std::mutex> lock(mb.mu);
+  for (;;) {
+    if (!mb.queue.empty()) {
+      if (registered) set_block_state(me, BlockInfo::Kind::kRunning);
+      return true;
+    }
+    throw_if_torn_down(me, "wait_message");
+    if (deadline.expired()) {
+      if (registered) set_block_state(me, BlockInfo::Kind::kRunning);
+      return false;
+    }
+    if (!registered) {
+      set_block_state(me, BlockInfo::Kind::kWait, kAnySource, 0);
+      registered = true;
+    }
+    if (deadline.is_never())
+      mb.cv.wait(lock);
+    else
+      mb.cv.wait_until(lock, deadline.at);
+  }
+}
+
+void Cluster::barrier_wait(int me, Deadline deadline) {
+  const auto entered = std::chrono::steady_clock::now();
+  bool registered = false;
   std::unique_lock<std::mutex> lock(barrier_mu_);
   const std::uint64_t gen = barrier_generation_;
   if (++barrier_count_ == num_ranks_) {
     barrier_count_ = 0;
     ++barrier_generation_;
+    progress_.fetch_add(1, std::memory_order_relaxed);
     barrier_cv_.notify_all();
     return;
   }
-  barrier_cv_.wait(lock, [this, gen] { return barrier_generation_ != gen || aborted_.load(); });
-  if (barrier_generation_ == gen && aborted_.load()) {
-    --barrier_count_;
-    core::fail("Comm::barrier: cluster aborted by a peer exception");
+  for (;;) {
+    if (barrier_generation_ != gen) {
+      if (registered) set_block_state(me, BlockInfo::Kind::kRunning);
+      return;
+    }
+    if (deadlocked_.load() || aborted_.load()) {
+      --barrier_count_;
+      if (registered) set_block_state(me, BlockInfo::Kind::kRunning);
+      lock.unlock();
+      throw_if_torn_down(me, "barrier");
+    }
+    if (deadline.expired()) {
+      --barrier_count_;
+      if (registered) set_block_state(me, BlockInfo::Kind::kRunning);
+      throw core::TimeoutError("barrier", me, -1, 0, ms_since(entered),
+                               "not all ranks reached the barrier before the deadline");
+    }
+    if (!registered) {
+      set_block_state(me, BlockInfo::Kind::kBarrier);
+      registered = true;
+    }
+    if (deadline.is_never())
+      barrier_cv_.wait(lock);
+    else
+      barrier_cv_.wait_until(lock, deadline.at);
+  }
+}
+
+// --- monitor thread: watchdog + delayed-message pump ------------------------
+
+void Cluster::monitor_loop() {
+  while (!monitor_stop_.load()) {
+    const auto now = std::chrono::steady_clock::now();
+
+    // Pump injector-delayed messages whose release time has passed.
+    std::vector<DelayedMessage> due;
+    {
+      std::lock_guard<std::mutex> lock(delayed_mu_);
+      auto it = delayed_.begin();
+      while (it != delayed_.end()) {
+        if (it->release <= now) {
+          due.push_back(std::move(*it));
+          it = delayed_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (DelayedMessage& d : due) post_raw(d.dest, std::move(d.msg));
+
+    if (watchdog_window_.count() > 0 && !deadlocked_.load() && !aborted_.load())
+      check_deadlock(now);
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void Cluster::check_deadlock(std::chrono::steady_clock::time_point now) {
+  const std::uint64_t p = progress_.load();
+  if (p != last_progress_) {
+    last_progress_ = p;
+    last_progress_time_ = now;
+    return;
+  }
+  if (now - last_progress_time_ < watchdog_window_) return;
+
+  {
+    // Analyze and publish the verdict under block_mu_, but notify the
+    // condition variables only after releasing it: blocking primitives
+    // acquire their mailbox/barrier mutex first and block_mu_ second, so
+    // holding block_mu_ while taking those mutexes would invert the order.
+    std::lock_guard<std::mutex> lock(block_mu_);
+    int victim = -1;
+    bool all_blocked = true;
+    bool any_active = false;
+    for (int r = 0; r < num_ranks_; ++r) {
+      const BlockInfo& b = block_state_[static_cast<std::size_t>(r)];
+      if (b.kind == BlockInfo::Kind::kDone) continue;
+      any_active = true;
+      const bool blocked = b.kind == BlockInfo::Kind::kRecv ||
+                           b.kind == BlockInfo::Kind::kBarrier ||
+                           b.kind == BlockInfo::Kind::kWait;
+      if (!blocked || now - b.since < watchdog_window_) {
+        all_blocked = false;
+        break;
+      }
+      if (victim < 0) victim = r;
+    }
+    if (!any_active || !all_blocked || victim < 0) return;
+
+    std::string report = "no message delivered for " +
+                         std::to_string(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                            now - last_progress_time_)
+                                            .count()) +
+                         "ms;";
+    for (int r = 0; r < num_ranks_; ++r) {
+      const BlockInfo& b = block_state_[static_cast<std::size_t>(r)];
+      report += " rank " + std::to_string(r) + ": ";
+      switch (b.kind) {
+        case BlockInfo::Kind::kRecv:
+          report += "blocked in recv(source=" +
+                    (b.source == kAnySource ? std::string("any")
+                                            : std::to_string(b.source)) +
+                    ", tag=" + std::to_string(b.tag) + ")";
+          break;
+        case BlockInfo::Kind::kBarrier:
+          report += "blocked in barrier";
+          break;
+        case BlockInfo::Kind::kWait:
+          report += "blocked in wait_message";
+          break;
+        case BlockInfo::Kind::kDone:
+          report += "finished";
+          break;
+        case BlockInfo::Kind::kRunning:
+          report += "running";
+          break;
+      }
+      report += (r + 1 < num_ranks_) ? ";" : "";
+    }
+    deadlock_victim_ = victim;
+    deadlock_report_ = std::move(report);
+    deadlocked_.store(true);
+  }
+
+  // Wake everyone; the victim throws DeadlockError, peers ClusterAborted.
+  for (const auto& mb : mailboxes_) {
+    std::lock_guard<std::mutex> mlock(mb->mu);
+    mb->cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> block(barrier_mu_);
+    barrier_cv_.notify_all();
   }
 }
 

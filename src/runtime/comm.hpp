@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -8,6 +9,8 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 /// \file comm.hpp
@@ -26,6 +29,22 @@
 ///
 /// This is deliberately a small, honest subset of MPI — enough to run
 /// Algorithm 1 exactly as each MPI rank would run it.
+///
+/// Resilience plumbing (docs/fault_model.md):
+///
+///  * every blocking primitive has a deadline overload that throws
+///    core::TimeoutError instead of hanging, naming the peer waited for;
+///  * an optional per-cluster watchdog detects the all-ranks-blocked
+///    deadlock and reports which rank/tag each thread is stuck on;
+///  * a fault::FaultInjector can be plugged in to drop, delay, duplicate,
+///    reorder or truncate messages at the post site — the adversary the
+///    resilient exchange mode is tested against. Point-to-point ordering
+///    and the barrier visibility guarantee above hold only for traffic the
+///    injector leaves alone.
+
+namespace stfw::fault {
+class FaultInjector;
+}
 
 namespace stfw::runtime {
 
@@ -37,6 +56,23 @@ struct Message {
   std::vector<std::byte> data;
 };
 
+/// Absolute time budget for a blocking primitive. Deadline::never() blocks
+/// indefinitely (the pre-fault-layer behaviour).
+struct Deadline {
+  std::chrono::steady_clock::time_point at = std::chrono::steady_clock::time_point::max();
+
+  static Deadline never() noexcept { return Deadline{}; }
+  static Deadline in(std::chrono::milliseconds d) {
+    return Deadline{std::chrono::steady_clock::now() + d};
+  }
+  bool is_never() const noexcept {
+    return at == std::chrono::steady_clock::time_point::max();
+  }
+  bool expired() const noexcept {
+    return !is_never() && std::chrono::steady_clock::now() >= at;
+  }
+};
+
 class Cluster;
 
 /// Per-rank communicator handle. Valid only inside Cluster::run's callback,
@@ -46,12 +82,15 @@ public:
   int rank() const noexcept { return rank_; }
   int size() const noexcept;
 
-  /// Buffered send: enqueues `data` into dest's mailbox and returns.
+  /// Buffered send: enqueues `data` into dest's mailbox and returns. Subject
+  /// to the cluster's fault injector, if any.
   void send(int dest, int tag, std::vector<std::byte> data);
 
   /// Blocking receive of the first message matching (source, tag);
-  /// source may be kAnySource.
+  /// source may be kAnySource. The deadline overload throws
+  /// core::TimeoutError when it expires first.
   Message recv(int source, int tag);
+  Message recv(int source, int tag, Deadline deadline);
 
   /// All messages with `tag` currently in the mailbox, sorted by source
   /// (then arrival order). Non-blocking; complete after a barrier that
@@ -61,12 +100,33 @@ public:
   /// True iff a message matching (source, tag) is queued.
   bool probe(int source, int tag);
 
-  /// Collective synchronization over all ranks of the cluster.
+  /// Blocks until any message is queued in this rank's mailbox or the
+  /// deadline expires; returns whether the mailbox is non-empty. Poll
+  /// primitive for protocols that multiplex several tags (the resilient
+  /// exchange's event loop).
+  bool wait_message(Deadline deadline);
+
+  /// Collective synchronization over all ranks of the cluster. The deadline
+  /// overload throws core::TimeoutError when the barrier does not complete
+  /// in time (some peer failed to arrive).
   void barrier();
+  void barrier(Deadline deadline);
 
   /// Convenience collective: every rank contributes `mine`; returns all
-  /// contributions indexed by rank. Built on send/recv via rank 0.
+  /// contributions indexed by rank. Built on send/recv via rank 0. The
+  /// deadline applies to every internal receive.
   std::vector<std::vector<std::byte>> allgather(std::vector<std::byte> mine);
+  std::vector<std::vector<std::byte>> allgather(std::vector<std::byte> mine,
+                                                Deadline deadline);
+
+  /// Immediately delivers every fault-injector-delayed message to its
+  /// mailbox. Protocol epilogues call this (between barriers) so no injected
+  /// delay can leak a message into a later exchange. No-op without faults.
+  void flush_delayed();
+
+  /// The cluster's fault injector, or nullptr. Exchange implementations call
+  /// its stage sites (stall/crash injection) from here.
+  fault::FaultInjector* fault_injector() const noexcept;
 
 private:
   friend class Cluster;
@@ -87,11 +147,31 @@ public:
 
   int size() const noexcept { return num_ranks_; }
 
-  /// Run fn(comm) on every rank; returns when all ranks finish. If any rank
-  /// throws, the first exception (by rank) is rethrown after all threads
-  /// join. May be called repeatedly; mailboxes must be empty in between
-  /// (checked).
+  /// Run fn(comm) on every rank; returns when all ranks finish.
+  ///
+  /// Error aggregation: secondary failures (ClusterAbortedError — a rank
+  /// unblocked because a peer threw) are discarded. If exactly one primary
+  /// error remains it is rethrown with its original type; if several ranks
+  /// failed independently, a core::MultiRankError summarizing every failing
+  /// rank is thrown instead. May be called repeatedly; mailboxes must be
+  /// empty in between (checked). Messages still delayed by the fault
+  /// injector when run() returns are dropped.
   void run(const std::function<void(Comm&)>& fn);
+
+  /// Plug in (or remove, with nullptr) a fault injector. Must not be called
+  /// while run() is active.
+  void set_fault_injector(std::shared_ptr<fault::FaultInjector> injector);
+  const std::shared_ptr<fault::FaultInjector>& fault_injector() const noexcept {
+    return injector_;
+  }
+
+  /// Arm the deadlock watchdog: a monitor thread observes the cluster during
+  /// run() and, when every active rank has been blocked in recv / barrier /
+  /// wait_message with no message delivered for at least `window`, aborts
+  /// the run with a core::DeadlockError reporting where each rank is stuck
+  /// (thrown on the lowest blocked rank; peers see ClusterAbortedError).
+  /// window == 0 disables (default). Must not be called during run().
+  void set_watchdog(std::chrono::milliseconds window) { watchdog_window_ = window; }
 
 private:
   friend class Comm;
@@ -102,12 +182,39 @@ private:
     std::deque<Message> queue;
   };
 
+  /// What a rank's thread is doing, as seen by the watchdog.
+  struct BlockInfo {
+    enum class Kind : std::uint8_t { kRunning, kRecv, kBarrier, kWait, kDone };
+    Kind kind = Kind::kRunning;
+    int source = 0;
+    int tag = 0;
+    std::chrono::steady_clock::time_point since{};
+  };
+
+  struct DelayedMessage {
+    std::chrono::steady_clock::time_point release;
+    int dest;
+    Message msg;
+  };
+
   void post(int dest, Message msg);
-  Message blocking_recv(int me, int source, int tag);
+  void post_raw(int dest, Message msg, bool to_front = false);
+  Message blocking_recv(int me, int source, int tag, Deadline deadline);
   std::vector<Message> drain(int me, int tag);
   bool probe(int me, int source, int tag);
-  void barrier_wait();
+  bool wait_message(int me, Deadline deadline);
+  void barrier_wait(int me, Deadline deadline);
   void abort_all();
+  void flush_delayed();
+
+  void set_block_state(int me, BlockInfo::Kind kind, int source = 0, int tag = 0);
+  /// Checks deadlock/abort flags from inside a blocking primitive; throws
+  /// DeadlockError on the designated victim rank, ClusterAbortedError
+  /// otherwise. Returns normally when neither flag is set.
+  void throw_if_torn_down(int me, const char* op);
+
+  void monitor_loop();
+  void check_deadlock(std::chrono::steady_clock::time_point now);
 
   int num_ranks_;
   std::atomic<bool> aborted_{false};
@@ -118,6 +225,26 @@ private:
   std::condition_variable barrier_cv_;
   int barrier_count_ = 0;
   std::uint64_t barrier_generation_ = 0;
+
+  // Fault layer.
+  std::shared_ptr<fault::FaultInjector> injector_;
+  std::mutex delayed_mu_;
+  std::vector<DelayedMessage> delayed_;
+
+  // Watchdog state.
+  std::chrono::milliseconds watchdog_window_{0};
+  std::mutex block_mu_;
+  std::vector<BlockInfo> block_state_;
+  std::atomic<std::uint64_t> progress_{0};  // deliveries + barrier completions
+  std::atomic<bool> deadlocked_{false};
+  int deadlock_victim_ = -1;        // guarded by block_mu_
+  std::string deadlock_report_;     // guarded by block_mu_
+  std::uint64_t last_progress_ = 0;
+  std::chrono::steady_clock::time_point last_progress_time_{};
+
+  // Monitor thread (watchdog + delayed-message pump); alive only during run().
+  std::thread monitor_;
+  std::atomic<bool> monitor_stop_{false};
 };
 
 }  // namespace stfw::runtime

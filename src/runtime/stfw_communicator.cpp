@@ -1,12 +1,18 @@
 #include "stfw_communicator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <optional>
+#include <set>
+#include <unordered_map>
+#include <utility>
 
 #include "core/error.hpp"
 #include "core/wire.hpp"
+#include "fault/fault_injector.hpp"
 
 #if STFW_VALIDATE_ENABLED
 #include "validate/exchange_validator.hpp"
@@ -20,6 +26,12 @@ using core::StfwRankState;
 using core::Submessage;
 
 namespace {
+
+// Fixed tags of the resilient frame protocol, far above any plain-exchange
+// stage tag (epoch * dim + stage); the exchange epoch travels inside the
+// frame header instead of the tag.
+constexpr int kResilientDataTag = 1 << 28;
+constexpr int kResilientAckTag = (1 << 28) + 1;
 
 bool validation_default() {
 #if STFW_VALIDATE_ENABLED
@@ -73,7 +85,9 @@ std::vector<InboundMessage> StfwCommunicator::exchange(std::span<const OutboundM
   std::vector<StageMessage> outbox;
   std::uint64_t transit_peak = 0;
   const int tag_base = epoch_ * vpt_.dim();
+  fault::FaultInjector* injector = comm_->fault_injector();
   for (int stage = 0; stage < vpt_.dim(); ++stage) {
+    if (injector != nullptr) injector->at_stage(static_cast<int>(me), stage);
     const int tag = tag_base + stage;
     outbox.clear();
     state.make_stage_outbox(stage, outbox);
@@ -130,6 +144,483 @@ std::vector<InboundMessage> StfwCommunicator::exchange(std::span<const OutboundM
   for (const Submessage& s : delivered) {
     const auto payload = arena.view(s);
     result.push_back(InboundMessage{s.source, {payload.begin(), payload.end()}});
+  }
+  return result;
+}
+
+std::string ExchangeFailure::to_string() const {
+  if (empty()) return "no failures";
+  std::string out = std::to_string(lost.size()) + " lost submessage(s), " +
+                    std::to_string(missing.size()) + " missing neighbor frame(s)";
+  for (const LostSubmessage& l : lost) {
+    out += "\n  lost: " + std::to_string(l.bytes) + " bytes " + std::to_string(l.source) +
+           " -> " + std::to_string(l.dest);
+    out += l.stage < 0 ? std::string(" (direct)") : " (stage " + std::to_string(l.stage) + ")";
+  }
+  for (const MissingNeighbor& m : missing)
+    out += "\n  missing: stage " + std::to_string(m.stage) + " frame from rank " +
+           std::to_string(m.neighbor);
+  return out;
+}
+
+ResilientExchangeResult StfwCommunicator::exchange_resilient(
+    std::span<const OutboundMessage> sends, const ResilienceOptions& opt) {
+  using clock = std::chrono::steady_clock;
+  core::require(opt.max_attempts >= 1, "exchange_resilient: max_attempts must be >= 1");
+  core::require(opt.backoff_factor >= 1.0, "exchange_resilient: backoff_factor must be >= 1");
+  core::require(opt.retransmit_timeout.count() > 0,
+                "exchange_resilient: retransmit_timeout must be positive");
+  core::require(opt.stage_deadline.count() > 0,
+                "exchange_resilient: stage_deadline must be positive");
+  core::require(opt.max_settle_rounds >= 1, "exchange_resilient: max_settle_rounds must be >= 1");
+
+  const auto me = static_cast<core::Rank>(comm_->rank());
+  const int n = vpt_.dim();
+  StfwRankState state(vpt_, me);
+  PayloadArena arena;
+  stats_ = LocalExchangeStats{};
+  ResilientExchangeResult result;
+  // Claim the epoch up front so a thrown exchange cannot leave stale frames
+  // that a retry under the same epoch would mistake for its own.
+  const auto epoch = static_cast<std::uint32_t>(epoch_);
+  ++epoch_;
+  fault::FaultInjector* injector = comm_->fault_injector();
+
+#if STFW_VALIDATE_ENABLED
+  std::optional<validate::ExchangeValidator> validator;
+  if (validate_) validator.emplace(vpt_, me);
+#endif
+
+  std::uint64_t seed_bytes = 0;
+  std::uint32_t next_sub_id = 0;
+  for (const OutboundMessage& s : sends) {
+#if STFW_VALIDATE_ENABLED
+    if (validator) validator->on_seed(s.dest, s.bytes);
+#endif
+    const std::uint64_t off = arena.add(s.bytes);
+    state.add_send(s.dest, off, static_cast<std::uint32_t>(s.bytes.size()), next_sub_id++);
+    seed_bytes += s.bytes.size();
+  }
+
+  // --- sender side: every frame we emitted and still track -----------------
+  struct OutFrame {
+    core::FrameKind kind = core::FrameKind::kData;
+    int stage = -1;  // -1 for kDirect
+    core::Rank dest = -1;
+    std::uint32_t seq = 0;
+    std::vector<std::byte> wire;       // encoded once, retransmitted verbatim
+    std::vector<Submessage> subs;      // for fallback / loss reporting
+    int attempts = 0;
+    clock::time_point next_retry{};
+    std::chrono::milliseconds backoff{0};
+    bool acked = false;
+    bool failed = false;
+  };
+  std::vector<OutFrame> frames;
+  std::unordered_map<std::uint32_t, std::size_t> frame_by_seq;
+  std::uint32_t next_seq = 0;
+
+  auto make_frame = [&](core::FrameKind kind, int stage, core::Rank dest, StageMessage msg) {
+    core::FrameHeader h;
+    h.kind = kind;
+    h.stage = static_cast<std::uint16_t>(stage < 0 ? 0 : stage);
+    h.epoch = epoch;
+    h.seq = next_seq;
+    h.sender = me;
+    OutFrame f;
+    f.kind = kind;
+    f.stage = stage;
+    f.dest = dest;
+    f.seq = next_seq;
+    f.wire = core::encode_frame(h, core::serialize_tracked(msg, arena));
+    f.subs = std::move(msg.subs);
+    f.backoff = opt.retransmit_timeout;
+    frame_by_seq.emplace(next_seq, frames.size());
+    frames.push_back(std::move(f));
+    ++next_seq;
+  };
+
+  auto transmit = [&](OutFrame& f, clock::time_point now) {
+    if (f.attempts > 0) ++stats_.retransmits;
+    ++f.attempts;
+    stats_.wire_bytes_sent += f.wire.size();
+    comm_->send(static_cast<int>(f.dest), kResilientDataTag, std::vector<std::byte>(f.wire));
+    f.next_retry = now + f.backoff;
+    // Cap the backoff well below the stage deadline: the settlement loop's
+    // wall budget is max_settle_rounds * retransmit_timeout, and a retry
+    // scheduled beyond it would be force-failed even though the peer was
+    // about to accept it.
+    const double scaled = static_cast<double>(f.backoff.count()) * opt.backoff_factor;
+    const double cap = static_cast<double>(
+        std::min(opt.stage_deadline.count(), 8 * opt.retransmit_timeout.count()));
+    f.backoff = std::chrono::milliseconds{
+        static_cast<std::chrono::milliseconds::rep>(std::min(scaled, cap))};
+  };
+
+  // Give up on frame `i`: a dead kData frame degrades into kDirect frames
+  // grouped by final destination (bypassing the remaining store-and-forward
+  // stages); a dead kDirect frame is a definite loss. May push new frames,
+  // so callers must not hold references into `frames` across the call.
+  auto fail_frame = [&](std::size_t i) {
+    frames[i].failed = true;
+    const core::FrameKind kind = frames[i].kind;
+    const int fstage = frames[i].stage;
+    std::vector<Submessage> subs = std::move(frames[i].subs);
+    if (kind == core::FrameKind::kData && opt.direct_fallback && !subs.empty()) {
+      std::map<core::Rank, std::vector<Submessage>> groups;
+      for (const Submessage& s : subs) groups[s.dest].push_back(s);
+      for (auto& [gdest, gsubs] : groups) {
+        stats_.direct_fallback_submessages += static_cast<std::int64_t>(gsubs.size());
+        make_frame(core::FrameKind::kDirect, -1, gdest,
+                   StageMessage{me, gdest, std::move(gsubs)});
+      }
+    } else {
+      for (const Submessage& s : subs)
+        result.failure.lost.push_back({s.source, s.dest, s.size_bytes, fstage});
+    }
+  };
+
+  auto send_control = [&](core::FrameKind kind, core::Rank to, const core::FrameHeader& of) {
+    core::FrameHeader a;
+    a.kind = kind;
+    a.stage = of.stage;
+    a.epoch = epoch;
+    a.seq = of.seq;  // acks/nacks echo the seq they answer
+    a.sender = me;
+    auto w = core::encode_frame(a, {});
+    if (kind == core::FrameKind::kAck) ++stats_.acks_sent;
+    stats_.wire_bytes_sent += w.size();
+    comm_->send(static_cast<int>(to), kResilientAckTag, std::move(w));
+  };
+  auto send_ack = [&](core::Rank to, const core::FrameHeader& of) {
+    send_control(core::FrameKind::kAck, to, of);
+  };
+
+  // Retransmit / give-up pass. Returns the earliest pending retry time (or
+  // time_point::max() when nothing is outstanding). A frame that exhausts
+  // its budget degrades: kData submessages are regrouped by final
+  // destination and re-sent as kDirect frames (bypassing the remaining
+  // store-and-forward stages); a dead kDirect frame is a definite loss.
+  auto pump_sends = [&](clock::time_point now) {
+    clock::time_point next = clock::time_point::max();
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      if (frames[i].acked || frames[i].failed) continue;
+      if (frames[i].attempts == 0) {
+        transmit(frames[i], now);
+      } else if (now >= frames[i].next_retry) {
+        // kDirect frames are exempt from the attempt budget: they are the
+        // last resort, exhausting one is a permanent loss, and the
+        // settlement valve already bounds how long they may keep trying.
+        if (frames[i].kind != core::FrameKind::kDirect &&
+            frames[i].attempts >= opt.max_attempts) {
+          ++stats_.timeouts;
+          fail_frame(i);
+          continue;
+        }
+        ++stats_.timeouts;
+        transmit(frames[i], now);
+      }
+      if (!frames[i].failed) next = std::min(next, frames[i].next_retry);
+    }
+    return next;
+  };
+
+  auto all_settled_locally = [&] {
+    for (const OutFrame& f : frames)
+      if (!f.acked && !f.failed) return false;
+    return true;
+  };
+
+  // --- receiver side -------------------------------------------------------
+  int cur_stage = 0;
+  std::set<std::pair<std::int32_t, std::uint32_t>> seen;  // (sender, seq) dedup
+  std::vector<std::set<core::Rank>> stage_got(static_cast<std::size_t>(n));
+  struct EarlyFrame {
+    int stage;
+    core::Rank sender;
+    std::vector<std::byte> body;
+  };
+  std::vector<EarlyFrame> early;  // frames from neighbors already past us
+  std::vector<Submessage> direct_delivered;
+  std::uint64_t direct_bytes = 0;
+
+  auto accept_stage_subs = [&](int stage, core::Rank sender, std::span<const std::byte> body) {
+    const std::vector<Submessage> subs = core::deserialize_tracked(body, arena);
+#if STFW_VALIDATE_ENABLED
+    if (validator) validator->on_stage_recv(stage, sender, subs);
+#endif
+    state.accept(stage, subs);
+    ++stats_.messages_received;
+    stage_got[static_cast<std::size_t>(stage)].insert(sender);
+  };
+
+  auto process_incoming = [&] {
+    for (runtime::Message& m : comm_->drain(kResilientAckTag)) {
+      const auto dec = core::decode_frame(m.data);
+      if (!dec || (dec->header.kind != core::FrameKind::kAck &&
+                   dec->header.kind != core::FrameKind::kNack)) {
+        ++stats_.corrupt_frames_discarded;
+        continue;
+      }
+      if (dec->header.epoch != epoch) continue;  // stale, not corrupt
+      const auto it = frame_by_seq.find(dec->header.seq);
+      if (it == frame_by_seq.end()) continue;
+      const std::size_t idx = it->second;
+      if (static_cast<core::Rank>(dec->header.sender) != frames[idx].dest) continue;
+      if (dec->header.kind == core::FrameKind::kAck) {
+        if (!frames[idx].acked && !frames[idx].failed) {
+          frames[idx].acked = true;
+          ++stats_.acks_received;
+        }
+      } else if (!frames[idx].acked && !frames[idx].failed) {
+        // The receiver refused this frame (it moved past the frame's stage);
+        // retrying cannot succeed, so degrade right away instead of burning
+        // the remaining attempts against a closed door.
+        fail_frame(idx);
+      }
+    }
+    for (runtime::Message& m : comm_->drain(kResilientDataTag)) {
+      const auto dec = core::decode_frame(m.data);
+      if (!dec || (dec->header.kind != core::FrameKind::kData &&
+                   dec->header.kind != core::FrameKind::kDirect)) {
+        ++stats_.corrupt_frames_discarded;  // truncated / bit-rotted / mis-tagged
+        continue;
+      }
+      const core::FrameHeader& h = dec->header;
+      if (h.epoch != epoch) continue;
+      const auto sender = static_cast<core::Rank>(h.sender);
+      if (sender < 0 || sender >= vpt_.size()) {
+        ++stats_.corrupt_frames_discarded;
+        continue;
+      }
+      const auto key = std::make_pair(h.sender, h.seq);
+      if (h.kind == core::FrameKind::kDirect) {
+        send_ack(sender, h);  // re-ack duplicates: our earlier ack may have died
+        if (!seen.insert(key).second) {
+          ++stats_.duplicate_frames_discarded;
+          continue;
+        }
+        const std::vector<Submessage> subs = core::deserialize_tracked(dec->body, arena);
+#if STFW_VALIDATE_ENABLED
+        if (validator) validator->on_direct_recv(sender, subs);
+#endif
+        for (const Submessage& s : subs) {
+          core::require(s.dest == me, "exchange_resilient: direct frame not addressed to me");
+          direct_delivered.push_back(s);
+          direct_bytes += s.size_bytes;
+        }
+        ++stats_.messages_received;
+        continue;
+      }
+      // kData
+      const int fstage = static_cast<int>(h.stage);
+      if (fstage >= n ||
+          !(vpt_.are_neighbors(sender, me) && vpt_.first_diff_dim(sender, me) == fstage)) {
+        ++stats_.corrupt_frames_discarded;
+        continue;
+      }
+      if (seen.count(key) != 0) {
+        send_ack(sender, h);
+        ++stats_.duplicate_frames_discarded;
+        continue;
+      }
+      if (fstage < cur_stage) {
+        // We gave up on this stage and moved on; accepting now would strand
+        // submessages whose forwarding stages already ran. Nack so the
+        // sender switches to its direct-routing fallback immediately.
+        ++stats_.late_frames_refused;
+        send_control(core::FrameKind::kNack, sender, h);
+        continue;
+      }
+      send_ack(sender, h);
+      seen.insert(key);
+      if (fstage > cur_stage) {
+        // Neighbor is ahead of us; park the frame until we enter its stage.
+        early.push_back({fstage, sender, {dec->body.begin(), dec->body.end()}});
+        continue;
+      }
+      accept_stage_subs(cur_stage, sender, dec->body);
+    }
+  };
+
+  // --- the staged exchange -------------------------------------------------
+  std::vector<core::Rank> nbrs;
+  std::vector<StageMessage> outbox;
+  std::uint64_t transit_peak = 0;
+  for (cur_stage = 0; cur_stage < n; ++cur_stage) {
+    if (injector != nullptr) injector->at_stage(static_cast<int>(me), cur_stage);
+
+    // Build this stage's frames. Unlike plain exchange(), every dimension-d
+    // neighbor gets a frame — an empty one if we have nothing to forward —
+    // so receivers can detect stage completeness by counting senders.
+    outbox.clear();
+    state.make_stage_outbox(cur_stage, outbox);
+    std::map<core::Rank, std::size_t> outbox_by_dest;
+    for (std::size_t i = 0; i < outbox.size(); ++i) outbox_by_dest.emplace(outbox[i].to, i);
+    nbrs.clear();
+    vpt_.neighbors(me, cur_stage, nbrs);
+    for (const core::Rank nbr : nbrs) {
+      StageMessage msg{me, nbr, {}};
+      if (const auto it = outbox_by_dest.find(nbr); it != outbox_by_dest.end())
+        msg.subs = std::move(outbox[it->second].subs);
+#if STFW_VALIDATE_ENABLED
+      if (validator) validator->on_stage_send(cur_stage, msg);
+#endif
+      ++stats_.messages_sent;
+      stats_.payload_bytes_sent += msg.payload_bytes();
+      make_frame(core::FrameKind::kData, cur_stage, nbr, std::move(msg));
+    }
+
+    // Frames for this stage that arrived while we were still behind.
+    for (auto it = early.begin(); it != early.end();) {
+      if (it->stage == cur_stage) {
+        accept_stage_subs(cur_stage, it->sender, it->body);
+        it = early.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    const auto stage_end = clock::now() + opt.stage_deadline;
+    const auto want = static_cast<std::size_t>(vpt_.dim_size(cur_stage) - 1);
+    for (;;) {
+      process_incoming();
+      const auto now = clock::now();
+      const auto next_event = pump_sends(now);
+      if (stage_got[static_cast<std::size_t>(cur_stage)].size() >= want) break;
+      if (now >= stage_end) {
+        // Note the gap and move on: the silent senders will fail their
+        // retries and re-route directly, or report the loss themselves.
+        ++stats_.timeouts;
+        for (const core::Rank nbr : nbrs)
+          if (stage_got[static_cast<std::size_t>(cur_stage)].count(nbr) == 0)
+            result.failure.missing.push_back({cur_stage, nbr});
+        break;
+      }
+      comm_->wait_message(runtime::Deadline{std::min(next_event, stage_end)});
+    }
+
+    transit_peak = std::max(transit_peak, state.buffered_payload_bytes());
+#if STFW_VALIDATE_ENABLED
+    if (validator)
+      validator->on_stage_complete(cur_stage, state.buffered_payload_bytes(),
+                                   state.buffered_submessage_count());
+#endif
+  }
+
+  // --- settlement: serve acks/retransmits until every rank is done ---------
+  // Event-driven termination instead of a blocking collective: a rank stuck
+  // inside an allgather cannot retransmit or ack, which starves peers into
+  // full stage-deadline waits. Here every rank keeps pumping until the whole
+  // cluster is settled; "settled" reports flow to rank 0 over the reliable
+  // control tags (negative tags; the injector leaves them alone by default —
+  // the "reliable side channel" of the fault model) and rank 0 broadcasts
+  // completion. A safety valve bounds the wait: past it, outstanding frames
+  // are declared lost so the exchange always terminates.
+  {
+    constexpr int kSettleReportTag = -1002;
+    constexpr int kSettleDoneTag = -1003;
+    // Peers still mid-exchange may legitimately lag by up to one stage
+    // deadline per remaining stage before they can start answering.
+    const auto settle_valve = clock::now() + opt.stage_deadline * n +
+                              opt.retransmit_timeout * opt.max_settle_rounds;
+    const int world = comm_->size();
+    std::set<int> settled_ranks;  // rank 0 only
+    bool reported = false;
+    bool done = false;
+    while (!done) {
+      process_incoming();
+      if (clock::now() >= settle_valve) {
+        // Whatever is still unacked is now a definite loss. No direct
+        // fallback this late: new frames could never be acknowledged.
+        for (OutFrame& f : frames) {
+          if (f.acked || f.failed) continue;
+          f.failed = true;
+          ++stats_.timeouts;
+          for (const Submessage& s : f.subs)
+            result.failure.lost.push_back({s.source, s.dest, s.size_bytes, f.stage});
+        }
+      }
+      const auto next_event = pump_sends(clock::now());
+      if (!reported && all_settled_locally()) {
+        reported = true;
+        if (me == 0)
+          settled_ranks.insert(0);
+        else
+          comm_->send(0, kSettleReportTag, std::vector<std::byte>{std::byte{1}});
+      }
+      if (me == 0) {
+        for (const runtime::Message& m : comm_->drain(kSettleReportTag))
+          settled_ranks.insert(m.source);
+        if (reported && static_cast<int>(settled_ranks.size()) == world) {
+          for (int r = 1; r < world; ++r)
+            comm_->send(r, kSettleDoneTag, std::vector<std::byte>{std::byte{1}});
+          done = true;
+        }
+      } else if (!comm_->drain(kSettleDoneTag).empty()) {
+        done = true;
+      }
+      if (!done) {
+        const auto tick = clock::now() + opt.retransmit_timeout;
+        comm_->wait_message(runtime::Deadline{std::min(next_event, tick)});
+      }
+    }
+  }
+
+  // Global recovery verdict, so every rank can branch on it collectively.
+  std::vector<std::byte> lost_flag{
+      static_cast<std::byte>(result.failure.lost.empty() ? 0 : 1)};
+  const auto lost_flags =
+      comm_->allgather(std::move(lost_flag), runtime::Deadline::in(opt.stage_deadline));
+  result.fully_recovered = true;
+  for (const auto& fb : lost_flags)
+    if (!fb.empty() && fb[0] != std::byte{0}) result.fully_recovered = false;
+
+  // Epilogue: no rank transmits protocol frames past this point. Flush any
+  // injector-delayed stragglers into the mailboxes and discard everything
+  // still addressed to this exchange, so the next one starts clean (the
+  // cluster asserts empty mailboxes between runs).
+  comm_->barrier();
+  comm_->flush_delayed();
+  comm_->barrier();
+  (void)comm_->drain(kResilientDataTag);
+  (void)comm_->drain(kResilientAckTag);
+  (void)comm_->drain(-1002);  // settle reports/done: should already be empty
+  (void)comm_->drain(-1003);
+
+  stats_.peak_buffer_bytes =
+      seed_bytes + state.delivered_payload_bytes() + direct_bytes + transit_peak;
+
+  // Merge store-and-forward and direct deliveries, deduplicating by
+  // (source, id): when a sender exhausts its retries even though the
+  // receiver had in fact accepted the frame (all acks lost or too slow),
+  // the fallback re-delivers submessages the stage path also delivers.
+  std::vector<Submessage> delivered = state.take_delivered();
+  std::set<std::pair<core::Rank, std::uint32_t>> delivered_keys;
+  for (const Submessage& s : delivered) delivered_keys.insert({s.source, s.id});
+  for (const Submessage& s : direct_delivered) {
+    if (delivered_keys.insert({s.source, s.id}).second)
+      delivered.push_back(s);
+    else
+      ++stats_.duplicate_submessages_discarded;
+  }
+
+#if STFW_VALIDATE_ENABLED
+  if (validator && result.fully_recovered) {
+    // The conservation check is collective and only meaningful when nothing
+    // was lost anywhere; fully_recovered is globally agreed, so all ranks
+    // take this branch together.
+    const auto summaries = comm_->allgather(validator->summary_blob());
+    validator->finish(delivered, arena, stats_.messages_sent, summaries);
+  }
+#endif
+
+  std::stable_sort(delivered.begin(), delivered.end(),
+                   [](const Submessage& a, const Submessage& b) { return a.source < b.source; });
+  result.delivered.reserve(delivered.size());
+  for (const Submessage& s : delivered) {
+    const auto payload = arena.view(s);
+    result.delivered.push_back(InboundMessage{s.source, {payload.begin(), payload.end()}});
   }
   return result;
 }

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/metrics.hpp"
@@ -14,6 +16,18 @@
 /// data it wants to send together with the VPT, and the library realizes the
 /// exchange with store-and-forward routing over the VPT. With Vpt::direct(K)
 /// this degenerates to plain point-to-point sends — the BL baseline.
+///
+/// Two exchange modes are offered. exchange() is the paper's Algorithm 1
+/// verbatim: it assumes a reliable transport and deadlocks or silently loses
+/// data if messages go missing. exchange_resilient() runs the same routing
+/// over sequence-numbered, checksummed wire frames with per-stage
+/// ack/retransmit and bounded exponential backoff, recovering transparently
+/// from dropped, duplicated, reordered, truncated and delayed messages; when
+/// a frame exhausts its retry budget — or the receiver nacks it because it
+/// already moved past that stage — the affected submessages are re-routed
+/// directly to their final destinations, and what cannot be delivered at all
+/// is surfaced in a per-rank ExchangeFailure report instead of crashing the
+/// cluster. See docs/fault_model.md.
 
 namespace stfw {
 
@@ -30,12 +44,84 @@ struct InboundMessage {
 };
 
 /// Per-process communication statistics of one exchange.
+///
+/// messages_sent / payload_bytes_sent count unique protocol messages so the
+/// two exchange modes are comparable; the resilience counters below record
+/// the extra wire work recovery cost (retransmissions and acks do appear in
+/// wire_bytes_sent).
 struct LocalExchangeStats {
   std::int64_t messages_sent = 0;
   std::int64_t messages_received = 0;
   std::uint64_t payload_bytes_sent = 0;    // includes forwarded submessages
   std::uint64_t wire_bytes_sent = 0;       // payload + wire headers
   std::uint64_t peak_buffer_bytes = 0;     // forward-buffer high water + delivered
+
+  // Resilient mode only (all zero for plain exchange()).
+  std::int64_t retransmits = 0;            // transmissions beyond each frame's first
+  std::int64_t timeouts = 0;               // retransmit-timer + stage-deadline expiries
+  std::int64_t duplicate_frames_discarded = 0;  // recovered duplicates/re-sends
+  std::int64_t duplicate_submessages_discarded = 0;  // direct copy of a delivered sub
+  std::int64_t corrupt_frames_discarded = 0;    // checksum/truncation rejects
+  std::int64_t late_frames_refused = 0;    // stage traffic nacked after its deadline
+  std::int64_t acks_sent = 0;
+  std::int64_t acks_received = 0;
+  std::int64_t direct_fallback_submessages = 0;  // re-routed past a dead neighbor link
+};
+
+/// Tuning knobs of exchange_resilient(). Defaults suit the in-process
+/// runtime under test-grade fault rates; real deployments would scale the
+/// deadlines with network latency.
+struct ResilienceOptions {
+  /// First retransmission after this long without an ack; grows by
+  /// backoff_factor on every further attempt, capped at 8x this timeout
+  /// (and never above the stage deadline) so a much-faulted frame still
+  /// retries often enough to fit inside the settlement budget.
+  std::chrono::milliseconds retransmit_timeout{10};
+  double backoff_factor = 2.0;
+  /// Transmissions per frame (including the first) before giving up and
+  /// degrading. >= 1. Direct-fallback frames are exempt: as the last
+  /// resort they keep retrying until the settlement safety valve.
+  int max_attempts = 6;
+  /// Budget for one stage to complete its receives; expiry records the
+  /// missing neighbors and moves on rather than hanging.
+  std::chrono::milliseconds stage_deadline{2000};
+  /// Sizes the settlement safety valve: after all stages, a rank waits at
+  /// most dim * stage_deadline + max_settle_rounds * retransmit_timeout for
+  /// the cluster to settle before force-failing outstanding frames. Bounds
+  /// exchange runtime.
+  int max_settle_rounds = 200;
+  /// Re-route the submessages of a retry-exhausted frame straight to their
+  /// final destinations instead of declaring them lost immediately.
+  bool direct_fallback = true;
+};
+
+/// What one rank could not recover in a resilient exchange. empty() means
+/// this rank's part of the exchange was fully reliable-equivalent.
+struct ExchangeFailure {
+  struct LostSubmessage {
+    core::Rank source = -1;
+    core::Rank dest = -1;
+    std::uint32_t bytes = 0;
+    int stage = -1;  // stage whose frame exhausted its budget; -1 = direct
+  };
+  struct MissingNeighbor {
+    int stage = -1;
+    core::Rank neighbor = -1;  // expected a stage frame from it; never arrived
+  };
+
+  std::vector<LostSubmessage> lost;      // definite loss (held by this rank)
+  std::vector<MissingNeighbor> missing;  // inbound gaps (sender may have re-routed)
+
+  bool empty() const noexcept { return lost.empty() && missing.empty(); }
+  std::string to_string() const;
+};
+
+struct ResilientExchangeResult {
+  std::vector<InboundMessage> delivered;
+  ExchangeFailure failure;
+  /// False iff any rank of the cluster reported lost submessages this
+  /// exchange (globally agreed, so all ranks can branch on it collectively).
+  bool fully_recovered = true;
 };
 
 /// Collective store-and-forward exchange over a threaded-runtime Comm.
@@ -50,9 +136,19 @@ public:
 
   /// Executes Algorithm 1 across all ranks; returns the messages addressed
   /// to this rank, sorted by source. Collective: every rank must call it.
+  /// Assumes a reliable transport (no fault injector on the faulted tags).
   std::vector<InboundMessage> exchange(std::span<const OutboundMessage> sends);
 
-  /// Statistics of the most recent exchange() on this rank.
+  /// Executes Algorithm 1 over the resilient frame protocol: per-stage
+  /// ack/retransmit with bounded exponential backoff, duplicate suppression,
+  /// checksum rejection, direct-routing fallback and a per-rank failure
+  /// report. Collective; all ranks must pass equal options. No foreign
+  /// traffic may share the communicator's tags while it runs.
+  ResilientExchangeResult exchange_resilient(std::span<const OutboundMessage> sends,
+                                             const ResilienceOptions& options = {});
+
+  /// Statistics of the most recent exchange() / exchange_resilient() on
+  /// this rank.
   const LocalExchangeStats& last_stats() const noexcept { return stats_; }
 
   /// True when the build carries the debug-mode exchange validator

@@ -66,6 +66,15 @@ public:
   /// header respects dimension-order routing up to and including `stage`.
   void on_stage_recv(int stage, core::Rank source, std::span<const core::Submessage> subs);
 
+  /// Hook: submessages received in a resilient-mode kDirect frame — the
+  /// degradation path that bypasses store-and-forward routing after a frame
+  /// exhausted its retry budget (docs/fault_model.md). Such frames may come
+  /// from any rank (not just VPT neighbors) but every submessage must be
+  /// finally addressed to this rank. Retransmitted frames never reach the
+  /// validator: the protocol deduplicates by (sender, seq) first, so the
+  /// per-stage message-count bounds keep holding in resilient mode.
+  void on_direct_recv(core::Rank source, std::span<const core::Submessage> subs);
+
   /// Hook: end of `stage` on this rank, after all receives were scattered.
   /// Samples forward-buffer residency for the buffer-bound check.
   void on_stage_complete(int stage, std::uint64_t buffered_bytes, std::uint64_t buffered_subs);

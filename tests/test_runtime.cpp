@@ -198,6 +198,97 @@ TEST(Runtime, ExchangeStressRepeatedEpochs) {
   });
 }
 
+TEST(Runtime, RecvAnySourceConcurrentSendersKeepPerSourceOrder) {
+  // Seven senders hammer rank 0 concurrently on one tag; whatever global
+  // interleaving the scheduler produces, the (source, tag) substreams must
+  // stay in send order.
+  static constexpr int kRanks = 8;
+  static constexpr int kBurst = 200;
+  Cluster cluster(kRanks);
+  cluster.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> next_seq(kRanks, 0);
+      for (int i = 0; i < (kRanks - 1) * kBurst; ++i) {
+        const Message m = comm.recv(kAnySource, 5);
+        ASSERT_GE(m.source, 1);
+        ASSERT_LT(m.source, kRanks);
+        const auto src = static_cast<std::size_t>(m.source);
+        EXPECT_EQ(value_of(m), m.source * 1000 + next_seq[src])
+            << "out-of-order delivery from rank " << m.source;
+        ++next_seq[src];
+      }
+      for (int r = 1; r < kRanks; ++r) EXPECT_EQ(next_seq[static_cast<std::size_t>(r)], kBurst);
+    } else {
+      for (int b = 0; b < kBurst; ++b) comm.send(0, 5, payload(comm.rank() * 1000 + b));
+    }
+  });
+}
+
+TEST(Runtime, ProbeUnderConcurrentLoadMatchesRecv) {
+  // probe() answers about the current mailbox; a positive probe must be
+  // immediately satisfiable by recv even while senders keep posting.
+  static constexpr int kRanks = 6;
+  static constexpr int kBurst = 100;
+  Cluster cluster(kRanks);
+  cluster.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      int got = 0;
+      std::vector<int> next_seq(kRanks, 0);
+      while (got < (kRanks - 1) * kBurst) {
+        comm.wait_message(Deadline::never());
+        while (comm.probe(kAnySource, 3)) {
+          const Message m = comm.recv(kAnySource, 3);
+          const auto src = static_cast<std::size_t>(m.source);
+          EXPECT_EQ(value_of(m), next_seq[src]) << "from rank " << m.source;
+          ++next_seq[src];
+          ++got;
+        }
+        // Specific-source probes agree with what recv would find.
+        for (int r = 1; r < kRanks; ++r) {
+          if (comm.probe(r, 3)) {
+            EXPECT_TRUE(comm.probe(kAnySource, 3));
+          }
+        }
+      }
+      EXPECT_FALSE(comm.probe(kAnySource, 3));
+    } else {
+      for (int b = 0; b < kBurst; ++b) comm.send(0, 3, payload(b));
+    }
+  });
+}
+
+TEST(Runtime, DrainUnderConcurrentMultiSenderLoadKeepsPerSourceOrder) {
+  // drain() while other tags are still in flight: per source the drained
+  // sequence must be the send sequence, and foreign tags stay untouched.
+  static constexpr int kRanks = 8;
+  static constexpr int kBurst = 50;
+  Cluster cluster(kRanks);
+  cluster.run([](Comm& comm) {
+    for (int b = 0; b < kBurst; ++b) {
+      for (int d = 0; d < kRanks; ++d) {
+        if (d == comm.rank()) continue;
+        comm.send(d, 11, payload(comm.rank() * 10000 + b));
+        if (b % 7 == 0) comm.send(d, 12, payload(b));
+      }
+    }
+    comm.barrier();
+    const auto msgs = comm.drain(11);
+    ASSERT_EQ(msgs.size(), static_cast<std::size_t>((kRanks - 1) * kBurst));
+    std::vector<int> next_seq(kRanks, 0);
+    int last_source = -1;
+    for (const Message& m : msgs) {
+      EXPECT_GE(m.source, last_source) << "drain not sorted by source";
+      last_source = m.source;
+      const auto src = static_cast<std::size_t>(m.source);
+      EXPECT_EQ(value_of(m), m.source * 10000 + next_seq[src]);
+      ++next_seq[src];
+    }
+    // Tag 12 was untouched by the drain; clean it up.
+    const auto rest = comm.drain(12);
+    EXPECT_EQ(rest.size(), static_cast<std::size_t>((kRanks - 1) * ((kBurst + 6) / 7)));
+  });
+}
+
 TEST(Runtime, SingleRankClusterWorks) {
   Cluster cluster(1);
   cluster.run([](Comm& comm) {

@@ -108,6 +108,141 @@ TEST(Wire, RejectsTrailingGarbage) {
   EXPECT_THROW(deserialize(wire, arena2), Error);
 }
 
+TEST(Wire, TrackedRoundTripPreservesIds) {
+  PayloadArena arena;
+  StageMessage m{3, 7, {}};
+  const auto p1 = bytes_of({1, 2, 3, 4});
+  const auto p2 = bytes_of({});
+  m.subs.push_back(Submessage{2, 9, arena.add(p1), 4, 11});
+  m.subs.push_back(Submessage{3, 5, arena.add(p2), 0, 0xffffffffu});
+  const auto wire = serialize_tracked(m, arena);
+  // The tracked layout costs exactly 4 extra bytes per submessage.
+  EXPECT_EQ(wire.size(), wire_size_bytes(2, 4) + 2 * 4);
+  PayloadArena arena2;
+  const auto subs = deserialize_tracked(wire, arena2);
+  ASSERT_EQ(subs.size(), 2u);
+  EXPECT_EQ(subs[0].source, 2);
+  EXPECT_EQ(subs[0].dest, 9);
+  EXPECT_EQ(subs[0].id, 11u);
+  EXPECT_EQ(subs[1].id, 0xffffffffu);
+  const auto v1 = arena2.view(subs[0]);
+  EXPECT_TRUE(std::equal(v1.begin(), v1.end(), p1.begin(), p1.end()));
+}
+
+TEST(Wire, TrackedRejectsTruncation) {
+  PayloadArena arena;
+  StageMessage m{0, 1, {}};
+  const auto p = bytes_of({1, 2, 3, 4, 5, 6, 7, 8});
+  m.subs.push_back(Submessage{0, 1, arena.add(p), 8, 3});
+  auto wire = serialize_tracked(m, arena);
+  wire.erase(wire.end() - 3, wire.end());
+  PayloadArena arena2;
+  EXPECT_THROW(deserialize_tracked(wire, arena2), Error);
+}
+
+TEST(Frame, RoundTripPreservesHeaderAndBody) {
+  const auto body = bytes_of({10, 20, 30, 40, 50});
+  FrameHeader h;
+  h.kind = FrameKind::kData;
+  h.stage = 3;
+  h.epoch = 17;
+  h.seq = 12345;
+  h.sender = 42;
+  const auto wire = encode_frame(h, body);
+  EXPECT_EQ(wire.size(), kFrameOverheadBytes + body.size());
+
+  const auto dec = decode_frame(wire);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->header.kind, FrameKind::kData);
+  EXPECT_EQ(dec->header.stage, 3);
+  EXPECT_EQ(dec->header.epoch, 17u);
+  EXPECT_EQ(dec->header.seq, 12345u);
+  EXPECT_EQ(dec->header.sender, 42);
+  EXPECT_EQ(dec->header.body_len, 5u);
+  EXPECT_TRUE(std::equal(dec->body.begin(), dec->body.end(), body.begin(), body.end()));
+}
+
+TEST(Frame, EmptyBodyRoundTrip) {
+  FrameHeader h;
+  h.kind = FrameKind::kAck;
+  h.seq = 9;
+  h.sender = 1;
+  const auto wire = encode_frame(h, {});
+  EXPECT_EQ(wire.size(), kFrameOverheadBytes);
+  const auto dec = decode_frame(wire);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->header.kind, FrameKind::kAck);
+  EXPECT_TRUE(dec->body.empty());
+}
+
+TEST(Frame, DetectsTruncationAnywhere) {
+  const auto body = bytes_of({1, 2, 3, 4, 5, 6, 7, 8});
+  FrameHeader h;
+  h.sender = 0;
+  const auto wire = encode_frame(h, body);
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const std::span<const std::byte> prefix(wire.data(), len);
+    EXPECT_FALSE(decode_frame(prefix).has_value()) << "accepted a " << len << "-byte prefix";
+  }
+}
+
+TEST(Frame, DetectsSingleBitCorruptionAnywhere) {
+  const auto body = bytes_of({0xaa, 0xbb, 0xcc, 0xdd});
+  FrameHeader h;
+  h.kind = FrameKind::kDirect;
+  h.epoch = 3;
+  h.seq = 7;
+  h.sender = 5;
+  const auto wire = encode_frame(h, body);
+  ASSERT_TRUE(decode_frame(wire).has_value());
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto bad = wire;
+      bad[i] ^= static_cast<std::byte>(1 << bit);
+      EXPECT_FALSE(decode_frame(bad).has_value())
+          << "accepted a flipped bit " << bit << " at byte " << i;
+    }
+  }
+}
+
+TEST(Frame, RejectsWrongMagicAndBadKind) {
+  FrameHeader h;
+  h.sender = 0;
+  auto wire = encode_frame(h, {});
+  auto bad_magic = wire;
+  bad_magic[0] = std::byte{0};
+  EXPECT_FALSE(decode_frame(bad_magic).has_value());
+  // Kind lives at offset 4; an out-of-range value must be rejected even if
+  // someone recomputed the checksum over it.
+  FrameHeader weird = h;
+  weird.kind = static_cast<FrameKind>(99);
+  EXPECT_FALSE(decode_frame(encode_frame(weird, {})).has_value());
+}
+
+TEST(Frame, ChecksumCoversHeaderNotJustBody) {
+  // Two frames with identical bodies but different seq must have different
+  // checksums — otherwise a reordered wire buffer could impersonate another
+  // frame.
+  const auto body = bytes_of({1, 2, 3});
+  FrameHeader a;
+  a.seq = 1;
+  a.sender = 0;
+  FrameHeader b = a;
+  b.seq = 2;
+  const auto wa = encode_frame(a, body);
+  const auto wb = encode_frame(b, body);
+  const std::span<const std::byte> ca(wa.data() + 24, 8);
+  const std::span<const std::byte> cb(wb.data() + 24, 8);
+  EXPECT_FALSE(std::equal(ca.begin(), ca.end(), cb.begin(), cb.end()));
+}
+
+TEST(Frame, FnvDigestIsStable) {
+  const auto data = bytes_of({'a', 'b', 'c'});
+  // Reference value of FNV-1a 64 for "abc".
+  EXPECT_EQ(fnv1a(data), 0xe71fa2190541574bull);
+  EXPECT_EQ(fnv1a({}), 14695981039346656037ull);
+}
+
 TEST(PayloadArenaTest, ViewsRemainValidAcrossAdds) {
   PayloadArena arena;
   const auto p1 = bytes_of({1, 2, 3});
