@@ -33,6 +33,9 @@ int main() {
   for (const auto& spec : sparse::paper_matrices_small())
     instances.push_back(bench::make_instance(std::string(spec.name), kMaxRanks));
 
+  bench::Json root = bench::bench_json_envelope("table2_metrics");
+  bench::Json results = bench::Json::array();
+
   for (core::Rank K : rank_counts) {
     const auto machine = netsim::Machine::blue_gene_q(K);
     const int max_dim = core::floor_log2(K);
@@ -51,10 +54,27 @@ int main() {
                   bench::scheme_name(dim).c_str(), bench::geomean(mmax), bench::geomean(mavg),
                   bench::geomean(vavg), bench::geomean(comm), bench::geomean(spmv),
                   bench::geomean(buf));
+      std::string row_name = "K";
+      row_name += std::to_string(K);
+      row_name += '/';
+      row_name += bench::scheme_name(dim);
+      results.push(bench::Json::object()
+                       .set("name", bench::Json::string(std::move(row_name)))
+                       .set("scheme", bench::Json::string(bench::scheme_name(dim)))
+                       .set("ranks", bench::Json::integer(K))
+                       .set("mmax_geomean", bench::Json::number(bench::geomean(mmax)))
+                       .set("mavg_geomean", bench::Json::number(bench::geomean(mavg)))
+                       .set("vavg_words_geomean", bench::Json::number(bench::geomean(vavg)))
+                       .set("comm_us_geomean", bench::Json::number(bench::geomean(comm)))
+                       .set("spmv_us_geomean", bench::Json::number(bench::geomean(spmv)))
+                       .set("buffer_kb_geomean", bench::Json::number(bench::geomean(buf))));
     }
     bench::print_rule(86);
   }
+  root.set("results", std::move(results));
+  const std::string path = bench::write_bench_json("table2_metrics", root);
   std::printf("Paper Table 2 (K=256): BL mmax 120.5 -> STFW8 mmax 8.0; comm 825 -> 322 us;\n"
-              "vavg 1181 -> 3544 words; buffers always < 2x BL.\n");
+              "vavg 1181 -> 3544 words; buffers always < 2x BL.\n"
+              "wrote %s\n", path.c_str());
   return 0;
 }

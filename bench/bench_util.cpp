@@ -5,34 +5,27 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/env.hpp"
 #include "core/error.hpp"
 #include "partition/partitioner.hpp"
 #include "spmv/distributed.hpp"
 
 namespace stfw::bench {
 
-namespace {
+// Knob parsing is strict (core/env.hpp): STFW_BENCH_SCALE=0.1x is a loud
+// core::ValidationError, not a silently truncated 0.1.
 
-double env_double(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  return v != nullptr ? std::atof(v) : fallback;
+double bench_scale() {
+  return std::clamp(core::env_double("STFW_BENCH_SCALE", 0.08), 1e-4, 1.0);
 }
 
-}  // namespace
+std::int64_t bench_nnz_cap() { return core::env_int("STFW_BENCH_NNZ_CAP", 600'000); }
 
-double bench_scale() { return std::clamp(env_double("STFW_BENCH_SCALE", 0.08), 1e-4, 1.0); }
-
-std::int64_t bench_nnz_cap() {
-  return static_cast<std::int64_t>(env_double("STFW_BENCH_NNZ_CAP", 600'000.0));
-}
-
-std::uint64_t bench_seed() {
-  return static_cast<std::uint64_t>(env_double("STFW_BENCH_SEED", 20190717.0));
-}
+std::uint64_t bench_seed() { return core::env_u64("STFW_BENCH_SEED", 20190717); }
 
 std::uint32_t bench_entry_bytes() {
   return static_cast<std::uint32_t>(
-      std::clamp(env_double("STFW_BENCH_ENTRY_BYTES", 8.0), 1.0, 65536.0));
+      std::clamp<std::int64_t>(core::env_int("STFW_BENCH_ENTRY_BYTES", 8), 1, 65536));
 }
 
 std::vector<std::int32_t> Instance::parts(core::Rank num_ranks) const {
@@ -120,6 +113,183 @@ std::string fmt(double v, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
+}
+
+// --- perf-regression JSON output -------------------------------------------
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+Json Json::integer(std::int64_t v) {
+  Json j;
+  j.kind_ = Kind::kInt;
+  j.int_ = v;
+  return j;
+}
+
+Json Json::string(std::string v) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+Json Json::boolean(bool v) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+Json& Json::set(const std::string& key, Json v) {
+  core::require(kind_ == Kind::kObject, "Json::set: not an object");
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+Json& Json::push(Json v) {
+  core::require(kind_ == Kind::kArray, "Json::push: not an array");
+  items_.push_back(std::move(v));
+  return *this;
+}
+
+namespace {
+
+void write_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void Json::write(std::string& out, int indent, int depth) const {
+  const std::string pad(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth + 1),
+                        ' ');
+  const std::string close_pad(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+                              ' ');
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: out += std::to_string(int_); break;
+    case Kind::kNumber: {
+      if (!std::isfinite(number_)) {
+        out += "null";  // JSON has no NaN/Inf
+        break;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.12g", number_);
+      out += buf;
+      break;
+    }
+    case Kind::kString: write_json_string(out, string_); break;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        out += pad;
+        items_[i].write(out, indent, depth + 1);
+        if (i + 1 < items_.size()) out += ',';
+        out += '\n';
+      }
+      out += close_pad + "]";
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        out += pad;
+        write_json_string(out, members_[i].first);
+        out += ": ";
+        members_[i].second.write(out, indent, depth + 1);
+        if (i + 1 < members_.size()) out += ',';
+        out += '\n';
+      }
+      out += close_pad + "}";
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  out += '\n';
+  return out;
+}
+
+Json bench_json_envelope(const std::string& bench_name) {
+  Json config = Json::object();
+  config.set("scale", Json::number(bench_scale()));
+  config.set("nnz_cap", Json::integer(bench_nnz_cap()));
+  config.set("seed", Json::integer(static_cast<std::int64_t>(bench_seed())));
+  config.set("entry_bytes", Json::integer(bench_entry_bytes()));
+
+  Json root = Json::object();
+  root.set("bench", Json::string(bench_name));
+  root.set("schema_version", Json::integer(1));
+  root.set("config", std::move(config));
+  root.set("results", Json::array());
+  return root;
+}
+
+std::string write_bench_json(const std::string& bench_name, const Json& payload) {
+  const char* dir = std::getenv("STFW_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0') ? std::string(dir) : std::string(".");
+  if (path.back() != '/') path += '/';
+  path += "BENCH_" + bench_name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  core::require(f != nullptr, "write_bench_json: cannot open " + path);
+  const std::string text = payload.dump();
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  core::require(written == text.size(), "write_bench_json: short write to " + path);
+  return path;
 }
 
 }  // namespace stfw::bench

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/vpt.hpp"
@@ -76,5 +77,53 @@ std::string scheme_name(int vpt_dim);
 /// Fixed-width table printing helpers.
 void print_rule(int width);
 std::string fmt(double v, int precision = 1);
+
+// --- perf-regression JSON output -------------------------------------------
+//
+// Every harness can emit one machine-readable BENCH_<name>.json next to its
+// human-readable table so runs are diffable across commits
+// (tools/compare_bench.py). Schema (docs/performance.md):
+//   { "bench": <name>, "schema_version": 1,
+//     "config": { knob: value, ... },
+//     "results": [ { "name": <row key>, <numeric metrics>... }, ... ] }
+
+/// Minimal ordered JSON value tree (objects keep insertion order).
+class Json {
+public:
+  Json() = default;  // null
+  static Json object();
+  static Json array();
+  static Json number(double v);
+  static Json integer(std::int64_t v);
+  static Json string(std::string v);
+  static Json boolean(bool v);
+
+  /// Object member set / array append; both return *this for chaining and
+  /// throw core::Error on kind misuse.
+  Json& set(const std::string& key, Json v);
+  Json& push(Json v);
+
+  std::string dump(int indent = 2) const;
+
+private:
+  enum class Kind { kNull, kBool, kInt, kNumber, kString, kArray, kObject };
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// The standard top-level envelope: bench name, schema_version, the shared
+/// bench_* knobs under "config", and an empty "results" array.
+Json bench_json_envelope(const std::string& bench_name);
+
+/// Write `payload` as BENCH_<name>.json into $STFW_BENCH_JSON_DIR (default:
+/// current directory). Returns the path written.
+std::string write_bench_json(const std::string& bench_name, const Json& payload);
 
 }  // namespace stfw::bench

@@ -1,0 +1,87 @@
+#include "core/env.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace stfw::core {
+namespace {
+
+// Trims leading/trailing ASCII whitespace in place and returns whether any
+// non-whitespace content remains.
+bool trim(std::string& s) {
+  std::size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  std::size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  s = s.substr(b, e - b);
+  return !s.empty();
+}
+
+[[noreturn]] void bad_value(const char* what, const std::string& text, const char* reason) {
+  throw ValidationError("env", /*rank=*/-1, /*stage=*/-1,
+                        std::string(what) + "=\"" + text + "\" " + reason);
+}
+
+}  // namespace
+
+double parse_double(const char* text, const char* what) {
+  std::string tok(text == nullptr ? "" : text);
+  if (!trim(tok)) bad_value(what, tok, "is empty");
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(tok.c_str(), &end);
+  if (end != tok.c_str() + tok.size() || end == tok.c_str())
+    bad_value(what, tok, "is not a number");
+  if (errno == ERANGE) bad_value(what, tok, "is out of range");
+  return value;
+}
+
+std::int64_t parse_int(const char* text, const char* what) {
+  std::string tok(text == nullptr ? "" : text);
+  if (!trim(tok)) bad_value(what, tok, "is empty");
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(tok.c_str(), &end, 10);
+  if (end != tok.c_str() + tok.size() || end == tok.c_str())
+    bad_value(what, tok, "is not an integer");
+  if (errno == ERANGE) bad_value(what, tok, "is out of range");
+  return static_cast<std::int64_t>(value);
+}
+
+std::uint64_t parse_u64(const char* text, const char* what) {
+  std::string tok(text == nullptr ? "" : text);
+  if (!trim(tok)) bad_value(what, tok, "is empty");
+  // strtoull accepts and silently negates "-1"; reject a sign ourselves.
+  if (tok[0] == '-') bad_value(what, tok, "must be non-negative");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(tok.c_str(), &end, 10);
+  if (end != tok.c_str() + tok.size() || end == tok.c_str())
+    bad_value(what, tok, "is not an unsigned integer");
+  if (errno == ERANGE) bad_value(what, tok, "is out of range");
+  return static_cast<std::uint64_t>(value);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  return parse_double(v, name);
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  return parse_int(v, name);
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  return parse_u64(v, name);
+}
+
+}  // namespace stfw::core

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file env.hpp
+/// Strict environment-variable parsing shared by the fault injector, the
+/// bench harnesses and the runtime's tuning knobs.
+///
+/// The STFW_* environment surface is configuration: a typo'd value must be a
+/// loud error, not a silently truncated number (strtod("0.1x") == 0.1,
+/// atof("abc") == 0.0). These helpers parse the *full* token and throw a
+/// structured core::ValidationError (check "env", naming the variable) on
+/// anything malformed or out of range. An unset or empty variable means
+/// "use the default", matching the unset convention of POSIX tools.
+
+namespace stfw::core {
+
+/// Parse `name` as a floating-point number. Leading/trailing whitespace is
+/// tolerated; any other unconsumed character throws.
+double env_double(const char* name, double fallback);
+
+/// Parse `name` as a signed decimal integer (no fractional part).
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Parse `name` as an unsigned decimal integer. Rejects negative input
+/// (strtoull would silently wrap it).
+std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+
+/// Parsing core of the helpers above, exposed for values that do not come
+/// from the environment (e.g. harness CLI arguments). `what` names the
+/// value in the error message.
+double parse_double(const char* text, const char* what);
+std::int64_t parse_int(const char* text, const char* what);
+std::uint64_t parse_u64(const char* text, const char* what);
+
+}  // namespace stfw::core

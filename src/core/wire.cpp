@@ -45,6 +45,10 @@ std::vector<std::byte> serialize(const StageMessage& msg, const PayloadArena& ar
 std::vector<Submessage> deserialize(std::span<const std::byte> wire, PayloadArena& arena) {
   std::size_t pos = 0;
   const auto count = get<std::uint32_t>(wire, pos);
+  // Every submessage needs at least its 12-byte header; checking before the
+  // reserve keeps a corrupt count from demanding gigabytes up front.
+  require(static_cast<std::uint64_t>(count) * 12 <= wire.size() - pos,
+          "deserialize: submessage count exceeds buffer");
   std::vector<Submessage> subs;
   subs.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
@@ -80,6 +84,9 @@ std::vector<Submessage> deserialize_tracked(std::span<const std::byte> wire,
                                             PayloadArena& arena) {
   std::size_t pos = 0;
   const auto count = get<std::uint32_t>(wire, pos);
+  // As above, but the tracked format carries a 16-byte per-sub header.
+  require(static_cast<std::uint64_t>(count) * 16 <= wire.size() - pos,
+          "deserialize: submessage count exceeds buffer");
   std::vector<Submessage> subs;
   subs.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {

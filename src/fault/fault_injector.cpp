@@ -4,21 +4,16 @@
 #include <string>
 #include <thread>
 
+#include "core/env.hpp"
+
 namespace stfw::fault {
 
 namespace {
 
-double env_double(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  return std::strtod(v, nullptr);
-}
-
-std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  return std::strtoull(v, nullptr, 10);
-}
+// Strict parsers (core/env.hpp): a malformed STFW_FAULT_* value throws
+// core::ValidationError instead of being silently truncated by strtod.
+using core::env_double;
+using core::env_u64;
 
 /// splitmix64 — decorrelates the per-sender streams derived from one seed.
 std::uint64_t mix(std::uint64_t x) {

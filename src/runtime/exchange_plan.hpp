@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/exchange_plan.hpp"
+
+/// \file exchange_plan.hpp
+/// Runtime handle for a frozen exchange schedule (core::ExchangePlanLayout)
+/// plus the pooled mutable scratch its replays reuse: the raw inbound frames
+/// of each stage are parked here so every planned exchange on the same
+/// pattern recycles the same allocations instead of rebuilding a
+/// StfwRankState, a PayloadArena and per-submessage vectors.
+///
+/// A plan is produced by StfwCommunicator::plan() (collective) or recorded
+/// transparently by the communicator's plan cache on the first exchange()
+/// with a new pattern. It is valid for the Vpt and rank it was built for and
+/// is not thread-safe: one plan belongs to one rank's communicator.
+
+namespace stfw {
+class StfwCommunicator;
+}
+
+namespace stfw::runtime {
+
+class ExchangePlan {
+public:
+  explicit ExchangePlan(core::ExchangePlanLayout layout) : layout_(std::move(layout)) {
+    in_raw_.resize(layout_.in_frames.size());
+    for (std::size_t s = 0; s < in_raw_.size(); ++s)
+      in_raw_[s].resize(layout_.in_frames[s].size());
+  }
+
+  const core::ExchangePlanLayout& layout() const noexcept { return layout_; }
+  const core::PatternSignature& signature() const noexcept { return layout_.signature; }
+
+private:
+  friend class stfw::StfwCommunicator;
+
+  core::ExchangePlanLayout layout_;
+  // in_raw_[stage][frame]: the raw wire bytes received in the most recent
+  // replay. Buffers arrive by ownership transfer from Comm and keep their
+  // capacity across replays.
+  std::vector<std::vector<std::vector<std::byte>>> in_raw_;
+};
+
+}  // namespace stfw::runtime

@@ -10,7 +10,9 @@
 #include <unordered_map>
 #include <utility>
 
+#include "core/env.hpp"
 #include "core/error.hpp"
+#include "core/exchange_plan.hpp"
 #include "core/wire.hpp"
 #include "fault/fault_injector.hpp"
 
@@ -32,6 +34,140 @@ namespace {
 // frame header instead of the tag.
 constexpr int kResilientDataTag = 1 << 28;
 constexpr int kResilientAckTag = (1 << 28) + 1;
+
+constexpr std::size_t kDefaultPlanCacheCapacity = 4;
+
+std::vector<std::pair<core::Rank, std::uint32_t>> pattern_of(
+    std::span<const OutboundMessage> sends) {
+  std::vector<std::pair<core::Rank, std::uint32_t>> pattern;
+  pattern.reserve(sends.size());
+  for (const OutboundMessage& s : sends)
+    pattern.emplace_back(s.dest, static_cast<std::uint32_t>(s.bytes.size()));
+  return pattern;
+}
+
+// Header-only wire format of the planning pass: u32 count, then per
+// submessage { i32 source, i32 dest, u32 len }. Only plan() traffic uses it
+// (a collective, so no other reader can see these frames).
+std::vector<std::byte> serialize_headers(const StageMessage& msg) {
+  std::vector<std::byte> out(4 + msg.subs.size() * 12);
+  std::byte* p = out.data();
+  const auto count = static_cast<std::uint32_t>(msg.subs.size());
+  std::memcpy(p, &count, 4);
+  p += 4;
+  for (const Submessage& s : msg.subs) {
+    std::memcpy(p, &s.source, 4);
+    std::memcpy(p + 4, &s.dest, 4);
+    std::memcpy(p + 8, &s.size_bytes, 4);
+    p += 12;
+  }
+  return out;
+}
+
+std::vector<Submessage> deserialize_headers(std::span<const std::byte> wire) {
+  core::require(wire.size() >= 4, "plan: truncated header frame");
+  std::uint32_t count = 0;
+  std::memcpy(&count, wire.data(), 4);
+  core::require(wire.size() == 4 + static_cast<std::size_t>(count) * 12,
+                "plan: header frame size mismatch");
+  std::vector<Submessage> subs(count);
+  const std::byte* p = wire.data() + 4;
+  for (Submessage& s : subs) {
+    std::memcpy(&s.source, p, 4);
+    std::memcpy(&s.dest, p + 4, 4);
+    std::memcpy(&s.size_bytes, p + 8, 4);
+    p += 12;
+  }
+  return subs;
+}
+
+// Provenance encoding of the planning pass: StfwRankState routes
+// Submessage::offset untouched, so while planning it carries where the
+// payload will come from at replay time instead of an arena offset.
+constexpr std::uint64_t kProvRecvBit = 1ull << 63;
+
+std::uint64_t encode_recv_prov(int stage, std::size_t frame, std::uint64_t offset) {
+  return kProvRecvBit | (static_cast<std::uint64_t>(stage) << 48) |
+         (static_cast<std::uint64_t>(frame) << 32) | offset;
+}
+
+core::PayloadSrc decode_prov(std::uint64_t enc, std::uint32_t bytes) {
+  core::PayloadSrc src;
+  src.bytes = bytes;
+  if ((enc & kProvRecvBit) == 0) {
+    src.kind = core::PayloadSrc::Kind::kSeed;
+    src.index = static_cast<std::uint32_t>(enc);
+  } else {
+    src.kind = core::PayloadSrc::Kind::kRecv;
+    src.stage = static_cast<std::uint8_t>((enc >> 48) & 0x7fu);
+    src.frame = static_cast<std::uint16_t>((enc >> 32) & 0xffffu);
+    src.offset = static_cast<std::uint32_t>(enc & 0xffffffffull);
+  }
+  return src;
+}
+
+// True when a received wire frame has exactly the submessage headers the
+// plan expects at the planned offsets. Any deviation means a peer's pattern
+// drifted since the plan was recorded.
+bool frame_headers_match(std::span<const std::byte> raw, const core::PlanInFrame& f) {
+  if (raw.size() != f.wire_size || raw.size() < 4) return false;
+  std::uint32_t count = 0;
+  std::memcpy(&count, raw.data(), 4);
+  if (count != f.subs.size()) return false;
+  for (const Submessage& s : f.subs) {
+    const std::byte* h = raw.data() + s.offset - 12;
+    std::int32_t source = -1;
+    std::int32_t dest = -1;
+    std::uint32_t len = 0;
+    std::memcpy(&source, h, 4);
+    std::memcpy(&dest, h + 4, 4);
+    std::memcpy(&len, h + 8, 4);
+    if (source != s.source || dest != s.dest || len != s.size_bytes) return false;
+  }
+  return true;
+}
+
+// Copies `frame`'s prebuilt wire image and fills its payload gaps from the
+// seed payload views / previously received raw frames.
+std::vector<std::byte> fill_planned_frame(
+    const core::PlanOutFrame& frame, std::span<const std::span<const std::byte>> seeds,
+    const std::vector<std::vector<std::vector<std::byte>>>& in_raw) {
+  std::vector<std::byte> wire(frame.image);
+  for (std::size_t i = 0; i < frame.slots.size(); ++i) {
+    const core::PayloadSrc& src = frame.slots[i];
+    const std::byte* from = src.kind == core::PayloadSrc::Kind::kSeed
+                                ? seeds[src.index].data()
+                                : in_raw[src.stage][src.frame].data() + src.offset;
+    std::memcpy(wire.data() + frame.slot_offsets[i], from, src.bytes);
+  }
+  return wire;
+}
+
+// Materializes the InboundMessages of a completed planned exchange.
+std::vector<InboundMessage> planned_result(
+    const core::ExchangePlanLayout& layout, std::span<const std::span<const std::byte>> seeds,
+    const std::vector<std::vector<std::vector<std::byte>>>& in_raw) {
+  std::vector<InboundMessage> result;
+  result.reserve(layout.deliveries.size());
+  for (const core::PlanDelivery& d : layout.deliveries) {
+    if (d.src.bytes == 0) {
+      result.push_back(InboundMessage{d.source, {}});
+      continue;
+    }
+    const std::byte* from = d.src.kind == core::PayloadSrc::Kind::kSeed
+                                ? seeds[d.src.index].data()
+                                : in_raw[d.src.stage][d.src.frame].data() + d.src.offset;
+    result.push_back(InboundMessage{d.source, {from, from + d.src.bytes}});
+  }
+  return result;
+}
+
+std::vector<std::span<const std::byte>> seed_views_of(std::span<const OutboundMessage> sends) {
+  std::vector<std::span<const std::byte>> views;
+  views.reserve(sends.size());
+  for (const OutboundMessage& s : sends) views.emplace_back(s.bytes);
+  return views;
+}
 
 bool validation_default() {
 #if STFW_VALIDATE_ENABLED
@@ -56,16 +192,93 @@ bool StfwCommunicator::validation_available() noexcept {
 }
 
 StfwCommunicator::StfwCommunicator(runtime::Comm& comm, core::Vpt vpt)
-    : comm_(&comm), vpt_(std::move(vpt)), validate_(validation_default()) {
+    : comm_(&comm),
+      vpt_(std::move(vpt)),
+      validate_(validation_default()),
+      plan_cache_capacity_(static_cast<std::size_t>(
+          core::env_u64("STFW_PLAN_CACHE", kDefaultPlanCacheCapacity))) {
   core::require(vpt_.size() == comm.size(),
                 "StfwCommunicator: VPT size must equal communicator size");
 }
 
+void StfwCommunicator::set_plan_cache_capacity(std::size_t capacity) {
+  plan_cache_capacity_ = capacity;
+  while (plan_cache_.size() > capacity) {
+    std::size_t lru = 0;
+    for (std::size_t i = 1; i < plan_cache_.size(); ++i)
+      if (plan_cache_[i].last_use < plan_cache_[lru].last_use) lru = i;
+    plan_cache_[lru] = std::move(plan_cache_.back());
+    plan_cache_.pop_back();
+  }
+}
+
+std::shared_ptr<runtime::ExchangePlan> StfwCommunicator::plan_cache_find(
+    const core::PatternSignature& sig) {
+  for (PlanCacheEntry& e : plan_cache_) {
+    if (e.plan->signature() == sig) {
+      e.last_use = ++plan_cache_tick_;
+      return e.plan;
+    }
+  }
+  return nullptr;
+}
+
+void StfwCommunicator::plan_cache_insert(std::shared_ptr<runtime::ExchangePlan> plan) {
+  if (plan_cache_capacity_ == 0) return;
+  for (PlanCacheEntry& e : plan_cache_) {
+    if (e.plan->signature() == plan->signature()) {
+      e.plan = std::move(plan);
+      e.last_use = ++plan_cache_tick_;
+      return;
+    }
+  }
+  if (plan_cache_.size() >= plan_cache_capacity_ && !plan_cache_.empty()) {
+    std::size_t lru = 0;
+    for (std::size_t i = 1; i < plan_cache_.size(); ++i)
+      if (plan_cache_[i].last_use < plan_cache_[lru].last_use) lru = i;
+    plan_cache_[lru] = PlanCacheEntry{std::move(plan), ++plan_cache_tick_};
+    return;
+  }
+  plan_cache_.push_back(PlanCacheEntry{std::move(plan), ++plan_cache_tick_});
+}
+
+void StfwCommunicator::plan_cache_erase(const core::PatternSignature& sig) {
+  for (std::size_t i = 0; i < plan_cache_.size(); ++i) {
+    if (plan_cache_[i].plan->signature() == sig) {
+      plan_cache_[i] = std::move(plan_cache_.back());
+      plan_cache_.pop_back();
+      return;
+    }
+  }
+}
+
 std::vector<InboundMessage> StfwCommunicator::exchange(std::span<const OutboundMessage> sends) {
+  if (plan_cache_capacity_ > 0) {
+    const auto pattern = pattern_of(sends);
+    const auto sig = core::PatternSignature::of(pattern);
+    // The shared_ptr pins the plan for the call: a mid-flight fallback
+    // erases the cache entry while the plan's scratch is still in use.
+    if (const std::shared_ptr<runtime::ExchangePlan> hit = plan_cache_find(sig))
+      return exchange_planned_cached(*hit, sends);
+    return exchange_unplanned(sends, &sig);
+  }
+  return exchange_unplanned(sends, nullptr);
+}
+
+std::vector<InboundMessage> StfwCommunicator::exchange_unplanned(
+    std::span<const OutboundMessage> sends, const core::PatternSignature* record_as) {
   const auto me = static_cast<core::Rank>(comm_->rank());
   StfwRankState state(vpt_, me);
   PayloadArena arena;
   stats_ = LocalExchangeStats{};
+
+  // On a cache miss the exchange records itself into a PlanRecorder:
+  // payload provenance (seed index or inbound-frame slice) is tracked per
+  // arena offset so the finished layout can replay the routing with plain
+  // memcpys next iteration.
+  std::optional<core::PlanRecorder> recorder;
+  std::unordered_map<std::uint64_t, core::PayloadSrc> provenance;
+  if (record_as != nullptr) recorder.emplace(vpt_, me, record_as->sequence);
 
 #if STFW_VALIDATE_ENABLED
   std::optional<validate::ExchangeValidator> validator;
@@ -73,16 +286,26 @@ std::vector<InboundMessage> StfwCommunicator::exchange(std::span<const OutboundM
 #endif
 
   std::uint64_t seed_bytes = 0;
+  std::uint32_t seed_index = 0;
   for (const OutboundMessage& s : sends) {
 #if STFW_VALIDATE_ENABLED
     if (validator) validator->on_seed(s.dest, s.bytes);
 #endif
     const std::uint64_t off = arena.add(s.bytes);
     state.add_send(s.dest, off, static_cast<std::uint32_t>(s.bytes.size()));
+    if (recorder && !s.bytes.empty()) {
+      core::PayloadSrc src;
+      src.kind = core::PayloadSrc::Kind::kSeed;
+      src.index = seed_index;
+      src.bytes = static_cast<std::uint32_t>(s.bytes.size());
+      provenance.insert_or_assign(off, src);
+    }
+    ++seed_index;
     seed_bytes += s.bytes.size();
   }
 
   std::vector<StageMessage> outbox;
+  std::vector<core::PayloadSrc> srcs;
   std::uint64_t transit_peak = 0;
   const int tag_base = epoch_ * vpt_.dim();
   fault::FaultInjector* injector = comm_->fault_injector();
@@ -95,6 +318,12 @@ std::vector<InboundMessage> StfwCommunicator::exchange(std::span<const OutboundM
 #if STFW_VALIDATE_ENABLED
       if (validator) validator->on_stage_send(stage, m);
 #endif
+      if (recorder) {
+        srcs.clear();
+        for (const Submessage& s : m.subs)
+          srcs.push_back(s.size_bytes == 0 ? core::PayloadSrc{} : provenance.at(s.offset));
+        recorder->on_stage_send(stage, m.to, m.subs, srcs);
+      }
       auto wire = core::serialize(m, arena);
       ++stats_.messages_sent;
       stats_.payload_bytes_sent += m.payload_bytes();
@@ -104,6 +333,7 @@ std::vector<InboundMessage> StfwCommunicator::exchange(std::span<const OutboundM
     // All sends of this stage happen-before the barrier, so drain() below
     // sees the complete set of stage messages addressed to us.
     comm_->barrier();
+    std::size_t frame_index = 0;
     for (runtime::Message& m : comm_->drain(tag)) {
       ++stats_.messages_received;
       const std::vector<Submessage> subs = core::deserialize(m.data, arena);
@@ -111,9 +341,27 @@ std::vector<InboundMessage> StfwCommunicator::exchange(std::span<const OutboundM
       if (validator)
         validator->on_stage_recv(stage, static_cast<core::Rank>(m.source), subs);
 #endif
+      if (recorder) {
+        const core::PlanInFrame& frame =
+            recorder->on_stage_recv(stage, static_cast<core::Rank>(m.source), subs);
+        for (std::size_t k = 0; k < subs.size(); ++k) {
+          if (subs[k].size_bytes == 0) continue;
+          core::PayloadSrc src;
+          src.kind = core::PayloadSrc::Kind::kRecv;
+          src.stage = static_cast<std::uint8_t>(stage);
+          src.frame = static_cast<std::uint16_t>(frame_index);
+          src.offset = static_cast<std::uint32_t>(frame.subs[k].offset);
+          src.bytes = subs[k].size_bytes;
+          provenance.insert_or_assign(subs[k].offset, src);
+        }
+      }
       state.accept(stage, subs);
+      ++frame_index;
     }
     transit_peak = std::max(transit_peak, state.buffered_payload_bytes());
+    if (recorder)
+      recorder->on_stage_complete(stage, state.buffered_payload_bytes(),
+                                  state.buffered_submessage_count());
 #if STFW_VALIDATE_ENABLED
     if (validator)
       validator->on_stage_complete(stage, state.buffered_payload_bytes(),
@@ -140,12 +388,367 @@ std::vector<InboundMessage> StfwCommunicator::exchange(std::span<const OutboundM
   std::vector<InboundMessage> result;
   std::stable_sort(delivered.begin(), delivered.end(),
                    [](const Submessage& a, const Submessage& b) { return a.source < b.source; });
+  if (recorder) {
+    srcs.clear();
+    for (const Submessage& s : delivered)
+      srcs.push_back(s.size_bytes == 0 ? core::PayloadSrc{} : provenance.at(s.offset));
+    plan_cache_insert(
+        std::make_shared<runtime::ExchangePlan>(recorder->finish(delivered, srcs)));
+    stats_.plan_builds = 1;
+  }
   result.reserve(delivered.size());
   for (const Submessage& s : delivered) {
     const auto payload = arena.view(s);
     result.push_back(InboundMessage{s.source, {payload.begin(), payload.end()}});
   }
   return result;
+}
+
+std::vector<InboundMessage> StfwCommunicator::exchange_planned_cached(
+    runtime::ExchangePlan& plan, std::span<const OutboundMessage> sends) {
+  const auto me = static_cast<core::Rank>(comm_->rank());
+  const core::ExchangePlanLayout& layout = plan.layout();
+  const int n = vpt_.dim();
+  stats_ = LocalExchangeStats{};
+  stats_.plan_hits = 1;
+  const int tag_base = epoch_ * n;
+  fault::FaultInjector* injector = comm_->fault_injector();
+  const std::vector<std::span<const std::byte>> seeds = seed_views_of(sends);
+
+#if STFW_VALIDATE_ENABLED
+  std::optional<validate::ExchangeValidator> validator;
+  if (validate_) {
+    validator.emplace(vpt_, me);
+    for (const OutboundMessage& s : sends) validator->on_seed(s.dest, s.bytes);
+  }
+#endif
+
+  for (int stage = 0; stage < n; ++stage) {
+    if (injector != nullptr) injector->at_stage(static_cast<int>(me), stage);
+    const int tag = tag_base + stage;
+    for (const core::PlanOutFrame& f : layout.out_frames[static_cast<std::size_t>(stage)]) {
+#if STFW_VALIDATE_ENABLED
+      if (validator) {
+        StageMessage m;
+        m.from = me;
+        m.to = f.to;
+        m.subs = f.subs;
+        validator->on_stage_send(stage, m);
+      }
+#endif
+      auto wire = fill_planned_frame(f, seeds, plan.in_raw_);
+      ++stats_.messages_sent;
+      stats_.payload_bytes_sent += f.payload_bytes;
+      stats_.wire_bytes_sent += wire.size();
+      comm_->send(static_cast<int>(f.to), tag, std::move(wire));
+    }
+    // Same synchronization structure as the unplanned path, so a cluster in
+    // which some ranks hit the cache and others miss stays deadlock-free.
+    comm_->barrier();
+    std::vector<runtime::Message> msgs = comm_->drain(tag);
+
+    const auto& expected = layout.in_frames[static_cast<std::size_t>(stage)];
+    bool match = msgs.size() == expected.size();
+    for (std::size_t i = 0; match && i < msgs.size(); ++i)
+      match = msgs[i].source == expected[i].source &&
+              frame_headers_match(msgs[i].data, expected[i]);
+
+    if (!match) {
+      // A peer's pattern drifted since the plan was recorded: the inbound
+      // frames no longer match the frozen roster. Rebuild Algorithm 1 state
+      // by replaying the stages already completed from the raw frames the
+      // plan kept, ingest what actually arrived, and continue unplanned.
+      // Frames already sent this stage depended only on our own (matching)
+      // pattern, so nothing wrong went out.
+      stats_.plan_fallbacks = 1;
+      plan_cache_erase(layout.signature);
+
+      StfwRankState state(vpt_, me);
+      PayloadArena arena;
+      std::uint64_t seed_bytes = 0;
+      for (const OutboundMessage& s : sends) {
+        const std::uint64_t off = arena.add(s.bytes);
+        state.add_send(s.dest, off, static_cast<std::uint32_t>(s.bytes.size()));
+        seed_bytes += s.bytes.size();
+      }
+      std::vector<StageMessage> outbox;
+      std::uint64_t transit_peak = 0;
+      for (int s = 0; s < stage; ++s) {
+        outbox.clear();
+        state.make_stage_outbox(s, outbox);  // already on the wire; discard
+        for (const std::vector<std::byte>& raw : plan.in_raw_[static_cast<std::size_t>(s)])
+          state.accept(s, core::deserialize(raw, arena));
+        transit_peak = std::max(transit_peak, state.buffered_payload_bytes());
+      }
+      outbox.clear();
+      state.make_stage_outbox(stage, outbox);  // already on the wire; discard
+      for (runtime::Message& m : msgs) {
+        ++stats_.messages_received;
+        const std::vector<Submessage> subs = core::deserialize(m.data, arena);
+#if STFW_VALIDATE_ENABLED
+        if (validator)
+          validator->on_stage_recv(stage, static_cast<core::Rank>(m.source), subs);
+#endif
+        state.accept(stage, subs);
+      }
+      transit_peak = std::max(transit_peak, state.buffered_payload_bytes());
+#if STFW_VALIDATE_ENABLED
+      if (validator)
+        validator->on_stage_complete(stage, state.buffered_payload_bytes(),
+                                     state.buffered_submessage_count());
+#endif
+      for (int s = stage + 1; s < n; ++s) {
+        if (injector != nullptr) injector->at_stage(static_cast<int>(me), s);
+        const int t = tag_base + s;
+        outbox.clear();
+        state.make_stage_outbox(s, outbox);
+        for (const StageMessage& m : outbox) {
+#if STFW_VALIDATE_ENABLED
+          if (validator) validator->on_stage_send(s, m);
+#endif
+          auto wire = core::serialize(m, arena);
+          ++stats_.messages_sent;
+          stats_.payload_bytes_sent += m.payload_bytes();
+          stats_.wire_bytes_sent += wire.size();
+          comm_->send(static_cast<int>(m.to), t, std::move(wire));
+        }
+        comm_->barrier();
+        for (runtime::Message& m : comm_->drain(t)) {
+          ++stats_.messages_received;
+          const std::vector<Submessage> subs = core::deserialize(m.data, arena);
+#if STFW_VALIDATE_ENABLED
+          if (validator)
+            validator->on_stage_recv(s, static_cast<core::Rank>(m.source), subs);
+#endif
+          state.accept(s, subs);
+        }
+        transit_peak = std::max(transit_peak, state.buffered_payload_bytes());
+#if STFW_VALIDATE_ENABLED
+        if (validator)
+          validator->on_stage_complete(s, state.buffered_payload_bytes(),
+                                       state.buffered_submessage_count());
+#endif
+      }
+      ++epoch_;
+      stats_.peak_buffer_bytes = seed_bytes + state.delivered_payload_bytes() + transit_peak;
+      std::vector<Submessage> delivered = state.take_delivered();
+#if STFW_VALIDATE_ENABLED
+      if (validator) {
+        const auto summaries = comm_->allgather(validator->summary_blob());
+        validator->finish(delivered, arena, stats_.messages_sent, summaries);
+      }
+#endif
+      std::vector<InboundMessage> result;
+      std::stable_sort(
+          delivered.begin(), delivered.end(),
+          [](const Submessage& a, const Submessage& b) { return a.source < b.source; });
+      result.reserve(delivered.size());
+      for (const Submessage& sub : delivered) {
+        const auto payload = arena.view(sub);
+        result.push_back(InboundMessage{sub.source, {payload.begin(), payload.end()}});
+      }
+      return result;
+    }
+
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      ++stats_.messages_received;
+#if STFW_VALIDATE_ENABLED
+      if (validator) validator->on_stage_recv(stage, expected[i].source, expected[i].subs);
+#endif
+      plan.in_raw_[static_cast<std::size_t>(stage)][i] = std::move(msgs[i].data);
+    }
+#if STFW_VALIDATE_ENABLED
+    if (validator)
+      validator->on_stage_complete(stage,
+                                   layout.stage_buffered_bytes[static_cast<std::size_t>(stage)],
+                                   layout.stage_buffered_subs[static_cast<std::size_t>(stage)]);
+#endif
+  }
+  ++epoch_;
+  stats_.peak_buffer_bytes = layout.peak_buffer_bytes();
+
+  std::vector<InboundMessage> result = planned_result(layout, seeds, plan.in_raw_);
+
+#if STFW_VALIDATE_ENABLED
+  if (validator) {
+    PayloadArena varena;
+    std::vector<Submessage> vdelivered;
+    vdelivered.reserve(result.size());
+    for (const InboundMessage& r : result) {
+      Submessage s;
+      s.source = r.source;
+      s.dest = me;
+      s.size_bytes = static_cast<std::uint32_t>(r.bytes.size());
+      s.offset = varena.add(r.bytes);
+      vdelivered.push_back(s);
+    }
+    const auto summaries = comm_->allgather(validator->summary_blob());
+    validator->finish(vdelivered, varena, stats_.messages_sent, summaries);
+  }
+#endif
+  return result;
+}
+
+std::shared_ptr<runtime::ExchangePlan> StfwCommunicator::plan(
+    std::span<const OutboundMessage> sends) {
+  const auto me = static_cast<core::Rank>(comm_->rank());
+  const auto pattern = pattern_of(sends);
+  core::PlanRecorder recorder(vpt_, me, pattern);
+  StfwRankState state(vpt_, me);
+
+  // Header-only collective planning pass: the same Algorithm 1 stage
+  // structure with empty wire bodies. Submessage::offset carries payload
+  // provenance (seed index or inbound-frame slice) through the routing.
+  std::uint32_t index = 0;
+  for (const auto& [dest, size] : pattern) state.add_send(dest, index++, size);
+
+  std::vector<StageMessage> outbox;
+  std::vector<core::PayloadSrc> srcs;
+  const int tag_base = epoch_ * vpt_.dim();
+  fault::FaultInjector* injector = comm_->fault_injector();
+  for (int stage = 0; stage < vpt_.dim(); ++stage) {
+    if (injector != nullptr) injector->at_stage(static_cast<int>(me), stage);
+    const int tag = tag_base + stage;
+    outbox.clear();
+    state.make_stage_outbox(stage, outbox);
+    for (const StageMessage& m : outbox) {
+      srcs.clear();
+      for (const Submessage& s : m.subs) srcs.push_back(decode_prov(s.offset, s.size_bytes));
+      recorder.on_stage_send(stage, m.to, m.subs, srcs);
+      comm_->send(static_cast<int>(m.to), tag, serialize_headers(m));
+    }
+    comm_->barrier();
+    std::size_t frame_index = 0;
+    for (runtime::Message& m : comm_->drain(tag)) {
+      std::vector<Submessage> subs = deserialize_headers(m.data);
+      const core::PlanInFrame& frame =
+          recorder.on_stage_recv(stage, static_cast<core::Rank>(m.source), subs);
+      for (std::size_t k = 0; k < subs.size(); ++k)
+        subs[k].offset = encode_recv_prov(stage, frame_index, frame.subs[k].offset);
+      state.accept(stage, subs);
+      ++frame_index;
+    }
+    recorder.on_stage_complete(stage, state.buffered_payload_bytes(),
+                               state.buffered_submessage_count());
+  }
+  ++epoch_;
+
+  std::vector<Submessage> delivered = state.take_delivered();
+  std::stable_sort(delivered.begin(), delivered.end(),
+                   [](const Submessage& a, const Submessage& b) { return a.source < b.source; });
+  srcs.clear();
+  for (const Submessage& s : delivered) srcs.push_back(decode_prov(s.offset, s.size_bytes));
+  return std::make_shared<runtime::ExchangePlan>(recorder.finish(delivered, srcs));
+}
+
+std::vector<InboundMessage> StfwCommunicator::exchange(
+    runtime::ExchangePlan& plan, std::span<const std::span<const std::byte>> payloads) {
+  const auto me = static_cast<core::Rank>(comm_->rank());
+  const core::ExchangePlanLayout& layout = plan.layout();
+  core::require(layout.rank == me, "exchange(plan): plan belongs to another rank");
+  core::require(layout.vpt_dims == vpt_.dim_sizes(),
+                "exchange(plan): plan was built for a different VPT");
+  const auto& sequence = layout.signature.sequence;
+  core::require(payloads.size() == sequence.size(),
+                "exchange(plan): payload count differs from the planned pattern");
+  for (std::size_t i = 0; i < payloads.size(); ++i)
+    core::require(payloads[i].size() == sequence[i].second,
+                  "exchange(plan): payload size differs from the planned pattern");
+
+  const int n = vpt_.dim();
+  stats_ = LocalExchangeStats{};
+  stats_.plan_hits = 1;
+  const int tag_base = epoch_ * n;
+  fault::FaultInjector* injector = comm_->fault_injector();
+
+#if STFW_VALIDATE_ENABLED
+  std::optional<validate::ExchangeValidator> validator;
+  if (validate_) {
+    validator.emplace(vpt_, me);
+    for (std::size_t i = 0; i < payloads.size(); ++i)
+      validator->on_seed(sequence[i].first, payloads[i]);
+  }
+#endif
+
+  for (int stage = 0; stage < n; ++stage) {
+    if (injector != nullptr) injector->at_stage(static_cast<int>(me), stage);
+    const int tag = tag_base + stage;
+    for (const core::PlanOutFrame& f : layout.out_frames[static_cast<std::size_t>(stage)]) {
+#if STFW_VALIDATE_ENABLED
+      if (validator) {
+        StageMessage m;
+        m.from = me;
+        m.to = f.to;
+        m.subs = f.subs;
+        validator->on_stage_send(stage, m);
+      }
+#endif
+      auto wire = fill_planned_frame(f, payloads, plan.in_raw_);
+      ++stats_.messages_sent;
+      stats_.payload_bytes_sent += f.payload_bytes;
+      stats_.wire_bytes_sent += wire.size();
+      comm_->send(static_cast<int>(f.to), tag, std::move(wire));
+    }
+    // Barrier-free: the plan froze exactly which frames arrive, so each is
+    // awaited directly by (source, tag). All ranks must replay plans of the
+    // same collective plan() — drift here is a contract violation.
+    auto& raw_stage = plan.in_raw_[static_cast<std::size_t>(stage)];
+    const auto& expected = layout.in_frames[static_cast<std::size_t>(stage)];
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      runtime::Message m = comm_->recv(static_cast<int>(expected[i].source), tag);
+      core::require(frame_headers_match(m.data, expected[i]),
+                    "exchange(plan): inbound frame deviates from the plan; the send "
+                    "pattern changed since plan() (use plain exchange() for "
+                    "iteration-varying patterns)");
+      ++stats_.messages_received;
+#if STFW_VALIDATE_ENABLED
+      if (validator) validator->on_stage_recv(stage, expected[i].source, expected[i].subs);
+#endif
+      raw_stage[i] = std::move(m.data);
+    }
+#if STFW_VALIDATE_ENABLED
+    if (validator)
+      validator->on_stage_complete(stage,
+                                   layout.stage_buffered_bytes[static_cast<std::size_t>(stage)],
+                                   layout.stage_buffered_subs[static_cast<std::size_t>(stage)]);
+#endif
+  }
+  ++epoch_;
+  stats_.peak_buffer_bytes = layout.peak_buffer_bytes();
+
+  std::vector<InboundMessage> result = planned_result(layout, payloads, plan.in_raw_);
+
+#if STFW_VALIDATE_ENABLED
+  if (validator) {
+    PayloadArena varena;
+    std::vector<Submessage> vdelivered;
+    vdelivered.reserve(result.size());
+    for (const InboundMessage& r : result) {
+      Submessage s;
+      s.source = r.source;
+      s.dest = me;
+      s.size_bytes = static_cast<std::uint32_t>(r.bytes.size());
+      s.offset = varena.add(r.bytes);
+      vdelivered.push_back(s);
+    }
+    const auto summaries = comm_->allgather(validator->summary_blob());
+    validator->finish(vdelivered, varena, stats_.messages_sent, summaries);
+  }
+#endif
+  return result;
+}
+
+std::vector<InboundMessage> StfwCommunicator::exchange(runtime::ExchangePlan& plan,
+                                                       std::span<const OutboundMessage> sends) {
+  const auto& sequence = plan.layout().signature.sequence;
+  core::require(sends.size() == sequence.size(),
+                "exchange(plan): send count differs from the planned pattern");
+  for (std::size_t i = 0; i < sends.size(); ++i)
+    core::require(sends[i].dest == sequence[i].first &&
+                      sends[i].bytes.size() == sequence[i].second,
+                  "exchange(plan): send pattern differs from the planned pattern");
+  const std::vector<std::span<const std::byte>> views = seed_views_of(sends);
+  return exchange(plan, views);
 }
 
 std::string ExchangeFailure::to_string() const {
@@ -191,6 +794,14 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
   if (validate_) validator.emplace(vpt_, me);
 #endif
 
+  // A cached plan for this pattern supplies frozen seed routing dimensions
+  // (the full frame layout cannot be replayed here: injected faults make the
+  // inbound schedule non-deterministic, so only the seeding scan is reused).
+  std::shared_ptr<runtime::ExchangePlan> seed_plan;
+  if (plan_cache_capacity_ > 0)
+    seed_plan = plan_cache_find(core::PatternSignature::of(pattern_of(sends)));
+  if (seed_plan) stats_.plan_hits = 1;
+
   std::uint64_t seed_bytes = 0;
   std::uint32_t next_sub_id = 0;
   for (const OutboundMessage& s : sends) {
@@ -198,7 +809,12 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
     if (validator) validator->on_seed(s.dest, s.bytes);
 #endif
     const std::uint64_t off = arena.add(s.bytes);
-    state.add_send(s.dest, off, static_cast<std::uint32_t>(s.bytes.size()), next_sub_id++);
+    if (seed_plan)
+      state.add_send_routed(s.dest, seed_plan->layout().seed_first_dim[next_sub_id], off,
+                            static_cast<std::uint32_t>(s.bytes.size()), next_sub_id);
+    else
+      state.add_send(s.dest, off, static_cast<std::uint32_t>(s.bytes.size()), next_sub_id);
+    ++next_sub_id;
     seed_bytes += s.bytes.size();
   }
 

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "core/rank_state.hpp"
 #include "core/vpt.hpp"
 #include "runtime/comm.hpp"
+#include "runtime/exchange_plan.hpp"
 
 /// \file stfw_communicator.hpp
 /// The paper's black-box operation (Section 2.2): every process passes the
@@ -55,6 +57,12 @@ struct LocalExchangeStats {
   std::uint64_t payload_bytes_sent = 0;    // includes forwarded submessages
   std::uint64_t wire_bytes_sent = 0;       // payload + wire headers
   std::uint64_t peak_buffer_bytes = 0;     // forward-buffer high water + delivered
+
+  // Plan-cache activity of this exchange (see docs/performance.md).
+  std::int64_t plan_builds = 0;     // 1 when this exchange recorded a new plan
+  std::int64_t plan_hits = 0;       // 1 when this exchange replayed a plan
+  std::int64_t plan_fallbacks = 0;  // 1 when a replay detected pattern drift
+                                    // mid-flight and fell back to Algorithm 1
 
   // Resilient mode only (all zero for plain exchange()).
   std::int64_t retransmits = 0;            // transmissions beyond each frame's first
@@ -137,7 +145,44 @@ public:
   /// Executes Algorithm 1 across all ranks; returns the messages addressed
   /// to this rank, sorted by source. Collective: every rank must call it.
   /// Assumes a reliable transport (no fault injector on the faulted tags).
+  ///
+  /// Repeated calls with an identical send pattern (same (dest, size)
+  /// sequence) transparently replay a recorded ExchangePlan instead of
+  /// re-deriving routes and frame layouts — the persistent-collective fast
+  /// path for iterative workloads. The cache is pattern-keyed and bounded
+  /// (set_plan_cache_capacity); a replay that detects mid-flight pattern
+  /// drift on a peer falls back to the unplanned path with identical
+  /// results. LocalExchangeStats.plan_{builds,hits,fallbacks} report what
+  /// happened.
   std::vector<InboundMessage> exchange(std::span<const OutboundMessage> sends);
+
+  /// Builds an ExchangePlan for `sends`' pattern with a header-only
+  /// collective planning pass (payload bytes in `sends` are ignored; only
+  /// (dest, size) matter). Collective: all ranks must call plan() together,
+  /// like an exchange. The plan is bound to this rank and VPT.
+  std::shared_ptr<runtime::ExchangePlan> plan(std::span<const OutboundMessage> sends);
+
+  /// Replays `plan` with fresh payload bytes — the explicit persistent-
+  /// exchange API. `payloads[i]` supplies the bytes of the i-th send of the
+  /// planned pattern and must match its planned size. Collective, and
+  /// *barrier-free*: every rank must replay a plan of the same collective
+  /// plan() / recorded exchange, every time. Pattern drift is a contract
+  /// violation (throws core::Error); use plain exchange() when the pattern
+  /// may change between iterations.
+  std::vector<InboundMessage> exchange(runtime::ExchangePlan& plan,
+                                       std::span<const std::span<const std::byte>> payloads);
+
+  /// Convenience overload: replays `plan` taking payload bytes from `sends`,
+  /// whose (dest, size) sequence must equal the planned pattern.
+  std::vector<InboundMessage> exchange(runtime::ExchangePlan& plan,
+                                       std::span<const OutboundMessage> sends);
+
+  /// Transparent plan cache bound (LRU, default 4 plans; STFW_PLAN_CACHE
+  /// overrides the default). 0 disables transparent caching entirely;
+  /// explicit plan()/exchange(plan, ...) still work.
+  std::size_t plan_cache_capacity() const noexcept { return plan_cache_capacity_; }
+  void set_plan_cache_capacity(std::size_t capacity);
+  std::size_t plan_cache_size() const noexcept { return plan_cache_.size(); }
 
   /// Executes Algorithm 1 over the resilient frame protocol: per-stage
   /// ack/retransmit with bounded exponential backoff, duplicate suppression,
@@ -164,11 +209,27 @@ public:
   void set_validation(bool on) noexcept { validate_ = on; }
 
 private:
+  struct PlanCacheEntry {
+    std::shared_ptr<runtime::ExchangePlan> plan;
+    std::uint64_t last_use = 0;
+  };
+
+  std::vector<InboundMessage> exchange_unplanned(std::span<const OutboundMessage> sends,
+                                                 const core::PatternSignature* record_as);
+  std::vector<InboundMessage> exchange_planned_cached(runtime::ExchangePlan& plan,
+                                                      std::span<const OutboundMessage> sends);
+  std::shared_ptr<runtime::ExchangePlan> plan_cache_find(const core::PatternSignature& sig);
+  void plan_cache_insert(std::shared_ptr<runtime::ExchangePlan> plan);
+  void plan_cache_erase(const core::PatternSignature& sig);
+
   runtime::Comm* comm_;
   core::Vpt vpt_;
   int epoch_ = 0;  // distinguishes tags across repeated exchanges
   bool validate_;
   LocalExchangeStats stats_;
+  std::vector<PlanCacheEntry> plan_cache_;
+  std::size_t plan_cache_capacity_;
+  std::uint64_t plan_cache_tick_ = 0;
 };
 
 }  // namespace stfw

@@ -21,9 +21,19 @@ SimResult simulate_exchange(const core::Vpt& vpt, const CommPattern& pattern,
   const Rank K = vpt.size();
   const auto nK = static_cast<std::size_t>(K);
 
-  std::vector<StfwRankState> states;
-  states.reserve(nK);
-  for (Rank r = 0; r < K; ++r) states.emplace_back(vpt, r);
+  // With a caller-provided scratch the per-rank states (and their forward-
+  // buffer hash maps) survive across calls; otherwise `own` serves one call.
+  SimScratch own;
+  SimScratch& scratch = options.scratch != nullptr ? *options.scratch : own;
+  if (!scratch.vpt_.has_value() || !(*scratch.vpt_ == vpt) || scratch.states_.size() != nK) {
+    scratch.vpt_ = vpt;  // stable copy the pooled states can point at
+    scratch.states_.clear();
+    scratch.states_.reserve(nK);
+    for (Rank r = 0; r < K; ++r) scratch.states_.emplace_back(*scratch.vpt_, r);
+  } else {
+    for (StfwRankState& st : scratch.states_) st.reset();
+  }
+  std::vector<StfwRankState>& states = scratch.states_;
 
   // Seed from SendSets. Payload bytes are accounted but never materialized;
   // offsets are unused by the simulator.
@@ -34,9 +44,14 @@ SimResult simulate_exchange(const core::Vpt& vpt, const CommPattern& pattern,
   SimResult result{core::ExchangeMetrics(K), {}, 0.0, {}};
   result.stage_times_us.reserve(static_cast<std::size_t>(vpt.dim()));
 
-  std::vector<std::vector<StageMessage>> inbox(nK);
-  std::vector<double> send_cost(nK), recv_cost(nK);
-  std::vector<StageMessage> outbox;
+  scratch.inbox_.resize(nK);
+  scratch.send_cost_.resize(nK);
+  scratch.recv_cost_.resize(nK);
+  std::vector<std::vector<StageMessage>>& inbox = scratch.inbox_;
+  std::vector<double>& send_cost = scratch.send_cost_;
+  std::vector<double>& recv_cost = scratch.recv_cost_;
+  std::vector<StageMessage>& outbox = scratch.outbox_;
+  outbox.clear();
   // Per-node NIC injection/ejection bottleneck: all off-node traffic of a
   // node's ranks serializes through its NIC.
   const bool model_injection =
@@ -49,7 +64,8 @@ SimResult simulate_exchange(const core::Vpt& vpt, const CommPattern& pattern,
   // Store-and-forward transit residency: bytes parked in forward buffers at
   // stage boundaries (zero for the direct topology — everything leaves in
   // stage 0). Part of the paper's buffer-size metric.
-  std::vector<std::uint64_t> transit_peak(nK, 0);
+  scratch.transit_peak_.assign(nK, 0);
+  std::vector<std::uint64_t>& transit_peak = scratch.transit_peak_;
 
   for (int stage = 0; stage < vpt.dim(); ++stage) {
     if (options.machine != nullptr) {

@@ -1,10 +1,12 @@
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "core/message.hpp"
 #include "core/metrics.hpp"
+#include "core/rank_state.hpp"
 #include "core/vpt.hpp"
 #include "netsim/machine.hpp"
 #include "sim/pattern.hpp"
@@ -27,11 +29,39 @@
 
 namespace stfw::sim {
 
+struct SimOptions;
+struct SimResult;
+
+/// Pooled per-rank state for repeated simulate_exchange calls. The sweep
+/// harnesses simulate many exchanges over the same (or equally-shaped) VPT;
+/// constructing K StfwRankStates — a vector of hash maps each — per call
+/// dominates small-pattern runs. A scratch passed via SimOptions keeps the
+/// states (and their bucket allocations) alive across calls: states are
+/// reset when the VPT matches and rebuilt only when it changes. Owns a copy
+/// of the VPT so pooled states never dangle on a caller-destroyed topology.
+class SimScratch {
+public:
+  SimScratch() = default;
+
+private:
+  friend SimResult simulate_exchange(const core::Vpt& vpt, const CommPattern& pattern,
+                                     const SimOptions& options);
+  std::optional<core::Vpt> vpt_;
+  std::vector<core::StfwRankState> states_;
+  std::vector<std::vector<core::StageMessage>> inbox_;
+  std::vector<core::StageMessage> outbox_;
+  std::vector<std::uint64_t> transit_peak_;
+  std::vector<double> send_cost_;
+  std::vector<double> recv_cost_;
+};
+
 struct SimOptions {
   /// Compute simulated stage/exchange times on this machine (else times are 0).
   const netsim::Machine* machine = nullptr;
   /// Record delivered submessages per destination rank (for tests).
   bool collect_delivered = false;
+  /// Reuse per-rank state across calls (see SimScratch). Optional.
+  SimScratch* scratch = nullptr;
 };
 
 struct SimResult {

@@ -12,22 +12,26 @@ using core::require;
 
 namespace {
 
-std::vector<std::byte> pack_doubles(std::span<const double> values) {
-  std::vector<std::byte> bytes(values.size() * sizeof(double));
-  std::memcpy(bytes.data(), values.data(), bytes.size());
-  return bytes;
-}
-
 void unpack_doubles(std::span<const std::byte> bytes, std::span<double> out) {
   require(bytes.size() == out.size() * sizeof(double), "unpack_doubles: size mismatch");
   std::memcpy(out.data(), bytes.data(), bytes.size());
+}
+
+void absorb_stats(ExchangeStatsTotals& t, const LocalExchangeStats& s) {
+  t.exchanges += 1;
+  t.plan_builds += s.plan_builds;
+  t.plan_hits += s.plan_hits;
+  t.plan_fallbacks += s.plan_fallbacks;
+  t.messages_sent += s.messages_sent;
+  t.payload_bytes_sent += s.payload_bytes_sent;
+  t.wire_bytes_sent += s.wire_bytes_sent;
 }
 
 }  // namespace
 
 std::vector<double> run_distributed(runtime::Cluster& cluster, const SpmvProblem& problem,
                                     const core::Vpt& vpt, std::span<const double> x0,
-                                    int iterations) {
+                                    int iterations, std::vector<ExchangeStatsTotals>* totals) {
   require(problem.has_plans(), "run_distributed: problem built without numeric plans");
   require(cluster.size() == problem.num_ranks(), "run_distributed: cluster size mismatch");
   require(x0.size() == static_cast<std::size_t>(problem.matrix().num_rows()),
@@ -35,6 +39,7 @@ std::vector<double> run_distributed(runtime::Cluster& cluster, const SpmvProblem
   require(iterations >= 1, "run_distributed: need at least one iteration");
 
   std::vector<double> result(x0.size(), 0.0);
+  if (totals != nullptr) totals->assign(static_cast<std::size_t>(problem.num_ranks()), {});
 
   cluster.run([&](runtime::Comm& comm) {
     const auto me = static_cast<Rank>(comm.rank());
@@ -49,17 +54,27 @@ std::vector<double> run_distributed(runtime::Cluster& cluster, const SpmvProblem
     std::vector<double> y_local(num_owned, 0.0);
     std::vector<double> scratch;
 
+    // The pattern never changes across iterations, so the outbound buffers
+    // are allocated once and refilled in place (and the exchanges behind
+    // them replay one cached plan).
+    std::vector<OutboundMessage> sends(plan.sends.size());
+    for (std::size_t i = 0; i < plan.sends.size(); ++i) {
+      sends[i].dest = plan.sends[i].dest;
+      sends[i].bytes.resize(plan.sends[i].x_slots.size() * sizeof(double));
+    }
+
     for (int it = 0; it < iterations; ++it) {
       // Communication phase: ship owned x entries to their consumers.
-      std::vector<OutboundMessage> sends;
-      sends.reserve(plan.sends.size());
-      for (const RankPlan::SendTo& s : plan.sends) {
+      for (std::size_t si = 0; si < plan.sends.size(); ++si) {
+        const RankPlan::SendTo& s = plan.sends[si];
         scratch.resize(s.x_slots.size());
         for (std::size_t i = 0; i < s.x_slots.size(); ++i)
           scratch[i] = x_local[static_cast<std::size_t>(s.x_slots[i])];
-        sends.push_back(OutboundMessage{s.dest, pack_doubles(scratch)});
+        std::memcpy(sends[si].bytes.data(), scratch.data(), sends[si].bytes.size());
       }
       const std::vector<InboundMessage> received = communicator.exchange(sends);
+      if (totals != nullptr)
+        absorb_stats((*totals)[static_cast<std::size_t>(me)], communicator.last_stats());
 
       // Scatter received x entries into ghost slots.
       require(received.size() == plan.recvs.size(),
@@ -89,7 +104,8 @@ std::vector<double> run_distributed(runtime::Cluster& cluster, const SpmvProblem
 
 std::vector<double> run_distributed_spmm(runtime::Cluster& cluster, const SpmvProblem& problem,
                                          const core::Vpt& vpt, std::span<const double> x0,
-                                         std::int32_t num_vectors, int iterations) {
+                                         std::int32_t num_vectors, int iterations,
+                                         std::vector<ExchangeStatsTotals>* totals) {
   require(problem.has_plans(), "run_distributed_spmm: problem built without numeric plans");
   require(cluster.size() == problem.num_ranks(), "run_distributed_spmm: cluster size mismatch");
   require(num_vectors >= 1, "run_distributed_spmm: need at least one vector");
@@ -100,6 +116,7 @@ std::vector<double> run_distributed_spmm(runtime::Cluster& cluster, const SpmvPr
 
   const auto nv = static_cast<std::size_t>(num_vectors);
   std::vector<double> result(x0.size(), 0.0);
+  if (totals != nullptr) totals->assign(static_cast<std::size_t>(problem.num_ranks()), {});
 
   cluster.run([&](runtime::Comm& comm) {
     const auto me = static_cast<Rank>(comm.rank());
@@ -114,17 +131,24 @@ std::vector<double> run_distributed_spmm(runtime::Cluster& cluster, const SpmvPr
     std::vector<double> y_local(num_owned * nv, 0.0);
     std::vector<double> scratch;
 
+    std::vector<OutboundMessage> sends(plan.sends.size());
+    for (std::size_t i = 0; i < plan.sends.size(); ++i) {
+      sends[i].dest = plan.sends[i].dest;
+      sends[i].bytes.resize(plan.sends[i].x_slots.size() * nv * sizeof(double));
+    }
+
     for (int it = 0; it < iterations; ++it) {
-      std::vector<OutboundMessage> sends;
-      sends.reserve(plan.sends.size());
-      for (const RankPlan::SendTo& s : plan.sends) {
+      for (std::size_t si = 0; si < plan.sends.size(); ++si) {
+        const RankPlan::SendTo& s = plan.sends[si];
         scratch.resize(s.x_slots.size() * nv);
         for (std::size_t i = 0; i < s.x_slots.size(); ++i)
           std::copy_n(x_local.data() + static_cast<std::size_t>(s.x_slots[i]) * nv, nv,
                       scratch.data() + i * nv);
-        sends.push_back(OutboundMessage{s.dest, pack_doubles(scratch)});
+        std::memcpy(sends[si].bytes.data(), scratch.data(), sends[si].bytes.size());
       }
       const std::vector<InboundMessage> received = communicator.exchange(sends);
+      if (totals != nullptr)
+        absorb_stats((*totals)[static_cast<std::size_t>(me)], communicator.last_stats());
 
       require(received.size() == plan.recvs.size(),
               "run_distributed_spmm: unexpected number of inbound messages");

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -18,11 +19,28 @@
 
 namespace stfw::spmv {
 
+/// Per-rank accumulation of communication statistics over all iterations of
+/// a distributed run. The iterative pattern is identical every iteration, so
+/// with the communicator's transparent plan cache enabled a healthy run
+/// shows plan_builds == 1 and plan_hits == iterations - 1 per rank.
+struct ExchangeStatsTotals {
+  std::int64_t exchanges = 0;
+  std::int64_t plan_builds = 0;
+  std::int64_t plan_hits = 0;
+  std::int64_t plan_fallbacks = 0;
+  std::int64_t messages_sent = 0;
+  std::uint64_t payload_bytes_sent = 0;
+  std::uint64_t wire_bytes_sent = 0;
+};
+
 /// Run `iterations` of x <- A x on `cluster` and return the final global
 /// vector (row i's value at index i). The problem must have numeric plans.
+/// When `totals` is non-null it is resized to one entry per rank and filled
+/// with each rank's accumulated exchange statistics.
 std::vector<double> run_distributed(runtime::Cluster& cluster, const SpmvProblem& problem,
                                     const core::Vpt& vpt, std::span<const double> x0,
-                                    int iterations = 1);
+                                    int iterations = 1,
+                                    std::vector<ExchangeStatsTotals>* totals = nullptr);
 
 /// SpMM variant: X0 is row-major with num_vectors columns; `iterations` of
 /// X <- A X. Each communicated x entry carries num_vectors doubles, so the
@@ -30,7 +48,8 @@ std::vector<double> run_distributed(runtime::Cluster& cluster, const SpmvProblem
 /// trade-off knob the large-scale analysis sweeps.
 std::vector<double> run_distributed_spmm(runtime::Cluster& cluster, const SpmvProblem& problem,
                                          const core::Vpt& vpt, std::span<const double> x0,
-                                         std::int32_t num_vectors, int iterations = 1);
+                                         std::int32_t num_vectors, int iterations = 1,
+                                         std::vector<ExchangeStatsTotals>* totals = nullptr);
 
 /// Serial reference: `iterations` of x <- A x.
 std::vector<double> run_serial(const sparse::Csr& a, std::span<const double> x0,

@@ -1,0 +1,110 @@
+// Strict environment-knob parsing (ISSUE 4 satellite bugfix): a mistyped
+// STFW_* value must be a loud core::ValidationError, never a silently
+// truncated strtod/strtoull prefix.
+
+#include "core/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace stfw::core {
+namespace {
+
+constexpr const char* kVar = "STFW_TEST_ENV_KNOB";
+
+class EnvVar : public ::testing::Test {
+protected:
+  void TearDown() override { ::unsetenv(kVar); }
+  static void set(const char* value) { ::setenv(kVar, value, 1); }
+};
+
+TEST(ParseDouble, AcceptsFullTokens) {
+  EXPECT_DOUBLE_EQ(parse_double("0.25", "knob"), 0.25);
+  EXPECT_DOUBLE_EQ(parse_double("-3", "knob"), -3.0);
+  EXPECT_DOUBLE_EQ(parse_double("1e-3", "knob"), 1e-3);
+  EXPECT_DOUBLE_EQ(parse_double("  0.5  ", "knob"), 0.5);  // whitespace trimmed
+}
+
+TEST(ParseDouble, RejectsPartialTokensAndGarbage) {
+  EXPECT_THROW(parse_double("0.1x", "knob"), ValidationError);
+  EXPECT_THROW(parse_double("x0.1", "knob"), ValidationError);
+  EXPECT_THROW(parse_double("1.2 3", "knob"), ValidationError);
+  EXPECT_THROW(parse_double("", "knob"), ValidationError);
+  EXPECT_THROW(parse_double("   ", "knob"), ValidationError);
+  EXPECT_THROW(parse_double("nanb", "knob"), ValidationError);
+  EXPECT_THROW(parse_double("1e999", "knob"), ValidationError);  // out of range
+}
+
+TEST(ParseInt, AcceptsFullTokens) {
+  EXPECT_EQ(parse_int("42", "knob"), 42);
+  EXPECT_EQ(parse_int("-7", "knob"), -7);
+  EXPECT_EQ(parse_int(" 600000 ", "knob"), 600000);
+}
+
+TEST(ParseInt, RejectsPartialTokensAndOverflow) {
+  EXPECT_THROW(parse_int("12abc", "knob"), ValidationError);
+  EXPECT_THROW(parse_int("1.5", "knob"), ValidationError);
+  EXPECT_THROW(parse_int("", "knob"), ValidationError);
+  EXPECT_THROW(parse_int("99999999999999999999999", "knob"), ValidationError);
+}
+
+TEST(ParseU64, AcceptsFullTokens) {
+  EXPECT_EQ(parse_u64("0", "knob"), 0u);
+  EXPECT_EQ(parse_u64("20190717", "knob"), 20190717u);
+  EXPECT_EQ(parse_u64("18446744073709551615", "knob"),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ParseU64, RejectsNegativesPartialTokensAndOverflow) {
+  // strtoull silently wraps negatives; the strict parser must not.
+  EXPECT_THROW(parse_u64("-1", "knob"), ValidationError);
+  EXPECT_THROW(parse_u64("12 34", "knob"), ValidationError);
+  EXPECT_THROW(parse_u64("0x10z", "knob"), ValidationError);
+  EXPECT_THROW(parse_u64("18446744073709551616", "knob"), ValidationError);
+}
+
+TEST(ParseErrors, NameTheOffendingValue) {
+  try {
+    parse_double("0.1x", "STFW_BENCH_SCALE");
+    FAIL() << "expected ValidationError";
+  } catch (const ValidationError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("STFW_BENCH_SCALE"), std::string::npos) << what;
+    EXPECT_NE(what.find("0.1x"), std::string::npos) << what;
+  }
+}
+
+TEST_F(EnvVar, UnsetAndEmptyFallBack) {
+  ::unsetenv(kVar);
+  EXPECT_DOUBLE_EQ(env_double(kVar, 0.5), 0.5);
+  EXPECT_EQ(env_int(kVar, -3), -3);
+  EXPECT_EQ(env_u64(kVar, 9u), 9u);
+  set("");
+  EXPECT_DOUBLE_EQ(env_double(kVar, 0.5), 0.5);
+  EXPECT_EQ(env_int(kVar, -3), -3);
+  EXPECT_EQ(env_u64(kVar, 9u), 9u);
+}
+
+TEST_F(EnvVar, ValidValuesOverrideFallback) {
+  set("0.125");
+  EXPECT_DOUBLE_EQ(env_double(kVar, 0.5), 0.125);
+  set("1234");
+  EXPECT_EQ(env_int(kVar, -3), 1234);
+  EXPECT_EQ(env_u64(kVar, 9u), 1234u);
+}
+
+TEST_F(EnvVar, MalformedValuesThrowInsteadOfTruncating) {
+  set("0.1x");  // the historical silent-garbage case
+  EXPECT_THROW(env_double(kVar, 0.5), ValidationError);
+  set("10ms");
+  EXPECT_THROW(env_int(kVar, 0), ValidationError);
+  EXPECT_THROW(env_u64(kVar, 0), ValidationError);
+}
+
+}  // namespace
+}  // namespace stfw::core
