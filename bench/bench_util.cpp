@@ -279,8 +279,7 @@ Json bench_json_envelope(const std::string& bench_name) {
 }
 
 std::string write_bench_json(const std::string& bench_name, const Json& payload) {
-  const char* dir = std::getenv("STFW_BENCH_JSON_DIR");
-  std::string path = (dir != nullptr && dir[0] != '\0') ? std::string(dir) : std::string(".");
+  std::string path = core::env_string("STFW_BENCH_JSON_DIR", ".");
   if (path.back() != '/') path += '/';
   path += "BENCH_" + bench_name + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");

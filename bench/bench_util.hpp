@@ -65,8 +65,8 @@ struct SchemeResult {
 };
 
 /// Run BL (n = 1) or STFW (n > 1) for one instance at K ranks.
-SchemeResult run_scheme(const Instance& inst, core::Rank num_ranks, int vpt_dim,
-                        const netsim::Machine& machine);
+[[nodiscard]] SchemeResult run_scheme(const Instance& inst, core::Rank num_ranks, int vpt_dim,
+                                      const netsim::Machine& machine);
 
 /// Geometric mean (values must be positive; zeros are clamped to `floor`).
 double geomean(const std::vector<double>& values, double floor = 1e-9);
@@ -120,7 +120,7 @@ private:
 
 /// The standard top-level envelope: bench name, schema_version, the shared
 /// bench_* knobs under "config", and an empty "results" array.
-Json bench_json_envelope(const std::string& bench_name);
+[[nodiscard]] Json bench_json_envelope(const std::string& bench_name);
 
 /// Write `payload` as BENCH_<name>.json into $STFW_BENCH_JSON_DIR (default:
 /// current directory). Returns the path written.

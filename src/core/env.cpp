@@ -66,6 +66,15 @@ std::uint64_t parse_u64(const char* text, const char* what) {
   return static_cast<std::uint64_t>(value);
 }
 
+bool parse_flag(const char* text, const char* what) {
+  std::string tok(text == nullptr ? "" : text);
+  if (!trim(tok)) bad_value(what, tok, "is empty");
+  for (char& c : tok) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (tok == "1" || tok == "true" || tok == "on" || tok == "yes") return true;
+  if (tok == "0" || tok == "false" || tok == "off" || tok == "no") return false;
+  bad_value(what, tok, "is not a boolean (expected 1/0, true/false, on/off, yes/no)");
+}
+
 double env_double(const char* name, double fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || v[0] == '\0') return fallback;
@@ -82,6 +91,23 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || v[0] == '\0') return fallback;
   return parse_u64(v, name);
+}
+
+bool env_flag(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  return parse_flag(v, name);
+}
+
+std::string env_string(const char* name, std::string fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  return v;
+}
+
+bool env_present(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0';
 }
 
 }  // namespace stfw::core

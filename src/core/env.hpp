@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 /// \file env.hpp
 /// Strict environment-variable parsing shared by the fault injector, the
@@ -26,11 +27,26 @@ std::int64_t env_int(const char* name, std::int64_t fallback);
 /// (strtoull would silently wrap it).
 std::uint64_t env_u64(const char* name, std::uint64_t fallback);
 
+/// Parse `name` as a boolean switch. Accepts (case-insensitively) 1/0,
+/// true/false, on/off, yes/no; anything else throws. "STFW_VALIDATE=flase"
+/// must not silently enable the validator.
+bool env_flag(const char* name, bool fallback);
+
+/// Raw string value of `name`, or `fallback` when unset/empty. Routes the
+/// last remaining string knobs through this header so L1 (no raw getenv
+/// outside core/env) covers the whole tree.
+std::string env_string(const char* name, std::string fallback);
+
+/// Whether `name` is set to a non-empty value. For presence-only switches
+/// whose value is parsed elsewhere.
+bool env_present(const char* name);
+
 /// Parsing core of the helpers above, exposed for values that do not come
 /// from the environment (e.g. harness CLI arguments). `what` names the
 /// value in the error message.
 double parse_double(const char* text, const char* what);
 std::int64_t parse_int(const char* text, const char* what);
 std::uint64_t parse_u64(const char* text, const char* what);
+bool parse_flag(const char* text, const char* what);
 
 }  // namespace stfw::core

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "core/thread_annotations.hpp"
+
+/// \file sync.hpp
+/// Annotated synchronization primitives for the thread-per-rank runtime.
+///
+/// Thin wrappers over std::mutex / std::unique_lock / std::condition_variable
+/// carrying the Clang TSA attributes from core/thread_annotations.hpp. Under
+/// gcc they compile to exactly the std types; under the `tsa` preset
+/// (-Wthread-safety -Werror) they let the compiler prove that every access to
+/// a STFW_GUARDED_BY member happens under its mutex.
+///
+/// Usage mirrors the std types:
+///
+///   core::Mutex mu;
+///   int value STFW_GUARDED_BY(mu);
+///   {
+///     core::MutexLock lock(mu);   // scoped acquire (std::unique_lock)
+///     ++value;                    // proven: mu is held
+///     cv.wait(lock);              // CondVar interoperates with MutexLock
+///   }
+
+namespace stfw::core {
+
+class CondVar;
+
+/// std::mutex with the TSA `capability` attribute.
+class STFW_CAPABILITY("mutex") Mutex {
+public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() STFW_ACQUIRE() { mu_.lock(); }
+  void unlock() STFW_RELEASE() { mu_.unlock(); }
+  bool try_lock() STFW_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// Scoped lock (RAII) over core::Mutex — std::unique_lock underneath so
+/// CondVar::wait can temporarily release it. Supports early unlock();
+/// the destructor releases the mutex only if it is still held.
+class STFW_SCOPED_CAPABILITY MutexLock {
+public:
+  explicit MutexLock(Mutex& mu) STFW_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() STFW_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Release before the end of the scope (e.g. to throw without the lock).
+  void unlock() STFW_RELEASE() { lock_.unlock(); }
+
+private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable adapted to MutexLock. Waiting atomically releases
+/// and reacquires the lock; TSA sees the capability as held across the call,
+/// which matches the caller-visible contract.
+class CondVar {
+public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  std::cv_status wait_until(MutexLock& lock,
+                            std::chrono::steady_clock::time_point deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+private:
+  std::condition_variable cv_;
+};
+
+}  // namespace stfw::core

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file thread_annotations.hpp
+/// Clang thread-safety-analysis (TSA) attribute macros.
+///
+/// The STFW runtime is a thread-per-rank system whose correctness rests on a
+/// handful of locking invariants (which mutex guards which mailbox, the
+/// mailbox-before-block_mu_ acquisition order, the watchdog's publish
+/// protocol). These macros let the code *state* those invariants so that
+/// Clang's -Wthread-safety proves them at compile time; see
+/// docs/validation.md ("Static-analysis layers") and the `tsa` CMake preset.
+///
+/// Under non-Clang compilers every macro expands to nothing, so the annotated
+/// wrappers in core/sync.hpp cost exactly a std::mutex on gcc builds.
+///
+/// Naming follows the Clang documentation's mutex.h example; only the subset
+/// the repo actually uses is defined.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define STFW_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define STFW_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+/// Marks a class as a lockable capability ("mutex" in diagnostics).
+#define STFW_CAPABILITY(x) STFW_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII class whose lifetime equals a critical section.
+#define STFW_SCOPED_CAPABILITY STFW_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define STFW_GUARDED_BY(x) STFW_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define STFW_PT_GUARDED_BY(x) STFW_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and exit).
+#define STFW_REQUIRES(...) \
+  STFW_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on return).
+#define STFW_ACQUIRE(...) \
+  STFW_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define STFW_RELEASE(...) \
+  STFW_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function may acquire the capability; the boolean says which return value
+/// means "acquired".
+#define STFW_TRY_ACQUIRE(...) \
+  STFW_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Function must be called *without* the listed capabilities held (deadlock
+/// and double-acquire prevention).
+#define STFW_EXCLUDES(...) STFW_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Returns a reference to the capability guarding this object.
+#define STFW_RETURN_CAPABILITY(x) STFW_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must carry
+/// a comment justifying why the invariant holds anyway (suppression policy in
+/// docs/validation.md).
+#define STFW_NO_THREAD_SAFETY_ANALYSIS \
+  STFW_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

@@ -1,6 +1,5 @@
 #include "fault_injector.hpp"
 
-#include <cstdlib>
 #include <string>
 #include <thread>
 
@@ -54,14 +53,13 @@ FaultInjector::FaultInjector(FaultConfig config) : config_(config) {
 }
 
 FaultInjector::Stream& FaultInjector::stream_for(int source) {
-  std::lock_guard<std::mutex> lock(streams_mu_);
+  core::MutexLock lock(streams_mu_);
   const auto idx = static_cast<std::size_t>(source);
   if (idx >= streams_.size()) streams_.resize(idx + 1);
-  if (!streams_[idx]) {
-    streams_[idx] = std::make_unique<Stream>();
-    streams_[idx]->rng.seed(mix(config_.seed ^ (std::uint64_t{0x517cc1b727220a95} *
-                                                (static_cast<std::uint64_t>(source) + 1))));
-  }
+  if (!streams_[idx])
+    streams_[idx] = std::make_unique<Stream>(
+        mix(config_.seed ^ (std::uint64_t{0x517cc1b727220a95} *
+                            (static_cast<std::uint64_t>(source) + 1))));
   return *streams_[idx];
 }
 
@@ -71,7 +69,7 @@ MessageDecision FaultInjector::on_post(int source, int dest, int tag,
   MessageDecision d;
   if (tag < config_.min_tag) return d;
   Stream& st = stream_for(source);
-  std::lock_guard<std::mutex> lock(st.mu);
+  core::MutexLock lock(st.mu);
   std::uniform_real_distribution<double> coin(0.0, 1.0);
 
   const double fate = coin(st.rng);

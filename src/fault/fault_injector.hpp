@@ -5,12 +5,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "core/error.hpp"
+#include "core/sync.hpp"
 
 /// \file fault_injector.hpp
 /// Deterministic fault injection for the in-process runtime.
@@ -99,25 +99,34 @@ public:
 
   /// Decide the fate of a message about to be posted. Called by the cluster
   /// on the sender's thread; decisions for a given sender form one
-  /// deterministic stream.
-  MessageDecision on_post(int source, int dest, int tag, std::size_t size_bytes);
+  /// deterministic stream. The decision must be consumed — dropping it on
+  /// the floor delivers a message the injector already counted as faulted.
+  [[nodiscard]] MessageDecision on_post(int source, int dest, int tag,
+                                        std::size_t size_bytes);
 
   /// Stage-boundary site: stalls the calling thread or throws
   /// FaultInjectedError when `rank` matches the configured stall/crash rank
   /// and `stage` the configured stage (-1 matches any).
   void at_stage(int rank, int stage);
 
-  FaultCounters counters() const;
+  [[nodiscard]] FaultCounters counters() const;
 
 private:
   struct Stream {
-    std::mutex mu;  // a sender's posts are sequential; uncontended in practice
-    std::mt19937_64 rng;
+    /// Seeding happens in the constructor (single-threaded by definition);
+    /// all later draws go through mu.
+    explicit Stream(std::uint64_t seed) : rng(seed) {}
+
+    core::Mutex mu;  // a sender's posts are sequential; uncontended in practice
+    std::mt19937_64 rng STFW_GUARDED_BY(mu);
   };
 
   FaultConfig config_;
-  std::vector<std::unique_ptr<Stream>> streams_;  // one per sender rank, grown lazily
-  std::mutex streams_mu_;
+  core::Mutex streams_mu_;
+  // One per sender rank, grown lazily. The vector (not the pointed-to
+  // streams) is guarded: stream_for hands out stable Stream references
+  // whose own mu takes over.
+  std::vector<std::unique_ptr<Stream>> streams_ STFW_GUARDED_BY(streams_mu_);
 
   std::atomic<std::int64_t> drops_{0};
   std::atomic<std::int64_t> duplicates_{0};

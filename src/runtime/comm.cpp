@@ -8,6 +8,7 @@
 
 namespace stfw::runtime {
 
+using core::MutexLock;
 using core::require;
 
 namespace {
@@ -108,11 +109,15 @@ void Cluster::set_fault_injector(std::shared_ptr<fault::FaultInjector> injector)
 }
 
 void Cluster::run(const std::function<void(Comm&)>& fn) {
-  for (const auto& mb : mailboxes_)
+  for (const auto& mb : mailboxes_) {
+    // No rank threads are alive here, but the previous run's monitor could
+    // in principle have raced this check before TSA made the lock mandatory.
+    MutexLock lock(mb->mu);
     require(mb->queue.empty(), "Cluster::run: mailbox not empty from previous run");
+  }
 
   {
-    std::lock_guard<std::mutex> lock(block_mu_);
+    MutexLock lock(block_mu_);
     for (auto& b : block_state_) b = BlockInfo{};
     deadlock_victim_ = -1;
     deadlock_report_.clear();
@@ -151,7 +156,7 @@ void Cluster::run(const std::function<void(Comm&)>& fn) {
   {
     // Delayed messages still pending when the run ends were "in flight" at
     // program exit; they are dropped, keeping the cluster clean for reuse.
-    std::lock_guard<std::mutex> lock(delayed_mu_);
+    MutexLock lock(delayed_mu_);
     delayed_.clear();
   }
 
@@ -161,12 +166,17 @@ void Cluster::run(const std::function<void(Comm&)>& fn) {
 
   // Discard messages stranded by the abort so the cluster stays reusable.
   for (const auto& mb : mailboxes_) {
-    std::lock_guard<std::mutex> lock(mb->mu);
+    MutexLock lock(mb->mu);
     mb->queue.clear();
   }
   aborted_.store(false);
   deadlocked_.store(false);
-  barrier_count_ = 0;
+  {
+    // Stragglers that saw the abort flag already decremented their slot on
+    // the way out; this rearms the barrier for the next run.
+    MutexLock lock(barrier_mu_);
+    barrier_count_ = 0;
+  }
 
   // Partition into primary errors and secondary ClusterAbortedError noise
   // (ranks merely unblocked by a peer's failure).
@@ -207,17 +217,17 @@ void Cluster::run(const std::function<void(Comm&)>& fn) {
 void Cluster::abort_all() {
   aborted_.store(true);
   for (const auto& mb : mailboxes_) {
-    std::lock_guard<std::mutex> lock(mb->mu);
+    MutexLock lock(mb->mu);
     mb->cv.notify_all();
   }
   {
-    std::lock_guard<std::mutex> lock(barrier_mu_);
+    MutexLock lock(barrier_mu_);
     barrier_cv_.notify_all();
   }
 }
 
 void Cluster::set_block_state(int me, BlockInfo::Kind kind, int source, int tag) {
-  std::lock_guard<std::mutex> lock(block_mu_);
+  MutexLock lock(block_mu_);
   BlockInfo& b = block_state_[static_cast<std::size_t>(me)];
   b.kind = kind;
   b.source = source;
@@ -226,11 +236,15 @@ void Cluster::set_block_state(int me, BlockInfo::Kind kind, int source, int tag)
 }
 
 void Cluster::throw_if_torn_down(int me, const char* op) {
+  if (deadlocked_.load() || aborted_.load()) throw_torn_down(me, op);
+}
+
+void Cluster::throw_torn_down(int me, const char* op) {
   if (deadlocked_.load()) {
     std::string report;
     bool victim = false;
     {
-      std::lock_guard<std::mutex> lock(block_mu_);
+      MutexLock lock(block_mu_);
       victim = (deadlock_victim_ == me);
       report = deadlock_report_;
     }
@@ -239,9 +253,8 @@ void Cluster::throw_if_torn_down(int me, const char* op) {
     throw core::ClusterAbortedError(std::string("Comm::") + op +
                                     ": cluster aborted by the deadlock watchdog");
   }
-  if (aborted_.load())
-    throw core::ClusterAbortedError(std::string("Comm::") + op +
-                                    ": cluster aborted by a peer exception");
+  throw core::ClusterAbortedError(std::string("Comm::") + op +
+                                  ": cluster aborted by a peer exception");
 }
 
 // --- fault-injected posting -------------------------------------------------
@@ -254,7 +267,7 @@ void Cluster::post(int dest, Message msg) {
     if (d.duplicate) post_raw(dest, msg);  // extra pristine copy, in order
     if (d.truncate_to < msg.data.size()) msg.data.resize(d.truncate_to);
     if (d.delay.count() > 0) {
-      std::lock_guard<std::mutex> lock(delayed_mu_);
+      MutexLock lock(delayed_mu_);
       delayed_.push_back(
           DelayedMessage{std::chrono::steady_clock::now() + d.delay, dest, std::move(msg)});
       return;
@@ -268,7 +281,7 @@ void Cluster::post(int dest, Message msg) {
 void Cluster::post_raw(int dest, Message msg, bool to_front) {
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dest)];
   {
-    std::lock_guard<std::mutex> lock(mb.mu);
+    MutexLock lock(mb.mu);
     if (to_front)
       mb.queue.push_front(std::move(msg));
     else
@@ -281,7 +294,7 @@ void Cluster::post_raw(int dest, Message msg, bool to_front) {
 void Cluster::flush_delayed() {
   std::vector<DelayedMessage> due;
   {
-    std::lock_guard<std::mutex> lock(delayed_mu_);
+    MutexLock lock(delayed_mu_);
     due.swap(delayed_);
   }
   for (DelayedMessage& d : due) post_raw(d.dest, std::move(d.msg));
@@ -301,7 +314,7 @@ Message Cluster::blocking_recv(int me, int source, int tag, Deadline deadline) {
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(me)];
   const auto entered = std::chrono::steady_clock::now();
   bool registered = false;
-  std::unique_lock<std::mutex> lock(mb.mu);
+  MutexLock lock(mb.mu);
   for (;;) {
     auto it = std::find_if(mb.queue.begin(), mb.queue.end(),
                            [&](const Message& m) { return matches(m, source, tag); });
@@ -333,7 +346,7 @@ std::vector<Message> Cluster::drain(int me, int tag) {
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(me)];
   std::vector<Message> out;
   {
-    std::lock_guard<std::mutex> lock(mb.mu);
+    MutexLock lock(mb.mu);
     auto it = mb.queue.begin();
     while (it != mb.queue.end()) {
       if (it->tag == tag) {
@@ -351,7 +364,7 @@ std::vector<Message> Cluster::drain(int me, int tag) {
 
 bool Cluster::probe(int me, int source, int tag) {
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(me)];
-  std::lock_guard<std::mutex> lock(mb.mu);
+  MutexLock lock(mb.mu);
   return std::any_of(mb.queue.begin(), mb.queue.end(),
                      [&](const Message& m) { return matches(m, source, tag); });
 }
@@ -359,7 +372,7 @@ bool Cluster::probe(int me, int source, int tag) {
 bool Cluster::wait_message(int me, Deadline deadline) {
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(me)];
   bool registered = false;
-  std::unique_lock<std::mutex> lock(mb.mu);
+  MutexLock lock(mb.mu);
   for (;;) {
     if (!mb.queue.empty()) {
       if (registered) set_block_state(me, BlockInfo::Kind::kRunning);
@@ -384,7 +397,7 @@ bool Cluster::wait_message(int me, Deadline deadline) {
 void Cluster::barrier_wait(int me, Deadline deadline) {
   const auto entered = std::chrono::steady_clock::now();
   bool registered = false;
-  std::unique_lock<std::mutex> lock(barrier_mu_);
+  MutexLock lock(barrier_mu_);
   const std::uint64_t gen = barrier_generation_;
   if (++barrier_count_ == num_ranks_) {
     barrier_count_ = 0;
@@ -401,8 +414,12 @@ void Cluster::barrier_wait(int me, Deadline deadline) {
     if (deadlocked_.load() || aborted_.load()) {
       --barrier_count_;
       if (registered) set_block_state(me, BlockInfo::Kind::kRunning);
+      // Release before throwing: throw_torn_down takes block_mu_, and
+      // holding barrier_mu_ across it would nest the two (documented order:
+      // barrier/mailbox mutex first, block_mu_ second — but never both
+      // across a throw). [[noreturn]] keeps the TSA path terminal.
       lock.unlock();
-      throw_if_torn_down(me, "barrier");
+      throw_torn_down(me, "barrier");
     }
     if (deadline.expired()) {
       --barrier_count_;
@@ -430,7 +447,7 @@ void Cluster::monitor_loop() {
     // Pump injector-delayed messages whose release time has passed.
     std::vector<DelayedMessage> due;
     {
-      std::lock_guard<std::mutex> lock(delayed_mu_);
+      MutexLock lock(delayed_mu_);
       auto it = delayed_.begin();
       while (it != delayed_.end()) {
         if (it->release <= now) {
@@ -464,7 +481,7 @@ void Cluster::check_deadlock(std::chrono::steady_clock::time_point now) {
     // condition variables only after releasing it: blocking primitives
     // acquire their mailbox/barrier mutex first and block_mu_ second, so
     // holding block_mu_ while taking those mutexes would invert the order.
-    std::lock_guard<std::mutex> lock(block_mu_);
+    MutexLock lock(block_mu_);
     int victim = -1;
     bool all_blocked = true;
     bool any_active = false;
@@ -520,11 +537,11 @@ void Cluster::check_deadlock(std::chrono::steady_clock::time_point now) {
 
   // Wake everyone; the victim throws DeadlockError, peers ClusterAborted.
   for (const auto& mb : mailboxes_) {
-    std::lock_guard<std::mutex> mlock(mb->mu);
+    MutexLock mlock(mb->mu);
     mb->cv.notify_all();
   }
   {
-    std::lock_guard<std::mutex> block(barrier_mu_);
+    MutexLock block(barrier_mu_);
     barrier_cv_.notify_all();
   }
 }

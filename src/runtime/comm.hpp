@@ -2,16 +2,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "core/sync.hpp"
 
 /// \file comm.hpp
 /// In-process message-passing runtime.
@@ -177,9 +177,9 @@ private:
   friend class Comm;
 
   struct Mailbox {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Message> queue;
+    core::Mutex mu;
+    core::CondVar cv;
+    std::deque<Message> queue STFW_GUARDED_BY(mu);
   };
 
   /// What a rank's thread is doing, as seen by the watchdog.
@@ -207,11 +207,15 @@ private:
   void abort_all();
   void flush_delayed();
 
-  void set_block_state(int me, BlockInfo::Kind kind, int source = 0, int tag = 0);
+  void set_block_state(int me, BlockInfo::Kind kind, int source = 0, int tag = 0)
+      STFW_EXCLUDES(block_mu_);
   /// Checks deadlock/abort flags from inside a blocking primitive; throws
   /// DeadlockError on the designated victim rank, ClusterAbortedError
   /// otherwise. Returns normally when neither flag is set.
-  void throw_if_torn_down(int me, const char* op);
+  void throw_if_torn_down(int me, const char* op) STFW_EXCLUDES(block_mu_);
+  /// The throwing tail of throw_if_torn_down, for call sites that already
+  /// know a teardown flag is set (lets TSA see the path as terminal).
+  [[noreturn]] void throw_torn_down(int me, const char* op) STFW_EXCLUDES(block_mu_);
 
   void monitor_loop();
   void check_deadlock(std::chrono::steady_clock::time_point now);
@@ -221,24 +225,25 @@ private:
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
   // Reusable two-phase barrier.
-  std::mutex barrier_mu_;
-  std::condition_variable barrier_cv_;
-  int barrier_count_ = 0;
-  std::uint64_t barrier_generation_ = 0;
+  core::Mutex barrier_mu_;
+  core::CondVar barrier_cv_;
+  int barrier_count_ STFW_GUARDED_BY(barrier_mu_) = 0;
+  std::uint64_t barrier_generation_ STFW_GUARDED_BY(barrier_mu_) = 0;
 
   // Fault layer.
   std::shared_ptr<fault::FaultInjector> injector_;
-  std::mutex delayed_mu_;
-  std::vector<DelayedMessage> delayed_;
+  core::Mutex delayed_mu_;
+  std::vector<DelayedMessage> delayed_ STFW_GUARDED_BY(delayed_mu_);
 
   // Watchdog state.
   std::chrono::milliseconds watchdog_window_{0};
-  std::mutex block_mu_;
-  std::vector<BlockInfo> block_state_;
+  core::Mutex block_mu_;
+  std::vector<BlockInfo> block_state_ STFW_GUARDED_BY(block_mu_);
   std::atomic<std::uint64_t> progress_{0};  // deliveries + barrier completions
   std::atomic<bool> deadlocked_{false};
-  int deadlock_victim_ = -1;        // guarded by block_mu_
-  std::string deadlock_report_;     // guarded by block_mu_
+  int deadlock_victim_ STFW_GUARDED_BY(block_mu_) = -1;
+  std::string deadlock_report_ STFW_GUARDED_BY(block_mu_);
+  // Private to the monitor thread between run() boundaries; unannotated.
   std::uint64_t last_progress_ = 0;
   std::chrono::steady_clock::time_point last_progress_time_{};
 

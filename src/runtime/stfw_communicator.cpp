@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <optional>
@@ -171,11 +170,9 @@ std::vector<std::span<const std::byte>> seed_views_of(std::span<const OutboundMe
 
 bool validation_default() {
 #if STFW_VALIDATE_ENABLED
-  const char* env = std::getenv("STFW_VALIDATE");
-  if (env != nullptr && (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
-                         std::strcmp(env, "false") == 0))
-    return false;
-  return true;
+  // Strict parse (core/env): a typo'd STFW_VALIDATE throws instead of
+  // silently leaving the validator on.
+  return core::env_flag("STFW_VALIDATE", true);
 #else
   return false;
 #endif
@@ -201,8 +198,23 @@ StfwCommunicator::StfwCommunicator(runtime::Comm& comm, core::Vpt vpt)
                 "StfwCommunicator: VPT size must equal communicator size");
 }
 
+std::size_t StfwCommunicator::plan_cache_capacity() const {
+  core::MutexLock lock(plan_cache_mu_);
+  return plan_cache_capacity_;
+}
+
+std::size_t StfwCommunicator::plan_cache_size() const {
+  core::MutexLock lock(plan_cache_mu_);
+  return plan_cache_.size();
+}
+
 void StfwCommunicator::set_plan_cache_capacity(std::size_t capacity) {
+  core::MutexLock lock(plan_cache_mu_);
   plan_cache_capacity_ = capacity;
+  plan_cache_evict_to(capacity);
+}
+
+void StfwCommunicator::plan_cache_evict_to(std::size_t capacity) {
   while (plan_cache_.size() > capacity) {
     std::size_t lru = 0;
     for (std::size_t i = 1; i < plan_cache_.size(); ++i)
@@ -214,6 +226,7 @@ void StfwCommunicator::set_plan_cache_capacity(std::size_t capacity) {
 
 std::shared_ptr<runtime::ExchangePlan> StfwCommunicator::plan_cache_find(
     const core::PatternSignature& sig) {
+  core::MutexLock lock(plan_cache_mu_);
   for (PlanCacheEntry& e : plan_cache_) {
     if (e.plan->signature() == sig) {
       e.last_use = ++plan_cache_tick_;
@@ -224,6 +237,7 @@ std::shared_ptr<runtime::ExchangePlan> StfwCommunicator::plan_cache_find(
 }
 
 void StfwCommunicator::plan_cache_insert(std::shared_ptr<runtime::ExchangePlan> plan) {
+  core::MutexLock lock(plan_cache_mu_);
   if (plan_cache_capacity_ == 0) return;
   for (PlanCacheEntry& e : plan_cache_) {
     if (e.plan->signature() == plan->signature()) {
@@ -243,6 +257,7 @@ void StfwCommunicator::plan_cache_insert(std::shared_ptr<runtime::ExchangePlan> 
 }
 
 void StfwCommunicator::plan_cache_erase(const core::PatternSignature& sig) {
+  core::MutexLock lock(plan_cache_mu_);
   for (std::size_t i = 0; i < plan_cache_.size(); ++i) {
     if (plan_cache_[i].plan->signature() == sig) {
       plan_cache_[i] = std::move(plan_cache_.back());
@@ -253,7 +268,7 @@ void StfwCommunicator::plan_cache_erase(const core::PatternSignature& sig) {
 }
 
 std::vector<InboundMessage> StfwCommunicator::exchange(std::span<const OutboundMessage> sends) {
-  if (plan_cache_capacity_ > 0) {
+  if (plan_cache_capacity() > 0) {
     const auto pattern = pattern_of(sends);
     const auto sig = core::PatternSignature::of(pattern);
     // The shared_ptr pins the plan for the call: a mid-flight fallback
@@ -1195,10 +1210,13 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
   // Epilogue: no rank transmits protocol frames past this point. Flush any
   // injector-delayed stragglers into the mailboxes and discard everything
   // still addressed to this exchange, so the next one starts clean (the
-  // cluster asserts empty mailboxes between runs).
-  comm_->barrier();
+  // cluster asserts empty mailboxes between runs). The barriers are
+  // deliberately deadline-free: every rank has already passed the bounded
+  // settlement loop above, so arrival is unconditional, and a timeout here
+  // could strand delayed frames for the next exchange to trip over.
+  comm_->barrier();  // stfw-lint: allow(l3-deadline) -- post-settlement; all ranks provably arrive
   comm_->flush_delayed();
-  comm_->barrier();
+  comm_->barrier();  // stfw-lint: allow(l3-deadline) -- post-settlement; all ranks provably arrive
   (void)comm_->drain(kResilientDataTag);
   (void)comm_->drain(kResilientAckTag);
   (void)comm_->drain(-1002);  // settle reports/done: should already be empty
@@ -1225,8 +1243,11 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
   if (validator && result.fully_recovered) {
     // The conservation check is collective and only meaningful when nothing
     // was lost anywhere; fully_recovered is globally agreed, so all ranks
-    // take this branch together.
-    const auto summaries = comm_->allgather(validator->summary_blob());
+    // take this branch together. Deadline-bounded (stfw-lint l3-deadline
+    // flagged the bare overload): a rank dying here must surface as a
+    // TimeoutError, not a hang.
+    const auto summaries = comm_->allgather(validator->summary_blob(),
+                                            runtime::Deadline::in(opt.stage_deadline));
     validator->finish(delivered, arena, stats_.messages_sent, summaries);
   }
 #endif

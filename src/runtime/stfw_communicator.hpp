@@ -9,6 +9,7 @@
 
 #include "core/metrics.hpp"
 #include "core/rank_state.hpp"
+#include "core/sync.hpp"
 #include "core/vpt.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/exchange_plan.hpp"
@@ -120,8 +121,8 @@ struct ExchangeFailure {
   std::vector<LostSubmessage> lost;      // definite loss (held by this rank)
   std::vector<MissingNeighbor> missing;  // inbound gaps (sender may have re-routed)
 
-  bool empty() const noexcept { return lost.empty() && missing.empty(); }
-  std::string to_string() const;
+  [[nodiscard]] bool empty() const noexcept { return lost.empty() && missing.empty(); }
+  [[nodiscard]] std::string to_string() const;
 };
 
 struct ResilientExchangeResult {
@@ -179,22 +180,24 @@ public:
 
   /// Transparent plan cache bound (LRU, default 4 plans; STFW_PLAN_CACHE
   /// overrides the default). 0 disables transparent caching entirely;
-  /// explicit plan()/exchange(plan, ...) still work.
-  std::size_t plan_cache_capacity() const noexcept { return plan_cache_capacity_; }
-  void set_plan_cache_capacity(std::size_t capacity);
-  std::size_t plan_cache_size() const noexcept { return plan_cache_.size(); }
+  /// explicit plan()/exchange(plan, ...) still work. The cache has its own
+  /// mutex so a configuration thread may resize/inspect it while the owning
+  /// rank is mid-exchange; the exchange itself stays single-threaded.
+  [[nodiscard]] std::size_t plan_cache_capacity() const STFW_EXCLUDES(plan_cache_mu_);
+  void set_plan_cache_capacity(std::size_t capacity) STFW_EXCLUDES(plan_cache_mu_);
+  [[nodiscard]] std::size_t plan_cache_size() const STFW_EXCLUDES(plan_cache_mu_);
 
   /// Executes Algorithm 1 over the resilient frame protocol: per-stage
   /// ack/retransmit with bounded exponential backoff, duplicate suppression,
   /// checksum rejection, direct-routing fallback and a per-rank failure
   /// report. Collective; all ranks must pass equal options. No foreign
   /// traffic may share the communicator's tags while it runs.
-  ResilientExchangeResult exchange_resilient(std::span<const OutboundMessage> sends,
-                                             const ResilienceOptions& options = {});
+  [[nodiscard]] ResilientExchangeResult exchange_resilient(
+      std::span<const OutboundMessage> sends, const ResilienceOptions& options = {});
 
   /// Statistics of the most recent exchange() / exchange_resilient() on
   /// this rank.
-  const LocalExchangeStats& last_stats() const noexcept { return stats_; }
+  [[nodiscard]] const LocalExchangeStats& last_stats() const noexcept { return stats_; }
 
   /// True when the build carries the debug-mode exchange validator
   /// (CMake option STFW_VALIDATE=ON; see docs/validation.md).
@@ -202,8 +205,9 @@ public:
 
   /// Whether exchange() runs under the invariant validator. Defaults to ON
   /// in validator-enabled builds unless the STFW_VALIDATE environment
-  /// variable is "0"/"off"/"false". The validator's conservation check is
-  /// collective, so all ranks must agree on this flag; without
+  /// variable parses false (core::env_flag: 0/false/off/no; a malformed
+  /// value throws core::ValidationError). The validator's conservation check
+  /// is collective, so all ranks must agree on this flag; without
   /// STFW_VALIDATE=ON in the build the flag has no effect.
   bool validation_enabled() const noexcept { return validate_; }
   void set_validation(bool on) noexcept { validate_ = on; }
@@ -218,18 +222,25 @@ private:
                                                  const core::PatternSignature* record_as);
   std::vector<InboundMessage> exchange_planned_cached(runtime::ExchangePlan& plan,
                                                       std::span<const OutboundMessage> sends);
-  std::shared_ptr<runtime::ExchangePlan> plan_cache_find(const core::PatternSignature& sig);
-  void plan_cache_insert(std::shared_ptr<runtime::ExchangePlan> plan);
-  void plan_cache_erase(const core::PatternSignature& sig);
+  // Self-locking cache helpers: each takes plan_cache_mu_ only for its own
+  // body, so the mutex is never held across Comm calls (no ordering edge
+  // between the cache mutex and any mailbox/barrier mutex can form).
+  std::shared_ptr<runtime::ExchangePlan> plan_cache_find(const core::PatternSignature& sig)
+      STFW_EXCLUDES(plan_cache_mu_);
+  void plan_cache_insert(std::shared_ptr<runtime::ExchangePlan> plan)
+      STFW_EXCLUDES(plan_cache_mu_);
+  void plan_cache_erase(const core::PatternSignature& sig) STFW_EXCLUDES(plan_cache_mu_);
+  void plan_cache_evict_to(std::size_t capacity) STFW_REQUIRES(plan_cache_mu_);
 
   runtime::Comm* comm_;
   core::Vpt vpt_;
   int epoch_ = 0;  // distinguishes tags across repeated exchanges
   bool validate_;
   LocalExchangeStats stats_;
-  std::vector<PlanCacheEntry> plan_cache_;
-  std::size_t plan_cache_capacity_;
-  std::uint64_t plan_cache_tick_ = 0;
+  mutable core::Mutex plan_cache_mu_;
+  std::vector<PlanCacheEntry> plan_cache_ STFW_GUARDED_BY(plan_cache_mu_);
+  std::size_t plan_cache_capacity_ STFW_GUARDED_BY(plan_cache_mu_);
+  std::uint64_t plan_cache_tick_ STFW_GUARDED_BY(plan_cache_mu_) = 0;
 };
 
 }  // namespace stfw

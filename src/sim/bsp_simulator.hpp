@@ -75,7 +75,7 @@ struct SimResult {
 
 /// Run one store-and-forward exchange of `pattern` over `vpt`.
 /// Pass Vpt::direct(K) for the BL baseline.
-SimResult simulate_exchange(const core::Vpt& vpt, const CommPattern& pattern,
-                            const SimOptions& options = {});
+[[nodiscard]] SimResult simulate_exchange(const core::Vpt& vpt, const CommPattern& pattern,
+                                          const SimOptions& options = {});
 
 }  // namespace stfw::sim

@@ -32,7 +32,7 @@ struct LeaderAggResult {
 
 /// Simulate the three-stage leader-aggregation exchange of `pattern` on
 /// `machine` (the machine defines the rank -> node folding and all costs).
-LeaderAggResult simulate_leader_aggregation(const CommPattern& pattern,
-                                            const netsim::Machine& machine);
+[[nodiscard]] LeaderAggResult simulate_leader_aggregation(const CommPattern& pattern,
+                                                          const netsim::Machine& machine);
 
 }  // namespace stfw::sim

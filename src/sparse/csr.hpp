@@ -88,6 +88,6 @@ struct DegreeStats {
   double maxdr = 0.0;  // max degree / number of rows
 };
 
-DegreeStats degree_stats(const Csr& a);
+[[nodiscard]] DegreeStats degree_stats(const Csr& a);
 
 }  // namespace stfw::sparse

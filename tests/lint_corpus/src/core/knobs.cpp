@@ -1,0 +1,18 @@
+// Corpus: l1-getenv — raw getenv outside src/core/env.cpp.
+#include <cstdlib>
+#include <string>
+
+double bench_scale_raw() {
+  const char* v = std::getenv("STFW_BENCH_SCALE");  // lint-expect: l1-getenv
+  return v ? std::atof(v) : 1.0;
+}
+
+std::string output_dir_raw() {
+  if (const char* dir = getenv("STFW_OUT_DIR")) return dir;  // lint-expect: l1-getenv
+  return ".";
+}
+
+// Near-miss: the identifier merely contains "getenv"; must stay clean.
+const char* my_getenv_cache(int slot);
+
+const char* cached_lookup() { return my_getenv_cache(0); }

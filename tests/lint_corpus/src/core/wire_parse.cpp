@@ -1,0 +1,58 @@
+// Corpus: l2-wire-reserve — allocation sized by an unchecked wire field.
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+struct Entry {
+  std::uint32_t size = 0;
+};
+
+void require(bool ok, const char* what);
+
+template <class T>
+T get(std::span<const std::byte> in, std::size_t& pos);
+
+std::vector<Entry> parse_unchecked(std::span<const std::byte> wire) {
+  std::uint32_t count = 0;
+  std::memcpy(&count, wire.data(), sizeof(count));
+  std::vector<Entry> out;
+  out.reserve(count);  // lint-expect: l2-wire-reserve
+  return out;
+}
+
+std::vector<std::byte> parse_unchecked_resize(std::span<const std::byte> wire) {
+  std::size_t pos = 0;
+  const auto n = get<std::uint32_t>(wire, pos);
+  std::vector<std::byte> body;
+  body.resize(n * 12);  // lint-expect: l2-wire-reserve
+  return body;
+}
+
+// Near-miss: the PR 3 fix pattern — bounds check before the reserve.
+std::vector<Entry> parse_checked(std::span<const std::byte> wire) {
+  std::size_t pos = 0;
+  const auto count = get<std::uint32_t>(wire, pos);
+  require(static_cast<std::uint64_t>(count) * 12 <= wire.size() - pos,
+          "parse: count exceeds buffer");
+  std::vector<Entry> out;
+  out.reserve(count);
+  return out;
+}
+
+// Near-miss: an if-comparison also counts as a check.
+std::vector<Entry> parse_if_checked(std::span<const std::byte> wire) {
+  std::size_t pos = 0;
+  const auto n = get<std::uint64_t>(wire, pos);
+  std::vector<Entry> out;
+  if (wire.size() != 32 + n * 32) return out;
+  out.reserve(n);
+  return out;
+}
+
+// Near-miss: reserve from a locally computed size is not wire-derived.
+std::vector<Entry> build_local(std::size_t rows) {
+  std::vector<Entry> out;
+  out.reserve(rows * 2);
+  return out;
+}

@@ -1,0 +1,17 @@
+// Corpus: l4-catch-all allowlist — this file mirrors the path of the real
+// src/runtime/comm.cpp, so catch (...) inside run() is sanctioned and the
+// whole file must stay clean.
+void invoke_rank(int r);
+void record_error(int r);
+void abort_all_ranks();
+
+void run(int num_ranks) {
+  for (int r = 0; r < num_ranks; ++r) {
+    try {
+      invoke_rank(r);
+    } catch (...) {
+      record_error(r);
+      abort_all_ranks();
+    }
+  }
+}

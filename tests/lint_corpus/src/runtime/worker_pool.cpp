@@ -1,0 +1,11 @@
+// Corpus: l4-catch-all — catch (...) outside the sanctioned sites.
+void do_work();
+void log_failure();
+
+void run_one_task() {
+  try {
+    do_work();
+  } catch (...) {  // lint-expect: l4-catch-all
+    log_failure();
+  }
+}

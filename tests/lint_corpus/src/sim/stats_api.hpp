@@ -1,0 +1,29 @@
+// Corpus: l5-nodiscard — status/stats-returning APIs in public headers.
+#pragma once
+
+struct RouteStats {
+  long messages = 0;
+};
+
+struct SettleResult {
+  bool converged = false;
+};
+
+struct Plan;
+
+RouteStats route_stats(const Plan& plan);  // lint-expect: l5-nodiscard
+
+SettleResult settle(Plan& plan, int max_rounds);  // lint-expect: l5-nodiscard
+
+// Near-miss: annotated declarations are correct, on either line.
+[[nodiscard]] RouteStats checked_route_stats(const Plan& plan);
+
+[[nodiscard]]
+SettleResult checked_settle(Plan& plan, int max_rounds);
+
+// Near-miss: out-parameter pointers and member declarations must stay clean.
+void accumulate(const Plan& plan, RouteStats* totals = nullptr);
+
+struct Runner {
+  RouteStats last_stats_member_decl;
+};

@@ -1,0 +1,8 @@
+// Corpus: a suppression without a reason is itself a finding, and it does
+// not suppress the underlying violation.
+#include <cstdlib>
+
+const char* home_dir() {
+  // stfw-lint: allow(l1-getenv) lint-expect: suppression
+  return std::getenv("HOME");  // lint-expect: l1-getenv
+}

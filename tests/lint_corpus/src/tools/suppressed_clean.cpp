@@ -1,0 +1,17 @@
+// Corpus: documented suppressions — every finding below carries a
+// `// stfw-lint: allow(<rule>) -- <reason>` and the file must report clean.
+#include <cstdlib>
+
+void teardown_subsystems();
+
+const char* terminal_columns() {
+  // stfw-lint: allow(l1-getenv) -- read-only display knob, never parsed as a number
+  return std::getenv("COLUMNS");
+}
+
+void shutdown_for_exit() {
+  try {
+    teardown_subsystems();
+  } catch (...) {  // stfw-lint: allow(l4-catch-all) -- process-exit path; diagnostics already flushed
+  }
+}

@@ -68,6 +68,23 @@ TEST(ParseU64, RejectsNegativesPartialTokensAndOverflow) {
   EXPECT_THROW(parse_u64("18446744073709551616", "knob"), ValidationError);
 }
 
+TEST(ParseFlag, AcceptsTheFullSwitchVocabularyCaseInsensitively) {
+  for (const char* yes : {"1", "true", "TRUE", "True", "on", "ON", "yes", "YES"}) {
+    EXPECT_TRUE(parse_flag(yes, "knob")) << yes;
+  }
+  for (const char* no : {"0", "false", "FALSE", "False", "off", "OFF", "no", "NO"}) {
+    EXPECT_FALSE(parse_flag(no, "knob")) << no;
+  }
+}
+
+TEST(ParseFlag, RejectsTyposInsteadOfGuessing) {
+  // "STFW_VALIDATE=flase" must not silently enable (or disable) anything.
+  EXPECT_THROW(parse_flag("flase", "knob"), ValidationError);
+  EXPECT_THROW(parse_flag("2", "knob"), ValidationError);
+  EXPECT_THROW(parse_flag("", "knob"), ValidationError);
+  EXPECT_THROW(parse_flag("yes!", "knob"), ValidationError);
+}
+
 TEST(ParseErrors, NameTheOffendingValue) {
   try {
     parse_double("0.1x", "STFW_BENCH_SCALE");
@@ -104,6 +121,38 @@ TEST_F(EnvVar, MalformedValuesThrowInsteadOfTruncating) {
   set("10ms");
   EXPECT_THROW(env_int(kVar, 0), ValidationError);
   EXPECT_THROW(env_u64(kVar, 0), ValidationError);
+}
+
+TEST_F(EnvVar, FlagParsesStrictlyWithFallback) {
+  ::unsetenv(kVar);
+  EXPECT_TRUE(env_flag(kVar, true));
+  EXPECT_FALSE(env_flag(kVar, false));
+  set("");
+  EXPECT_TRUE(env_flag(kVar, true));
+  set("off");
+  EXPECT_FALSE(env_flag(kVar, true));
+  set("Yes");
+  EXPECT_TRUE(env_flag(kVar, false));
+  set("flase");
+  EXPECT_THROW(env_flag(kVar, true), ValidationError);
+}
+
+TEST_F(EnvVar, StringReturnsValueOrFallback) {
+  ::unsetenv(kVar);
+  EXPECT_EQ(env_string(kVar, "dflt"), "dflt");
+  set("");
+  EXPECT_EQ(env_string(kVar, "dflt"), "dflt");
+  set("/tmp/bench-json");
+  EXPECT_EQ(env_string(kVar, "dflt"), "/tmp/bench-json");
+}
+
+TEST_F(EnvVar, PresentTracksNonEmptyValues) {
+  ::unsetenv(kVar);
+  EXPECT_FALSE(env_present(kVar));
+  set("");
+  EXPECT_FALSE(env_present(kVar));
+  set("0");  // present even when the value parses falsy
+  EXPECT_TRUE(env_present(kVar));
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/env.hpp"
 #include "core/error.hpp"
 #include "core/vpt.hpp"
 #include "runtime/comm.hpp"
@@ -615,7 +616,7 @@ TEST(ResilientExchange, EnvironmentDrivenFaultMatrixEntry) {
   // The CI fault-matrix job drives this test through STFW_FAULT_* variables;
   // without them it runs one representative mid-rate configuration.
   FaultConfig cfg = FaultConfig::from_env();
-  if (const char* seed = std::getenv("STFW_FAULT_SEED"); seed == nullptr) {
+  if (!core::env_present("STFW_FAULT_SEED")) {
     cfg.seed = 5;
     cfg.drop_prob = 0.03;
     cfg.duplicate_prob = 0.03;

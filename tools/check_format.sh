@@ -21,7 +21,9 @@ if ! command -v "${FORMAT_BIN}" >/dev/null 2>&1; then
   exit 0
 fi
 
-mapfile -t sources < <(git ls-files '*.cpp' '*.hpp')
+# tests/lint_corpus/ is excluded: the lint selftest pins exact line/column
+# expectations, so corpus files must stay byte-stable.
+mapfile -t sources < <(git ls-files '*.cpp' '*.hpp' '*.h' '*.cc' ':!tests/lint_corpus')
 if [[ ${#sources[@]} -eq 0 ]]; then
   echo "check_format: no sources found" >&2
   exit 2

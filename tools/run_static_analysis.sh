@@ -1,66 +1,184 @@
 #!/usr/bin/env bash
-# Run clang-tidy over the project's compile database and fail on any finding.
+# Static-analysis driver: clang-tidy, stfw-lint, and Clang thread-safety
+# analysis as selectable stages, each failing on any finding.
 #
 # Usage:
-#   tools/run_static_analysis.sh [build-dir]
+#   tools/run_static_analysis.sh [options] [build-dir]
 #
-# With no argument, configures the `tidy` CMake preset (build-tidy/) to get a
-# fresh compile_commands.json. The check set lives in .clang-tidy at the repo
-# root; WarningsAsErrors there makes every finding fatal, so a zero exit
-# means the tree is at the zero-warning baseline.
+#   --tidy                run clang-tidy over the compile database
+#   --lint                run tools/stfw_lint.py (selftest + tree)
+#   --tsa                 build the `tsa` preset (-Wthread-safety as errors)
+#   --all                 all three stages
+#   --changed-only[=REF]  restrict tidy/lint to files changed vs REF
+#                         (default: merge base with origin/main)
 #
-# The container image may not ship clang-tidy (the repo's own toolchain is
-# gcc). In that case the gate is skipped with exit 0 and a notice, so CI
-# lanes without LLVM stay green while developer machines with clang-tidy
-# get the full gate.
+# With no stage flag the historical default runs: clang-tidy plus stfw-lint.
+# [build-dir] only affects --tidy; with no argument the `tidy` CMake preset
+# (build-tidy/) is configured to get a fresh compile_commands.json. The check
+# set lives in .clang-tidy at the repo root; WarningsAsErrors there makes
+# every finding fatal, so a zero exit means the tree is at the zero-warning
+# baseline.
+#
+# The container image may not ship LLVM (the repo's own toolchain is gcc).
+# Stages that need a missing tool are skipped with exit 0 and a notice, so CI
+# lanes without LLVM stay green while machines with clang get the full gates.
+# stfw-lint only needs a Python 3 interpreter.
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${repo_root}"
 
-TIDY_BIN="${CLANG_TIDY:-clang-tidy}"
-if ! command -v "${TIDY_BIN}" >/dev/null 2>&1; then
-  echo "run_static_analysis: ${TIDY_BIN} not found; skipping the clang-tidy gate." >&2
-  echo "run_static_analysis: install clang-tidy (or set CLANG_TIDY) to enable it." >&2
-  exit 0
+run_tidy=0
+run_lint=0
+run_tsa=0
+changed_base=""
+changed_only=0
+build_dir=""
+for arg in "$@"; do
+  case "${arg}" in
+    --tidy) run_tidy=1 ;;
+    --lint) run_lint=1 ;;
+    --tsa) run_tsa=1 ;;
+    --all) run_tidy=1; run_lint=1; run_tsa=1 ;;
+    --changed-only) changed_only=1 ;;
+    --changed-only=*) changed_only=1; changed_base="${arg#--changed-only=}" ;;
+    --help|-h)
+      sed -n '2,25p' "${BASH_SOURCE[0]}" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    -*)
+      echo "run_static_analysis: unknown option '${arg}' (try --help)" >&2
+      exit 2
+      ;;
+    *) build_dir="${arg}" ;;
+  esac
+done
+if [[ ${run_tidy} -eq 0 && ${run_lint} -eq 0 && ${run_tsa} -eq 0 ]]; then
+  run_tidy=1
+  run_lint=1
 fi
 
-build_dir="${1:-}"
-if [[ -z "${build_dir}" ]]; then
-  build_dir="build-tidy"
-  cmake --preset tidy >/dev/null
-fi
-if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
-  echo "run_static_analysis: ${build_dir}/compile_commands.json missing;" >&2
-  echo "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the tidy preset does)." >&2
-  exit 2
+# First-party translation units; the lint corpus under tests/lint_corpus/
+# deliberately violates the rules and must never enter the tidy/format sets
+# (git pathspec '*' crosses directory separators, so 'tests/*.cpp' would
+# otherwise pick it up).
+list_sources() {
+  git ls-files 'src/*.cpp' 'tests/*.cpp' 'tools/*.cpp' 'bench/*.cpp' \
+               'examples/*.cpp' ':!tests/lint_corpus'
+}
+
+# With --changed-only, narrow to files touched since the merge base so PR
+# lanes only pay for what the PR changed.
+changed_filter() {
+  if [[ ${changed_only} -eq 0 ]]; then
+    cat
+    return
+  fi
+  local base=""
+  if [[ -n "${changed_base}" ]]; then
+    base="$(git merge-base HEAD "${changed_base}" 2>/dev/null || true)"
+  else
+    base="$(git merge-base HEAD origin/main 2>/dev/null \
+            || git merge-base HEAD main 2>/dev/null || true)"
+  fi
+  if [[ -z "${base}" ]]; then
+    echo "run_static_analysis: --changed-only: no merge base found; checking everything" >&2
+    cat
+    return
+  fi
+  # Two-dot against the working tree so uncommitted edits count too.
+  sort - <(git diff --name-only "${base}" -- | sort) \
+    | uniq -d
+}
+
+overall=0
+
+# ---------------------------------------------------------------------- tidy
+if [[ ${run_tidy} -eq 1 ]]; then
+  TIDY_BIN="${CLANG_TIDY:-clang-tidy}"
+  if ! command -v "${TIDY_BIN}" >/dev/null 2>&1; then
+    echo "run_static_analysis: ${TIDY_BIN} not found; skipping the clang-tidy gate." >&2
+    echo "run_static_analysis: install clang-tidy (or set CLANG_TIDY) to enable it." >&2
+  else
+    tidy_dir="${build_dir}"
+    if [[ -z "${tidy_dir}" ]]; then
+      tidy_dir="build-tidy"
+      cmake --preset tidy >/dev/null
+    fi
+    if [[ ! -f "${tidy_dir}/compile_commands.json" ]]; then
+      echo "run_static_analysis: ${tidy_dir}/compile_commands.json missing;" >&2
+      echo "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the tidy preset does)." >&2
+      exit 2
+    fi
+    mapfile -t sources < <(list_sources | changed_filter)
+    if [[ ${#sources[@]} -eq 0 ]]; then
+      echo "run_static_analysis: tidy: no sources in scope; skipping."
+    else
+      jobs="$(nproc 2>/dev/null || echo 2)"
+      runner="$(command -v run-clang-tidy || true)"
+      status=0
+      if [[ -n "${runner}" ]]; then
+        "${runner}" -clang-tidy-binary "${TIDY_BIN}" -p "${tidy_dir}" -j "${jobs}" -quiet \
+          "${sources[@]/#/${repo_root}/}" || status=$?
+      else
+        for src in "${sources[@]}"; do
+          echo "-- clang-tidy ${src}"
+          "${TIDY_BIN}" -p "${tidy_dir}" --quiet "${src}" || status=$?
+        done
+      fi
+      if [[ ${status} -ne 0 ]]; then
+        echo "run_static_analysis: clang-tidy found new issues (see above)." >&2
+        overall=1
+      else
+        echo "run_static_analysis: clang-tidy clean (${#sources[@]} files)."
+      fi
+    fi
+  fi
 fi
 
-# First-party translation units only; third-party headers are filtered by
-# HeaderFilterRegex in .clang-tidy.
-mapfile -t sources < <(git ls-files 'src/*.cpp' 'tests/*.cpp' 'tools/*.cpp' \
-                                    'bench/*.cpp' 'examples/*.cpp')
-if [[ ${#sources[@]} -eq 0 ]]; then
-  echo "run_static_analysis: no sources found" >&2
-  exit 2
+# ---------------------------------------------------------------------- lint
+if [[ ${run_lint} -eq 1 ]]; then
+  PYTHON_BIN="${PYTHON:-python3}"
+  if ! command -v "${PYTHON_BIN}" >/dev/null 2>&1; then
+    echo "run_static_analysis: ${PYTHON_BIN} not found; skipping the stfw-lint gate." >&2
+  else
+    if ! "${PYTHON_BIN}" tools/stfw_lint.py --selftest; then
+      echo "run_static_analysis: stfw-lint selftest failed (the linter itself regressed)." >&2
+      overall=1
+    fi
+    mapfile -t lint_paths < <(git ls-files 'src/*' 'tests/*' 'tools/*' 'bench/*' \
+                                           'examples/*' ':!tests/lint_corpus' \
+                              | grep -E '\.(cpp|hpp|h|cc)$' | changed_filter)
+    if [[ ${changed_only} -eq 1 && ${#lint_paths[@]} -eq 0 ]]; then
+      echo "run_static_analysis: stfw-lint: no changed sources; skipping."
+    elif [[ ${changed_only} -eq 1 ]]; then
+      "${PYTHON_BIN}" tools/stfw_lint.py "${lint_paths[@]}" || overall=1
+    else
+      "${PYTHON_BIN}" tools/stfw_lint.py || overall=1
+    fi
+  fi
 fi
 
-jobs="$(nproc 2>/dev/null || echo 2)"
-runner="$(command -v run-clang-tidy || true)"
-status=0
-if [[ -n "${runner}" ]]; then
-  "${runner}" -clang-tidy-binary "${TIDY_BIN}" -p "${build_dir}" -j "${jobs}" -quiet \
-    "${sources[@]/#/${repo_root}/}" || status=$?
-else
-  for src in "${sources[@]}"; do
-    echo "-- clang-tidy ${src}"
-    "${TIDY_BIN}" -p "${build_dir}" --quiet "${src}" || status=$?
-  done
+# ----------------------------------------------------------------------- tsa
+if [[ ${run_tsa} -eq 1 ]]; then
+  TSA_CXX="${CLANGXX:-clang++}"
+  if ! command -v "${TSA_CXX}" >/dev/null 2>&1; then
+    echo "run_static_analysis: ${TSA_CXX} not found; skipping the thread-safety gate." >&2
+    echo "run_static_analysis: install clang (or set CLANGXX) to enable it." >&2
+  else
+    if cmake --preset tsa -DCMAKE_CXX_COMPILER="${TSA_CXX}" \
+        && cmake --build --preset tsa; then
+      echo "run_static_analysis: thread-safety analysis clean."
+    else
+      echo "run_static_analysis: -Wthread-safety reported errors (see above)." >&2
+      overall=1
+    fi
+  fi
 fi
 
-if [[ ${status} -ne 0 ]]; then
-  echo "run_static_analysis: clang-tidy found new issues (see above)." >&2
+if [[ ${overall} -ne 0 ]]; then
+  echo "run_static_analysis: FAILED (see stage output above)." >&2
   exit 1
 fi
-echo "run_static_analysis: clean."
+echo "run_static_analysis: all requested stages clean."
