@@ -9,9 +9,9 @@
 
 #include <cstdio>
 #include <cstring>
-#include <mutex>
 #include <random>
 
+#include "core/sync.hpp"
 #include "core/vpt.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/stfw_communicator.hpp"
@@ -46,13 +46,13 @@ std::vector<OutboundMessage> build_sendset(int rank, int size) {
 
 void run(const core::Vpt& vpt, const char* label) {
   runtime::Cluster cluster(vpt.size());
-  std::mutex io;
+  core::Mutex io;
   cluster.run([&](runtime::Comm& comm) {
     StfwCommunicator communicator(comm, vpt);
     const auto sends = build_sendset(comm.rank(), comm.size());
     const auto inbox = communicator.exchange(sends);
     if (comm.rank() == 0) {
-      std::lock_guard<std::mutex> lock(io);
+      core::MutexLock lock(io);
       std::printf("%-10s hub sent %lld wire messages (bound %d), received %zu payloads\n",
                   label, static_cast<long long>(communicator.last_stats().messages_sent),
                   vpt.max_message_count_bound(), inbox.size());

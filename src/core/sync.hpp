@@ -3,8 +3,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <thread>
+#include <utility>
 
 #include "core/thread_annotations.hpp"
+#include "core/verify_hooks.hpp"
 
 /// \file sync.hpp
 /// Annotated synchronization primitives for the thread-per-rank runtime.
@@ -14,6 +17,14 @@
 /// gcc they compile to exactly the std types; under the `tsa` preset
 /// (-Wthread-safety -Werror) they let the compiler prove that every access to
 /// a STFW_GUARDED_BY member happens under its mutex.
+///
+/// Under -DSTFW_VERIFY=ON every operation additionally reports to the
+/// stfw-verify hooks (core/verify_hooks.hpp): the happens-before race
+/// detector learns lock/unlock and wait/notify edges from here, and the
+/// deterministic schedule explorer uses the same calls as its yield points.
+/// This file is the only place raw std sync types may appear (stfw-lint rule
+/// l6-raw-sync) — new concurrency goes through these wrappers so it is
+/// annotated and verifiable by construction.
 ///
 /// Usage mirrors the std types:
 ///
@@ -36,9 +47,35 @@ public:
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() STFW_ACQUIRE() { mu_.lock(); }
-  void unlock() STFW_RELEASE() { mu_.unlock(); }
-  bool try_lock() STFW_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() STFW_ACQUIRE() {
+#if STFW_VERIFY_ENABLED
+    if (verify::Hooks* h = verify::hooks()) {
+      h->mutex_acquire(this);  // may park until the scheduler grants it
+      mu_.lock();
+      h->mutex_acquired(this);
+      return;
+    }
+#endif
+    mu_.lock();
+  }
+
+  void unlock() STFW_RELEASE() {
+    STFW_VERIFY_HOOK(mutex_release(this));
+    mu_.unlock();
+  }
+
+  bool try_lock() STFW_TRY_ACQUIRE(true) {
+#if STFW_VERIFY_ENABLED
+    if (verify::Hooks* h = verify::hooks()) {
+      // No pre-acquire event: try_lock never blocks, so it cannot be a
+      // scheduler park point; a success still registers ownership.
+      if (!mu_.try_lock()) return false;
+      h->mutex_acquired(this);
+      return true;
+    }
+#endif
+    return mu_.try_lock();
+  }
 
 private:
   friend class MutexLock;
@@ -50,17 +87,41 @@ private:
 /// the destructor releases the mutex only if it is still held.
 class STFW_SCOPED_CAPABILITY MutexLock {
 public:
-  explicit MutexLock(Mutex& mu) STFW_ACQUIRE(mu) : lock_(mu.mu_) {}
-  ~MutexLock() STFW_RELEASE() = default;
+  explicit MutexLock(Mutex& mu) STFW_ACQUIRE(mu) : lock_(mu.mu_, std::defer_lock) {
+#if STFW_VERIFY_ENABLED
+    mu_ = &mu;
+    if (verify::Hooks* h = verify::hooks()) {
+      h->mutex_acquire(mu_);
+      lock_.lock();
+      h->mutex_acquired(mu_);
+      return;
+    }
+#endif
+    lock_.lock();
+  }
+
+  ~MutexLock() STFW_RELEASE() {
+#if STFW_VERIFY_ENABLED
+    if (lock_.owns_lock()) STFW_VERIFY_HOOK(mutex_release(mu_));
+#endif
+  }
 
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
 
   /// Release before the end of the scope (e.g. to throw without the lock).
-  void unlock() STFW_RELEASE() { lock_.unlock(); }
+  void unlock() STFW_RELEASE() {
+#if STFW_VERIFY_ENABLED
+    STFW_VERIFY_HOOK(mutex_release(mu_));
+#endif
+    lock_.unlock();
+  }
 
 private:
   friend class CondVar;
+#if STFW_VERIFY_ENABLED
+  Mutex* mu_ = nullptr;
+#endif
   std::unique_lock<std::mutex> lock_;
 };
 
@@ -73,18 +134,68 @@ public:
   CondVar(const CondVar&) = delete;
   CondVar& operator=(const CondVar&) = delete;
 
-  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  void wait(MutexLock& lock) {
+#if STFW_VERIFY_ENABLED
+    if (verify::Hooks* h = verify::hooks()) {
+      bool timed_out = false;
+      if (h->cv_wait(this, lock.mu_, lock.lock_, nullptr, timed_out)) return;
+      cv_.wait(lock.lock_);
+      h->cv_woke(this, lock.mu_);
+      return;
+    }
+#endif
+    cv_.wait(lock.lock_);
+  }
 
   std::cv_status wait_until(MutexLock& lock,
                             std::chrono::steady_clock::time_point deadline) {
+#if STFW_VERIFY_ENABLED
+    if (verify::Hooks* h = verify::hooks()) {
+      bool timed_out = false;
+      if (h->cv_wait(this, lock.mu_, lock.lock_, &deadline, timed_out))
+        return timed_out ? std::cv_status::timeout : std::cv_status::no_timeout;
+      const std::cv_status st = cv_.wait_until(lock.lock_, deadline);
+      h->cv_woke(this, lock.mu_);
+      return st;
+    }
+#endif
     return cv_.wait_until(lock.lock_, deadline);
   }
 
-  void notify_one() noexcept { cv_.notify_one(); }
-  void notify_all() noexcept { cv_.notify_all(); }
+  void notify_one() noexcept {
+    STFW_VERIFY_HOOK(cv_notify(this, false));
+    cv_.notify_one();
+  }
+  void notify_all() noexcept {
+    STFW_VERIFY_HOOK(cv_notify(this, true));
+    cv_.notify_all();
+  }
 
 private:
   std::condition_variable cv_;
+};
+
+/// std::thread confined to this header (stfw-lint rule l6-raw-sync): threads
+/// created elsewhere must go through this wrapper so every thread in the
+/// process is eligible for verify instrumentation (Hooks::thread_begin is the
+/// spawner's responsibility — see Cluster::run and verify::run_threads).
+/// Same contract as std::thread: join before destruction or std::terminate.
+class Thread {
+public:
+  Thread() noexcept = default;
+  template <typename Fn>
+  explicit Thread(Fn&& fn) : t_(std::forward<Fn>(fn)) {}
+
+  Thread(Thread&&) noexcept = default;
+  Thread& operator=(Thread&&) = default;
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  [[nodiscard]] bool joinable() const noexcept { return t_.joinable(); }
+  void join() { t_.join(); }
+
+private:
+  std::thread t_;
 };
 
 }  // namespace stfw::core

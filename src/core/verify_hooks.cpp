@@ -1,0 +1,16 @@
+#include "core/verify_hooks.hpp"
+
+// Compiled only under -DSTFW_VERIFY=ON (see src/core/CMakeLists.txt); the
+// header's disabled branch needs no storage at all.
+
+namespace stfw::verify {
+
+namespace detail {
+std::atomic<Hooks*> g_hooks{nullptr};
+}
+
+void install_hooks(Hooks* h) noexcept {
+  detail::g_hooks.store(h, std::memory_order_release);
+}
+
+}  // namespace stfw::verify

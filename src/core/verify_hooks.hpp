@@ -1,0 +1,148 @@
+#pragma once
+
+#include <chrono>
+
+/// \file verify_hooks.hpp
+/// Event seam for stfw-verify, the dynamic concurrency checker
+/// (src/verify/, docs/validation.md "Layer 5 — dynamic verification").
+///
+/// The verification engine lives above the runtime, but the events it needs
+/// originate below it: lock operations inside core::Mutex / core::CondVar,
+/// mailbox send/recv edges inside runtime::Cluster, watchdog ticks and
+/// injector stalls. This header is the one seam both sides share: the
+/// instrumented code calls the hook macros, src/verify/ implements the Hooks
+/// interface and installs it for the duration of a checked run.
+///
+/// Everything here is gated on the STFW_VERIFY CMake option (macro
+/// STFW_VERIFY_ENABLED, a PUBLIC define on stfw_core). Without it the macros
+/// expand to nothing and verify_now() is exactly steady_clock::now(), so the
+/// production build pays zero cost — no branch, no atomic load.
+///
+/// With STFW_VERIFY_ENABLED but no engine installed (hooks() == nullptr) the
+/// cost is one relaxed-ish atomic load per event, and behaviour is unchanged.
+///
+/// Hook semantics the instrumentation relies on:
+///  * mutex_acquire may block (under the cooperative scheduler it parks the
+///    thread until the engine grants ownership); mutex_acquired / release
+///    only record happens-before edges and never block.
+///  * cv_wait returning true means the engine performed the whole wait
+///    (released `real`, parked, reacquired); the caller must not touch the
+///    std::condition_variable. Returning false means "do the real wait, then
+///    report cv_woke".
+///  * mailbox_send is a scheduler yield point and returns the message id the
+///    caller stamps into Message::verify_id; mailbox_recv joins that id's
+///    clock and never blocks (safe to call holding the mailbox mutex).
+///  * now()/tick_sleep()/stall() virtualize time: under the scheduler the
+///    clock is logical and only advances at ticks/stalls/timeout jumps, which
+///    is what makes watchdog and deadline behaviour schedule-deterministic.
+
+#if STFW_VERIFY_ENABLED
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace stfw::verify {
+
+class Hooks {
+public:
+  virtual ~Hooks() = default;
+
+  /// A run() region is about to start `expected_threads` hooked threads
+  /// (ranks + monitor). Called from the spawning (external) thread.
+  virtual void region_begin(int expected_threads) = 0;
+  /// All region threads have been joined. Called from the spawning thread.
+  virtual void region_end() = 0;
+  /// First statement on a hooked thread. `ticker` marks background threads
+  /// (the watchdog monitor) the scheduler runs only when no rank can.
+  virtual void thread_begin(int logical_id, bool ticker) = 0;
+  virtual void thread_end() = 0;
+
+  virtual void mutex_acquire(const void* mu) = 0;   // before the real lock
+  virtual void mutex_acquired(const void* mu) = 0;  // after the real lock
+  virtual void mutex_release(const void* mu) = 0;   // before the real unlock
+
+  virtual bool cv_wait(const void* cv, const void* mu,
+                       std::unique_lock<std::mutex>& real,
+                       const std::chrono::steady_clock::time_point* deadline,
+                       bool& timed_out) = 0;
+  virtual void cv_woke(const void* cv, const void* mu) = 0;
+  virtual void cv_notify(const void* cv, bool all) noexcept = 0;
+
+  virtual std::uint64_t mailbox_send(int source, int dest, int tag) = 0;
+  virtual void mailbox_recv(int me, int source, int tag, std::uint64_t id) = 0;
+
+  /// Protocol annotation from the exchange loops (trace context only).
+  virtual void stage(int rank, int stage) = 0;
+
+  virtual std::chrono::steady_clock::time_point now() = 0;
+  virtual void tick_sleep(std::chrono::milliseconds d) = 0;
+  virtual void stall(std::chrono::milliseconds d) = 0;
+
+  /// Tagged shared-memory access (STFW_VERIFY_READ / STFW_VERIFY_WRITE).
+  /// `site` must be a string with static storage duration.
+  virtual void access(const void* addr, bool write, const char* site) = 0;
+};
+
+namespace detail {
+extern std::atomic<Hooks*> g_hooks;  // storage in verify_hooks.cpp
+}
+
+inline Hooks* hooks() noexcept {
+  return detail::g_hooks.load(std::memory_order_acquire);
+}
+
+/// Install (or, with nullptr, remove) the process-wide event sink. Only call
+/// while no hooked threads are running — between schedule runs.
+void install_hooks(Hooks* h) noexcept;
+
+inline std::chrono::steady_clock::time_point verify_now() {
+  if (Hooks* h = hooks()) return h->now();
+  return std::chrono::steady_clock::now();
+}
+
+}  // namespace stfw::verify
+
+#define STFW_VERIFY_STRINGIFY_IMPL(x) #x
+#define STFW_VERIFY_STRINGIFY(x) STFW_VERIFY_STRINGIFY_IMPL(x)
+#define STFW_VERIFY_SITE(label) \
+  (__FILE__ ":" STFW_VERIFY_STRINGIFY(__LINE__) " " label)
+
+#define STFW_VERIFY_READ(addr, label)                                        \
+  do {                                                                       \
+    if (::stfw::verify::Hooks* stfw_vh_ = ::stfw::verify::hooks())           \
+      stfw_vh_->access((addr), false, STFW_VERIFY_SITE(label));              \
+  } while (0)
+#define STFW_VERIFY_WRITE(addr, label)                                       \
+  do {                                                                       \
+    if (::stfw::verify::Hooks* stfw_vh_ = ::stfw::verify::hooks())           \
+      stfw_vh_->access((addr), true, STFW_VERIFY_SITE(label));               \
+  } while (0)
+/// Fire an arbitrary hook: STFW_VERIFY_HOOK(stage(rank, s)).
+#define STFW_VERIFY_HOOK(call)                                               \
+  do {                                                                       \
+    if (::stfw::verify::Hooks* stfw_vh_ = ::stfw::verify::hooks())           \
+      stfw_vh_->call;                                                        \
+  } while (0)
+
+#else  // !STFW_VERIFY_ENABLED
+
+namespace stfw::verify {
+
+inline std::chrono::steady_clock::time_point verify_now() {
+  return std::chrono::steady_clock::now();
+}
+
+}  // namespace stfw::verify
+
+#define STFW_VERIFY_READ(addr, label) \
+  do {                                \
+  } while (0)
+#define STFW_VERIFY_WRITE(addr, label) \
+  do {                                 \
+  } while (0)
+#define STFW_VERIFY_HOOK(call) \
+  do {                         \
+  } while (0)
+
+#endif  // STFW_VERIFY_ENABLED

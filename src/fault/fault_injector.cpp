@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "core/env.hpp"
+#include "core/verify_hooks.hpp"
 
 namespace stfw::fault {
 
@@ -111,6 +112,14 @@ void FaultInjector::at_stage(int rank, int stage) {
       (config_.stall_stage < 0 || stage == config_.stall_stage) &&
       config_.stall_duration.count() > 0) {
     stalls_.fetch_add(1, std::memory_order_relaxed);
+#if STFW_VERIFY_ENABLED
+    if (verify::Hooks* h = verify::hooks()) {
+      // Under the stfw-verify scheduler a stall advances the logical clock
+      // and yields instead of sleeping, so stall schedules stay deterministic.
+      h->stall(config_.stall_duration);
+      return;
+    }
+#endif
     std::this_thread::sleep_for(config_.stall_duration);
   }
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <thread>
 
 #include "core/error.hpp"
 #include "fault/fault_injector.hpp"
@@ -14,8 +15,7 @@ using core::require;
 namespace {
 
 long long ms_since(std::chrono::steady_clock::time_point t) {
-  return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now() - t)
+  return std::chrono::duration_cast<std::chrono::milliseconds>(verify::verify_now() - t)
       .count();
 }
 
@@ -113,30 +113,38 @@ void Cluster::run(const std::function<void(Comm&)>& fn) {
     // No rank threads are alive here, but the previous run's monitor could
     // in principle have raced this check before TSA made the lock mandatory.
     MutexLock lock(mb->mu);
+    STFW_VERIFY_READ(&mb->queue, "Cluster::run mailbox-empty precondition");
     require(mb->queue.empty(), "Cluster::run: mailbox not empty from previous run");
   }
 
   {
     MutexLock lock(block_mu_);
+    STFW_VERIFY_WRITE(block_state_.data(), "Cluster::run block_state reset");
     for (auto& b : block_state_) b = BlockInfo{};
     deadlock_victim_ = -1;
     deadlock_report_.clear();
   }
   deadlocked_.store(false);
   last_progress_ = progress_.load();
-  last_progress_time_ = std::chrono::steady_clock::now();
+  last_progress_time_ = verify::verify_now();
 
   const bool need_monitor = watchdog_window_.count() > 0 || injector_ != nullptr;
+  STFW_VERIFY_HOOK(region_begin(num_ranks_ + (need_monitor ? 1 : 0)));
   if (need_monitor) {
     monitor_stop_.store(false);
-    monitor_ = std::thread([this] { monitor_loop(); });
+    monitor_ = core::Thread([this] {
+      STFW_VERIFY_HOOK(thread_begin(num_ranks_, /*ticker=*/true));
+      monitor_loop();
+      STFW_VERIFY_HOOK(thread_end());
+    });
   }
 
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(num_ranks_));
-  std::vector<std::thread> threads;
+  std::vector<core::Thread> threads;
   threads.reserve(static_cast<std::size_t>(num_ranks_));
   for (int r = 0; r < num_ranks_; ++r) {
-    threads.emplace_back([this, r, &fn, &errors] {
+    threads.emplace_back(core::Thread([this, r, &fn, &errors] {
+      STFW_VERIFY_HOOK(thread_begin(r, /*ticker=*/false));
       try {
         Comm comm(*this, r);
         fn(comm);
@@ -145,7 +153,8 @@ void Cluster::run(const std::function<void(Comm&)>& fn) {
         abort_all();  // unblock peers stuck in recv() or barrier()
       }
       set_block_state(r, BlockInfo::Kind::kDone);
-    });
+      STFW_VERIFY_HOOK(thread_end());
+    }));
   }
   for (auto& t : threads) t.join();
 
@@ -153,6 +162,7 @@ void Cluster::run(const std::function<void(Comm&)>& fn) {
     monitor_stop_.store(true);
     monitor_.join();
   }
+  STFW_VERIFY_HOOK(region_end());
   {
     // Delayed messages still pending when the run ends were "in flight" at
     // program exit; they are dropped, keeping the cluster clean for reuse.
@@ -167,6 +177,7 @@ void Cluster::run(const std::function<void(Comm&)>& fn) {
   // Discard messages stranded by the abort so the cluster stays reusable.
   for (const auto& mb : mailboxes_) {
     MutexLock lock(mb->mu);
+    STFW_VERIFY_WRITE(&mb->queue, "Cluster::run stranded-mailbox clear");
     mb->queue.clear();
   }
   aborted_.store(false);
@@ -175,6 +186,7 @@ void Cluster::run(const std::function<void(Comm&)>& fn) {
     // Stragglers that saw the abort flag already decremented their slot on
     // the way out; this rearms the barrier for the next run.
     MutexLock lock(barrier_mu_);
+    STFW_VERIFY_WRITE(&barrier_count_, "Cluster::run barrier rearm");
     barrier_count_ = 0;
   }
 
@@ -228,11 +240,12 @@ void Cluster::abort_all() {
 
 void Cluster::set_block_state(int me, BlockInfo::Kind kind, int source, int tag) {
   MutexLock lock(block_mu_);
+  STFW_VERIFY_WRITE(block_state_.data(), "Cluster::set_block_state");
   BlockInfo& b = block_state_[static_cast<std::size_t>(me)];
   b.kind = kind;
   b.source = source;
   b.tag = tag;
-  b.since = std::chrono::steady_clock::now();
+  b.since = verify::verify_now();
 }
 
 void Cluster::throw_if_torn_down(int me, const char* op) {
@@ -268,8 +281,8 @@ void Cluster::post(int dest, Message msg) {
     if (d.truncate_to < msg.data.size()) msg.data.resize(d.truncate_to);
     if (d.delay.count() > 0) {
       MutexLock lock(delayed_mu_);
-      delayed_.push_back(
-          DelayedMessage{std::chrono::steady_clock::now() + d.delay, dest, std::move(msg)});
+      STFW_VERIFY_WRITE(&delayed_, "Cluster::post delayed enqueue");
+      delayed_.push_back(DelayedMessage{verify::verify_now() + d.delay, dest, std::move(msg)});
       return;
     }
     post_raw(dest, std::move(msg), d.reorder);
@@ -280,8 +293,15 @@ void Cluster::post(int dest, Message msg) {
 
 void Cluster::post_raw(int dest, Message msg, bool to_front) {
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dest)];
+#if STFW_VERIFY_ENABLED
+  // Send edge: a scheduler branch point, and the id ties the matching recv's
+  // happens-before join back to this exact enqueue.
+  if (verify::Hooks* h = verify::hooks())
+    msg.verify_id = h->mailbox_send(msg.source, dest, msg.tag);
+#endif
   {
     MutexLock lock(mb.mu);
+    STFW_VERIFY_WRITE(&mb.queue, "Cluster::post_raw enqueue");
     if (to_front)
       mb.queue.push_front(std::move(msg));
     else
@@ -295,6 +315,7 @@ void Cluster::flush_delayed() {
   std::vector<DelayedMessage> due;
   {
     MutexLock lock(delayed_mu_);
+    STFW_VERIFY_WRITE(&delayed_, "Cluster::flush_delayed drain");
     due.swap(delayed_);
   }
   for (DelayedMessage& d : due) post_raw(d.dest, std::move(d.msg));
@@ -312,15 +333,18 @@ bool matches(const Message& m, int source, int tag) {
 
 Message Cluster::blocking_recv(int me, int source, int tag, Deadline deadline) {
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(me)];
-  const auto entered = std::chrono::steady_clock::now();
+  const auto entered = verify::verify_now();
   bool registered = false;
   MutexLock lock(mb.mu);
   for (;;) {
+    STFW_VERIFY_READ(&mb.queue, "Cluster::blocking_recv scan");
     auto it = std::find_if(mb.queue.begin(), mb.queue.end(),
                            [&](const Message& m) { return matches(m, source, tag); });
     if (it != mb.queue.end()) {
       Message out = std::move(*it);
+      STFW_VERIFY_WRITE(&mb.queue, "Cluster::blocking_recv dequeue");
       mb.queue.erase(it);
+      STFW_VERIFY_HOOK(mailbox_recv(me, out.source, out.tag, out.verify_id));
       if (registered) set_block_state(me, BlockInfo::Kind::kRunning);
       progress_.fetch_add(1, std::memory_order_relaxed);
       return out;
@@ -347,9 +371,11 @@ std::vector<Message> Cluster::drain(int me, int tag) {
   std::vector<Message> out;
   {
     MutexLock lock(mb.mu);
+    STFW_VERIFY_WRITE(&mb.queue, "Cluster::drain sweep");
     auto it = mb.queue.begin();
     while (it != mb.queue.end()) {
       if (it->tag == tag) {
+        STFW_VERIFY_HOOK(mailbox_recv(me, it->source, it->tag, it->verify_id));
         out.push_back(std::move(*it));
         it = mb.queue.erase(it);
       } else {
@@ -365,6 +391,7 @@ std::vector<Message> Cluster::drain(int me, int tag) {
 bool Cluster::probe(int me, int source, int tag) {
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(me)];
   MutexLock lock(mb.mu);
+  STFW_VERIFY_READ(&mb.queue, "Cluster::probe scan");
   return std::any_of(mb.queue.begin(), mb.queue.end(),
                      [&](const Message& m) { return matches(m, source, tag); });
 }
@@ -374,6 +401,7 @@ bool Cluster::wait_message(int me, Deadline deadline) {
   bool registered = false;
   MutexLock lock(mb.mu);
   for (;;) {
+    STFW_VERIFY_READ(&mb.queue, "Cluster::wait_message poll");
     if (!mb.queue.empty()) {
       if (registered) set_block_state(me, BlockInfo::Kind::kRunning);
       return true;
@@ -395,23 +423,27 @@ bool Cluster::wait_message(int me, Deadline deadline) {
 }
 
 void Cluster::barrier_wait(int me, Deadline deadline) {
-  const auto entered = std::chrono::steady_clock::now();
+  const auto entered = verify::verify_now();
   bool registered = false;
   MutexLock lock(barrier_mu_);
   const std::uint64_t gen = barrier_generation_;
+  STFW_VERIFY_WRITE(&barrier_count_, "Cluster::barrier_wait arrive");
   if (++barrier_count_ == num_ranks_) {
     barrier_count_ = 0;
+    STFW_VERIFY_WRITE(&barrier_generation_, "Cluster::barrier_wait release");
     ++barrier_generation_;
     progress_.fetch_add(1, std::memory_order_relaxed);
     barrier_cv_.notify_all();
     return;
   }
   for (;;) {
+    STFW_VERIFY_READ(&barrier_generation_, "Cluster::barrier_wait generation check");
     if (barrier_generation_ != gen) {
       if (registered) set_block_state(me, BlockInfo::Kind::kRunning);
       return;
     }
     if (deadlocked_.load() || aborted_.load()) {
+      STFW_VERIFY_WRITE(&barrier_count_, "Cluster::barrier_wait abort retreat");
       --barrier_count_;
       if (registered) set_block_state(me, BlockInfo::Kind::kRunning);
       // Release before throwing: throw_torn_down takes block_mu_, and
@@ -442,12 +474,13 @@ void Cluster::barrier_wait(int me, Deadline deadline) {
 
 void Cluster::monitor_loop() {
   while (!monitor_stop_.load()) {
-    const auto now = std::chrono::steady_clock::now();
+    const auto now = verify::verify_now();
 
     // Pump injector-delayed messages whose release time has passed.
     std::vector<DelayedMessage> due;
     {
       MutexLock lock(delayed_mu_);
+      STFW_VERIFY_WRITE(&delayed_, "Cluster::monitor_loop delayed pump");
       auto it = delayed_.begin();
       while (it != delayed_.end()) {
         if (it->release <= now) {
@@ -463,6 +496,15 @@ void Cluster::monitor_loop() {
     if (watchdog_window_.count() > 0 && !deadlocked_.load() && !aborted_.load())
       check_deadlock(now);
 
+#if STFW_VERIFY_ENABLED
+    if (verify::Hooks* h = verify::hooks()) {
+      // Under the scheduler a tick advances the logical clock and yields;
+      // it only gets scheduled when no rank thread can run, which makes
+      // watchdog firings a deterministic function of the schedule.
+      h->tick_sleep(std::chrono::milliseconds(1));
+      continue;
+    }
+#endif
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 }
@@ -482,6 +524,7 @@ void Cluster::check_deadlock(std::chrono::steady_clock::time_point now) {
     // acquire their mailbox/barrier mutex first and block_mu_ second, so
     // holding block_mu_ while taking those mutexes would invert the order.
     MutexLock lock(block_mu_);
+    STFW_VERIFY_READ(block_state_.data(), "Cluster::check_deadlock scan");
     int victim = -1;
     bool all_blocked = true;
     bool any_active = false;

@@ -8,10 +8,10 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/sync.hpp"
+#include "core/verify_hooks.hpp"
 
 /// \file comm.hpp
 /// In-process message-passing runtime.
@@ -54,22 +54,28 @@ struct Message {
   int source = -1;
   int tag = 0;
   std::vector<std::byte> data;
+#if STFW_VERIFY_ENABLED
+  std::uint64_t verify_id = 0;  // stfw-verify message identity (send edge id)
+#endif
 };
 
 /// Absolute time budget for a blocking primitive. Deadline::never() blocks
-/// indefinitely (the pre-fault-layer behaviour).
+/// indefinitely (the pre-fault-layer behaviour). Time is read through
+/// verify::verify_now() so that under the stfw-verify scheduler deadlines
+/// follow the deterministic logical clock; in normal builds that is exactly
+/// steady_clock::now().
 struct Deadline {
   std::chrono::steady_clock::time_point at = std::chrono::steady_clock::time_point::max();
 
   static Deadline never() noexcept { return Deadline{}; }
   static Deadline in(std::chrono::milliseconds d) {
-    return Deadline{std::chrono::steady_clock::now() + d};
+    return Deadline{verify::verify_now() + d};
   }
   bool is_never() const noexcept {
     return at == std::chrono::steady_clock::time_point::max();
   }
   bool expired() const noexcept {
-    return !is_never() && std::chrono::steady_clock::now() >= at;
+    return !is_never() && verify::verify_now() >= at;
   }
 };
 
@@ -248,7 +254,7 @@ private:
   std::chrono::steady_clock::time_point last_progress_time_{};
 
   // Monitor thread (watchdog + delayed-message pump); alive only during run().
-  std::thread monitor_;
+  core::Thread monitor_;
   std::atomic<bool> monitor_stop_{false};
 };
 

@@ -36,6 +36,18 @@ constexpr int kResilientAckTag = (1 << 28) + 1;
 
 constexpr std::size_t kDefaultPlanCacheCapacity = 4;
 
+// Stage boundary annotation for stfw-verify schedule traces; pairs with the
+// fault injector's at_stage sites so a race/oracle report can name the
+// dimension-order stage it happened in. No-op unless an engine is installed.
+inline void verify_stage_tag(int rank, int stage) {
+#if STFW_VERIFY_ENABLED
+  STFW_VERIFY_HOOK(stage(rank, stage));
+#else
+  (void)rank;
+  (void)stage;
+#endif
+}
+
 std::vector<std::pair<core::Rank, std::uint32_t>> pattern_of(
     std::span<const OutboundMessage> sends) {
   std::vector<std::pair<core::Rank, std::uint32_t>> pattern;
@@ -325,6 +337,7 @@ std::vector<InboundMessage> StfwCommunicator::exchange_unplanned(
   const int tag_base = epoch_ * vpt_.dim();
   fault::FaultInjector* injector = comm_->fault_injector();
   for (int stage = 0; stage < vpt_.dim(); ++stage) {
+    verify_stage_tag(static_cast<int>(me), stage);
     if (injector != nullptr) injector->at_stage(static_cast<int>(me), stage);
     const int tag = tag_base + stage;
     outbox.clear();
@@ -439,6 +452,7 @@ std::vector<InboundMessage> StfwCommunicator::exchange_planned_cached(
 #endif
 
   for (int stage = 0; stage < n; ++stage) {
+    verify_stage_tag(static_cast<int>(me), stage);
     if (injector != nullptr) injector->at_stage(static_cast<int>(me), stage);
     const int tag = tag_base + stage;
     for (const core::PlanOutFrame& f : layout.out_frames[static_cast<std::size_t>(stage)]) {
@@ -513,6 +527,7 @@ std::vector<InboundMessage> StfwCommunicator::exchange_planned_cached(
                                      state.buffered_submessage_count());
 #endif
       for (int s = stage + 1; s < n; ++s) {
+        verify_stage_tag(static_cast<int>(me), s);
         if (injector != nullptr) injector->at_stage(static_cast<int>(me), s);
         const int t = tag_base + s;
         outbox.clear();
@@ -622,6 +637,7 @@ std::shared_ptr<runtime::ExchangePlan> StfwCommunicator::plan(
   const int tag_base = epoch_ * vpt_.dim();
   fault::FaultInjector* injector = comm_->fault_injector();
   for (int stage = 0; stage < vpt_.dim(); ++stage) {
+    verify_stage_tag(static_cast<int>(me), stage);
     if (injector != nullptr) injector->at_stage(static_cast<int>(me), stage);
     const int tag = tag_base + stage;
     outbox.clear();
@@ -686,6 +702,7 @@ std::vector<InboundMessage> StfwCommunicator::exchange(
 #endif
 
   for (int stage = 0; stage < n; ++stage) {
+    verify_stage_tag(static_cast<int>(me), stage);
     if (injector != nullptr) injector->at_stage(static_cast<int>(me), stage);
     const int tag = tag_base + stage;
     for (const core::PlanOutFrame& f : layout.out_frames[static_cast<std::size_t>(stage)]) {
@@ -783,6 +800,8 @@ std::string ExchangeFailure::to_string() const {
 
 ResilientExchangeResult StfwCommunicator::exchange_resilient(
     std::span<const OutboundMessage> sends, const ResilienceOptions& opt) {
+  // Retransmit timers run on verify::verify_now(): steady_clock in normal
+  // builds, the deterministic logical clock under the stfw-verify scheduler.
   using clock = std::chrono::steady_clock;
   core::require(opt.max_attempts >= 1, "exchange_resilient: max_attempts must be >= 1");
   core::require(opt.backoff_factor >= 1.0, "exchange_resilient: backoff_factor must be >= 1");
@@ -1079,6 +1098,7 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
   std::vector<StageMessage> outbox;
   std::uint64_t transit_peak = 0;
   for (cur_stage = 0; cur_stage < n; ++cur_stage) {
+    verify_stage_tag(static_cast<int>(me), cur_stage);
     if (injector != nullptr) injector->at_stage(static_cast<int>(me), cur_stage);
 
     // Build this stage's frames. Unlike plain exchange(), every dimension-d
@@ -1112,11 +1132,11 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
       }
     }
 
-    const auto stage_end = clock::now() + opt.stage_deadline;
+    const auto stage_end = verify::verify_now() + opt.stage_deadline;
     const auto want = static_cast<std::size_t>(vpt_.dim_size(cur_stage) - 1);
     for (;;) {
       process_incoming();
-      const auto now = clock::now();
+      const auto now = verify::verify_now();
       const auto next_event = pump_sends(now);
       if (stage_got[static_cast<std::size_t>(cur_stage)].size() >= want) break;
       if (now >= stage_end) {
@@ -1153,7 +1173,7 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
     constexpr int kSettleDoneTag = -1003;
     // Peers still mid-exchange may legitimately lag by up to one stage
     // deadline per remaining stage before they can start answering.
-    const auto settle_valve = clock::now() + opt.stage_deadline * n +
+    const auto settle_valve = verify::verify_now() + opt.stage_deadline * n +
                               opt.retransmit_timeout * opt.max_settle_rounds;
     const int world = comm_->size();
     std::set<int> settled_ranks;  // rank 0 only
@@ -1161,7 +1181,7 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
     bool done = false;
     while (!done) {
       process_incoming();
-      if (clock::now() >= settle_valve) {
+      if (verify::verify_now() >= settle_valve) {
         // Whatever is still unacked is now a definite loss. No direct
         // fallback this late: new frames could never be acknowledged.
         for (OutFrame& f : frames) {
@@ -1172,7 +1192,7 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
             result.failure.lost.push_back({s.source, s.dest, s.size_bytes, f.stage});
         }
       }
-      const auto next_event = pump_sends(clock::now());
+      const auto next_event = pump_sends(verify::verify_now());
       if (!reported && all_settled_locally()) {
         reported = true;
         if (me == 0)
@@ -1192,7 +1212,7 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
         done = true;
       }
       if (!done) {
-        const auto tick = clock::now() + opt.retransmit_timeout;
+        const auto tick = verify::verify_now() + opt.retransmit_timeout;
         comm_->wait_message(runtime::Deadline{std::min(next_event, tick)});
       }
     }

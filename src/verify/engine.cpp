@@ -1,0 +1,747 @@
+#include "verify/engine.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace stfw::verify {
+
+namespace {
+
+// Per-thread pointer into the engine's slot table. run_id guards against
+// stale pointers from a previous begin_run (slots are reallocated there, but
+// every hooked thread of the old run has been joined first, so a mismatched
+// run_id is only ever *read*, never dereferenced).
+struct TlsRef {
+  const void* eng = nullptr;
+  std::uint64_t run_id = 0;
+  void* slot = nullptr;
+};
+thread_local TlsRef t_ref;
+
+std::uint64_t to_ns(std::chrono::steady_clock::duration d) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+}
+
+}  // namespace
+
+std::string RaceReport::to_string() const {
+  std::string out = "data race: ";
+  out += write_a ? "write" : "read";
+  out += " at ";
+  out += site_a;
+  out += "  vs  ";
+  out += write_b ? "write" : "read";
+  out += " at ";
+  out += site_b;
+  return out;
+}
+
+Engine::Engine(EngineConfig cfg) : cfg_(cfg) {}
+
+Engine::~Engine() = default;
+
+void Engine::begin_run(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++run_id_;
+  seed_ = seed;
+  slots_.clear();
+  externals_.clear();
+  next_ci_ = 0;
+  scheduling_ = false;
+  released_ = false;
+  aborted_ = false;
+  abort_reason_.clear();
+  blocked_state_.clear();
+  expected_threads_ = 0;
+  registered_count_ = 0;
+  owners_.clear();
+  sync_clock_.clear();
+  msg_clock_.clear();
+  msg_seq_ = 0;
+  birth_clock_.clear();
+  region_join_clock_.clear();
+  vars_.clear();
+  races_.clear();
+  obj_ids_.clear();
+  next_obj_id_ = 0;
+  record_.clear();
+  choice_idx_ = 0;
+  rng_.seed(seed ^ 0x9e3779b97f4a7c15ULL);
+  steps_ = 0;
+  idle_ticks_ = 0;
+  logical_ns_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+  trace_.clear();
+}
+
+RunReport Engine::end_run() {
+  std::lock_guard<std::mutex> lk(mu_);
+  RunReport rep;
+  rep.races = races_;
+  rep.aborted = aborted_;
+  rep.abort_reason = abort_reason_;
+  rep.blocked_state = blocked_state_;
+  rep.steps = steps_;
+  rep.branch_points = record_.size();
+  rep.trace = trace_;
+  return rep;
+}
+
+bool Engine::advance_exhaustive() {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Depth-first over the recorded decision string: bump the deepest choice
+  // that still has an untried alternative and fits the preemption budget
+  // (non-zero ordinals are preemptions — deviations from the default
+  // run-to-block schedule).
+  while (!record_.empty()) {
+    const Choice c = record_.back();
+    record_.pop_back();
+    int used = 0;
+    for (const Choice& r : record_)
+      if (r.ord != 0) ++used;
+    if (c.ord + 1 < c.n && used + 1 <= cfg_.max_preemptions) {
+      path_.clear();
+      path_.reserve(record_.size() + 1);
+      for (const Choice& r : record_) path_.push_back(r.ord);
+      path_.push_back(c.ord + 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Engine::path_string() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out;
+  for (const Choice& c : record_) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(c.ord);
+  }
+  return out.empty() ? "0" : out;
+}
+
+// --- slot plumbing ----------------------------------------------------------
+
+Engine::Slot* Engine::registered_slot_locked() {
+  if (t_ref.eng == this && t_ref.run_id == run_id_ && t_ref.slot != nullptr)
+    return static_cast<Slot*>(t_ref.slot);
+  return nullptr;
+}
+
+Engine::Slot* Engine::slot_for_current_locked() {
+  if (Slot* s = registered_slot_locked()) return s;
+  const std::thread::id tid = std::this_thread::get_id();
+  auto it = externals_.find(tid);
+  if (it == externals_.end()) {
+    auto s = std::make_unique<Slot>();
+    s->id = -(static_cast<int>(externals_.size()) + 1);
+    s->ci = next_ci_++;
+    s->external = true;
+    s->state = St::kRunning;
+    it = externals_.emplace(tid, std::move(s)).first;
+  }
+  return it->second.get();
+}
+
+std::string Engine::slot_name(const Slot& s) const {
+  if (s.external) return "x" + std::to_string(-s.id);
+  return "t" + std::to_string(s.id);
+}
+
+int Engine::object_id_locked(const void* obj) {
+  auto it = obj_ids_.find(obj);
+  if (it != obj_ids_.end()) return it->second;
+  const int id = next_obj_id_++;
+  obj_ids_.emplace(obj, id);
+  return id;
+}
+
+void Engine::trace_locked(const std::string& line) {
+  if (!cfg_.record_trace) return;
+  trace_ += line;
+  trace_ += '\n';
+}
+
+// --- scheduling core --------------------------------------------------------
+
+void Engine::grant_locked(Slot* next) {
+  next->token = true;
+  next->cv.notify_all();
+}
+
+void Engine::wait_token(std::unique_lock<std::mutex>& lk, Slot* s) {
+  s->cv.wait(lk, [&] { return s->token || released_; });
+  s->token = false;
+}
+
+int Engine::next_choice_locked(int n) {
+  int ord = 0;
+  if (cfg_.exhaustive) {
+    if (choice_idx_ < path_.size()) {
+      ord = path_[choice_idx_];
+      if (ord >= n) ord = n - 1;  // candidate set shrank along a new prefix
+    }
+  } else {
+    ord = static_cast<int>(rng_() % static_cast<std::uint64_t>(n));
+  }
+  ++choice_idx_;
+  record_.push_back(Choice{ord, n});
+  trace_locked("choice " + std::to_string(choice_idx_ - 1) + " -> " +
+               std::to_string(ord) + "/" + std::to_string(n));
+  return ord;
+}
+
+bool Engine::advance_time_locked() {
+  auto best = std::chrono::steady_clock::time_point::max();
+  bool any = false;
+  for (const auto& up : slots_) {
+    const Slot* c = up.get();
+    if (c != nullptr && c->state == St::kBlockedCv && c->has_deadline) {
+      any = true;
+      best = std::min(best, c->deadline);
+    }
+  }
+  if (!any) return false;
+  const std::uint64_t target = to_ns(best - epoch_);
+  if (target > logical_ns_) logical_ns_ = target;
+  trace_locked("time-jump " + std::to_string(logical_ns_ / 1000000) + "ms");
+  wake_expired_locked();
+  return true;
+}
+
+void Engine::wake_expired_locked() {
+  const auto now_tp = epoch_ + std::chrono::nanoseconds(logical_ns_);
+  for (const auto& up : slots_) {
+    Slot* c = up.get();
+    if (c == nullptr || c->state != St::kBlockedCv || !c->has_deadline) continue;
+    if (c->deadline <= now_tp) {
+      c->timed_out = true;
+      c->state = St::kRunnable;
+      trace_locked("timeout " + slot_name(*c));
+    }
+  }
+}
+
+void Engine::do_abort_locked(const char* reason) {
+  if (released_) return;
+  aborted_ = true;
+  abort_reason_ = reason;
+  blocked_state_ = describe_blocked_locked();
+  trace_locked(std::string("abort ") + reason);
+  released_ = true;
+  for (const auto& up : slots_)
+    if (up) up->cv.notify_all();
+  for (auto& [tid, up] : externals_)
+    if (up) up->cv.notify_all();
+}
+
+std::string Engine::describe_blocked_locked() const {
+  std::string out;
+  for (const auto& up : slots_) {
+    const Slot* c = up.get();
+    if (c == nullptr || c->state == St::kDone) continue;
+    if (!out.empty()) out += "; ";
+    out += slot_name(*c);
+    switch (c->state) {
+      case St::kBlockedMutex: out += " blocked on mutex ("; out += c->where; out += ")"; break;
+      case St::kBlockedCv: out += " blocked in "; out += c->where; break;
+      case St::kRunnable: out += " runnable"; break;
+      case St::kRunning: out += " running"; break;
+      case St::kRegistering: out += " registering"; break;
+      case St::kDone: break;
+    }
+  }
+  return out;
+}
+
+void Engine::throw_aborted() {
+  std::string reason;
+  std::string state;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    reason = abort_reason_;
+    state = blocked_state_;
+  }
+  throw SchedulerAbortedError("stfw-verify: schedule aborted (" + reason +
+                              "); threads: " + state);
+}
+
+void Engine::start_scheduling_locked() {
+  scheduling_ = true;
+  Slot* first = nullptr;
+  Slot* first_ticker = nullptr;
+  for (const auto& up : slots_) {
+    Slot* c = up.get();
+    if (c == nullptr || c->state != St::kRegistering) continue;
+    c->state = St::kRunnable;
+    trace_locked("begin " + slot_name(*c) + (c->ticker ? " ticker" : ""));
+    if (!c->ticker && first == nullptr) first = c;
+    if (c->ticker && first_ticker == nullptr) first_ticker = c;
+  }
+  if (first == nullptr) first = first_ticker;
+  if (first != nullptr) grant_locked(first);
+}
+
+bool Engine::switch_from(std::unique_lock<std::mutex>& lk, Slot* s, bool branchable,
+                         Yield kind) {
+  (void)kind;
+  if (released_) return !aborted_;
+  if (!scheduling_) return true;
+  ++steps_;
+  if (steps_ > cfg_.max_steps) {
+    do_abort_locked("step-limit");
+    return false;
+  }
+  const bool voluntary = (s->state == St::kRunning);
+  Slot* next = nullptr;
+  for (;;) {
+    // Candidates in deterministic order: a voluntary yielder continues by
+    // default (ordinal 0), then runnable non-tickers by logical id.
+    std::vector<Slot*> cands;
+    if (voluntary && !s->ticker) cands.push_back(s);
+    for (const auto& up : slots_) {
+      Slot* c = up.get();
+      if (c != nullptr && !c->ticker && c->state == St::kRunnable) cands.push_back(c);
+    }
+    if (!cands.empty()) {
+      int ord = 0;
+      if (branchable && cands.size() > 1)
+        ord = next_choice_locked(static_cast<int>(cands.size()));
+      next = cands[static_cast<std::size_t>(ord)];
+      break;
+    }
+    // No rank can run: the ticker (watchdog monitor) gets the floor.
+    if (voluntary && s->ticker) {
+      next = s;
+      break;
+    }
+    Slot* tick = nullptr;
+    for (const auto& up : slots_) {
+      Slot* c = up.get();
+      if (c != nullptr && c->ticker && c->state == St::kRunnable) {
+        tick = c;
+        break;
+      }
+    }
+    if (tick != nullptr) {
+      next = tick;
+      break;
+    }
+    // Nothing runnable at all: jump to the earliest cv deadline, or report
+    // the terminal deadlock (the watchdog equivalent when none is armed).
+    if (!advance_time_locked()) {
+      do_abort_locked("deadlock");
+      return false;
+    }
+  }
+  if (next == s && voluntary) return true;
+  if (voluntary) s->state = St::kRunnable;
+  if (next != s) grant_locked(next);
+  wait_token(lk, s);
+  if (released_) return !aborted_;
+  s->state = St::kRunning;
+  return true;
+}
+
+// --- Hooks: lifecycle -------------------------------------------------------
+
+void Engine::region_begin(int expected_threads) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Slot* s = slot_for_current_locked();
+  s->clock.tick(s->ci);
+  birth_clock_ = s->clock;
+  region_join_clock_.clear();
+  expected_threads_ = expected_threads;
+  registered_count_ = 0;
+  trace_locked("region-begin n" + std::to_string(expected_threads));
+}
+
+void Engine::region_end() {
+  std::unique_lock<std::mutex> lk(mu_);
+  Slot* s = slot_for_current_locked();
+  s->clock.tick(s->ci);
+  s->clock.join(region_join_clock_);
+  scheduling_ = false;
+  expected_threads_ = 0;
+  trace_locked("region-end");
+}
+
+void Engine::thread_begin(int logical_id, bool ticker) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (logical_id < 0) logical_id = 0;
+  const auto idx = static_cast<std::size_t>(logical_id);
+  if (idx >= slots_.size()) slots_.resize(idx + 1);
+  if (!slots_[idx]) {
+    slots_[idx] = std::make_unique<Slot>();
+    slots_[idx]->ci = next_ci_++;
+    slots_[idx]->id = logical_id;
+  }
+  Slot* s = slots_[idx].get();
+  s->ticker = ticker;
+  s->token = false;
+  s->state = St::kRegistering;
+  s->wait_obj = nullptr;
+  s->has_deadline = false;
+  s->timed_out = false;
+  s->where = "begin";
+  s->clock = birth_clock_;
+  s->clock.tick(s->ci);
+  t_ref = TlsRef{this, run_id_, s};
+  if (cfg_.schedule && expected_threads_ > 0 && !released_) {
+    ++registered_count_;
+    if (registered_count_ == expected_threads_) start_scheduling_locked();
+    wait_token(lk, s);
+    if (released_ && aborted_ && !s->ticker) {
+      lk.unlock();
+      throw_aborted();
+    }
+    s->state = St::kRunning;
+  } else {
+    s->state = St::kRunning;
+  }
+}
+
+void Engine::thread_end() {
+  std::unique_lock<std::mutex> lk(mu_);
+  Slot* s = registered_slot_locked();
+  if (s == nullptr) return;
+  s->clock.tick(s->ci);
+  region_join_clock_.join(s->clock);
+  s->state = St::kDone;
+  trace_locked("end " + slot_name(*s));
+  t_ref.slot = nullptr;
+  if (!scheduling_ || released_) return;
+  // Pass the token on without parking (this thread is exiting).
+  for (;;) {
+    Slot* next = nullptr;
+    for (const auto& up : slots_) {
+      Slot* c = up.get();
+      if (c != nullptr && !c->ticker && c->state == St::kRunnable) {
+        next = c;
+        break;
+      }
+    }
+    if (next == nullptr) {
+      for (const auto& up : slots_) {
+        Slot* c = up.get();
+        if (c != nullptr && c->ticker && c->state == St::kRunnable) {
+          next = c;
+          break;
+        }
+      }
+    }
+    if (next != nullptr) {
+      grant_locked(next);
+      return;
+    }
+    bool blocked = false;
+    for (const auto& up : slots_) {
+      const Slot* c = up.get();
+      if (c != nullptr && !c->ticker &&
+          (c->state == St::kBlockedCv || c->state == St::kBlockedMutex))
+        blocked = true;
+    }
+    if (!blocked) return;  // everyone else done (or ticker mid-flight)
+    if (!advance_time_locked()) {
+      do_abort_locked("deadlock");
+      return;
+    }
+  }
+}
+
+// --- Hooks: mutexes ---------------------------------------------------------
+
+void Engine::mutex_acquire(const void* mu) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Slot* s = registered_slot_locked();
+  if (s == nullptr || !scheduling_ || released_) return;
+  for (;;) {
+    auto it = owners_.find(mu);
+    if (it == owners_.end() || it->second == s) break;
+    s->state = St::kBlockedMutex;
+    s->wait_obj = mu;
+    s->where = "mutex acquire";
+    trace_locked("block-lock " + slot_name(*s) + " m" +
+                 std::to_string(object_id_locked(mu)));
+    if (!switch_from(lk, s, true, Yield::kForced)) {
+      lk.unlock();
+      if (!s->ticker) throw_aborted();
+      return;
+    }
+    if (released_) return;
+  }
+  owners_[mu] = s;
+}
+
+void Engine::mutex_acquired(const void* mu) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Slot* s = slot_for_current_locked();
+  s->clock.tick(s->ci);
+  auto it = sync_clock_.find(mu);
+  if (it != sync_clock_.end()) s->clock.join(it->second);
+  if (scheduling_ && !released_) {
+    if (Slot* r = registered_slot_locked()) owners_[mu] = r;
+  }
+  trace_locked("lock " + slot_name(*s) + " m" + std::to_string(object_id_locked(mu)));
+}
+
+void Engine::mutex_release(const void* mu) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Slot* s = slot_for_current_locked();
+  s->clock.tick(s->ci);
+  sync_clock_[mu] = s->clock;
+  auto it = owners_.find(mu);
+  if (it != owners_.end() && it->second == s) owners_.erase(it);
+  if (scheduling_ && !released_) {
+    for (const auto& up : slots_) {
+      Slot* c = up.get();
+      if (c != nullptr && c->state == St::kBlockedMutex && c->wait_obj == mu)
+        c->state = St::kRunnable;
+    }
+  }
+  trace_locked("unlock " + slot_name(*s) + " m" + std::to_string(object_id_locked(mu)));
+}
+
+// --- Hooks: condition variables ---------------------------------------------
+
+bool Engine::cv_wait(const void* cv, const void* mu, std::unique_lock<std::mutex>& real,
+                     const std::chrono::steady_clock::time_point* deadline,
+                     bool& timed_out) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Slot* s = slot_for_current_locked();
+  // The wait releases mu: publish happens-before for the next acquirer.
+  s->clock.tick(s->ci);
+  sync_clock_[mu] = s->clock;
+  Slot* r = registered_slot_locked();
+  if (r == nullptr || !scheduling_ || released_) {
+    trace_locked("cv-wait-free " + slot_name(*s) + " c" +
+                 std::to_string(object_id_locked(cv)));
+    return false;  // caller performs the real wait and reports cv_woke
+  }
+  {
+    auto it = owners_.find(mu);
+    if (it != owners_.end() && it->second == s) owners_.erase(it);
+  }
+  for (const auto& up : slots_) {
+    Slot* c = up.get();
+    if (c != nullptr && c->state == St::kBlockedMutex && c->wait_obj == mu)
+      c->state = St::kRunnable;
+  }
+  real.unlock();
+  s->state = St::kBlockedCv;
+  s->wait_obj = cv;
+  s->has_deadline = (deadline != nullptr);
+  if (deadline != nullptr) s->deadline = *deadline;
+  s->timed_out = false;
+  s->where = "cv-wait";
+  trace_locked("cv-wait " + slot_name(*s) + " c" + std::to_string(object_id_locked(cv)) +
+               (deadline != nullptr ? " timed" : ""));
+  if (!switch_from(lk, s, true, Yield::kForced)) {
+    lk.unlock();
+    throw_aborted();  // rank thread; tickers never cv_wait through the hooks
+  }
+  timed_out = s->timed_out;
+  s->has_deadline = false;
+  s->wait_obj = nullptr;
+  // Reacquire the mutex under scheduler control before returning.
+  for (;;) {
+    auto it = owners_.find(mu);
+    if (it == owners_.end()) break;
+    s->state = St::kBlockedMutex;
+    s->wait_obj = mu;
+    s->where = "cv-relock";
+    if (!switch_from(lk, s, true, Yield::kForced)) {
+      lk.unlock();
+      throw_aborted();
+    }
+  }
+  owners_[mu] = s;
+  s->clock.tick(s->ci);
+  auto itc = sync_clock_.find(mu);
+  if (itc != sync_clock_.end()) s->clock.join(itc->second);
+  trace_locked("cv-woke " + slot_name(*s) + " c" + std::to_string(object_id_locked(cv)) +
+               (timed_out ? " timeout" : ""));
+  real.lock();  // uncontended: the engine just assigned ownership to us
+  return true;
+}
+
+void Engine::cv_woke(const void* cv, const void* mu) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Slot* s = slot_for_current_locked();
+  s->clock.tick(s->ci);
+  auto it = sync_clock_.find(cv);
+  if (it != sync_clock_.end()) s->clock.join(it->second);
+  auto itm = sync_clock_.find(mu);
+  if (itm != sync_clock_.end()) s->clock.join(itm->second);
+}
+
+void Engine::cv_notify(const void* cv, bool all) noexcept {
+  std::unique_lock<std::mutex> lk(mu_);
+  Slot* s = slot_for_current_locked();
+  s->clock.tick(s->ci);
+  sync_clock_[cv].join(s->clock);  // observer-mode waiters join at cv_woke
+  Slot* r = registered_slot_locked();
+  if (r == nullptr || !scheduling_ || released_) return;
+  int woken = 0;
+  for (const auto& up : slots_) {
+    Slot* w = up.get();
+    if (w == nullptr || w->state != St::kBlockedCv || w->wait_obj != cv) continue;
+    w->state = St::kRunnable;
+    w->timed_out = false;
+    w->has_deadline = false;
+    w->wait_obj = nullptr;
+    w->clock.join(s->clock);
+    ++woken;
+    if (!all) break;  // notify_one: deterministic lowest-id waiter
+  }
+  trace_locked("notify " + slot_name(*s) + " c" + std::to_string(object_id_locked(cv)) +
+               (all ? " all" : " one") + " woke" + std::to_string(woken));
+  if (woken > 0)
+    switch_from(lk, s, true, Yield::kNotify);  // abort swallowed (noexcept)
+}
+
+// --- Hooks: mailbox edges, stages, time -------------------------------------
+
+std::uint64_t Engine::mailbox_send(int source, int dest, int tag) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Slot* s = slot_for_current_locked();
+  s->clock.tick(s->ci);
+  const std::uint64_t id = ++msg_seq_;
+  msg_clock_[id] = s->clock;
+  trace_locked("send " + slot_name(*s) + " " + std::to_string(source) + "->" +
+               std::to_string(dest) + " tag" + std::to_string(tag) + " #" +
+               std::to_string(id));
+  Slot* r = registered_slot_locked();
+  if (r != nullptr && scheduling_ && !released_) {
+    if (!switch_from(lk, s, true, Yield::kSend)) {
+      lk.unlock();
+      if (!s->ticker) throw_aborted();
+    }
+  }
+  return id;
+}
+
+void Engine::mailbox_recv(int me, int source, int tag, std::uint64_t id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Slot* s = slot_for_current_locked();
+  s->clock.tick(s->ci);
+  if (id != 0) {
+    auto it = msg_clock_.find(id);
+    if (it != msg_clock_.end()) s->clock.join(it->second);
+  }
+  trace_locked("recv " + slot_name(*s) + " r" + std::to_string(me) + " from" +
+               std::to_string(source) + " tag" + std::to_string(tag) + " #" +
+               std::to_string(id));
+}
+
+void Engine::stage(int rank, int stage) {
+  std::unique_lock<std::mutex> lk(mu_);
+  trace_locked("stage r" + std::to_string(rank) + " s" + std::to_string(stage));
+}
+
+std::chrono::steady_clock::time_point Engine::now() {
+  if (!cfg_.schedule) return std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lk(mu_);
+  return epoch_ + std::chrono::nanoseconds(logical_ns_);
+}
+
+void Engine::tick_sleep(std::chrono::milliseconds d) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Slot* s = registered_slot_locked();
+  if (s == nullptr || !cfg_.schedule || !scheduling_ || released_) {
+    lk.unlock();
+    // Post-abort (or observer mode) the monitor free-runs; keep it polling
+    // quickly so teardown stays prompt.
+    std::this_thread::sleep_for(released_ ? std::chrono::microseconds(100) : d);
+    return;
+  }
+  bool any_active = false;
+  bool any_runnable = false;
+  for (const auto& up : slots_) {
+    const Slot* c = up.get();
+    if (c == nullptr || c->ticker) continue;
+    if (c->state != St::kDone && c->state != St::kRegistering) any_active = true;
+    if (c->state == St::kRunnable) any_runnable = true;
+  }
+  if (!any_active) {
+    // Ranks are done; the spawner is joining us. Freeze logical time (for
+    // trace determinism) and wait out monitor_stop_ in real time.
+    lk.unlock();
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    return;
+  }
+  logical_ns_ += to_ns(d);
+  wake_expired_locked();
+  trace_locked("tick " + std::to_string(logical_ns_ / 1000000) + "ms");
+  if (!any_runnable) {
+    bool now_runnable = false;
+    for (const auto& up : slots_) {
+      const Slot* c = up.get();
+      if (c != nullptr && !c->ticker && c->state == St::kRunnable) now_runnable = true;
+    }
+    if (!now_runnable && ++idle_ticks_ > cfg_.max_idle_ticks) {
+      do_abort_locked("idle-limit");
+      return;
+    }
+    if (now_runnable) idle_ticks_ = 0;
+  } else {
+    idle_ticks_ = 0;
+  }
+  switch_from(lk, s, false, Yield::kTick);  // abort: just return (ticker)
+}
+
+void Engine::stall(std::chrono::milliseconds d) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Slot* s = registered_slot_locked();
+  if (s == nullptr || !cfg_.schedule || !scheduling_ || released_) {
+    lk.unlock();
+    std::this_thread::sleep_for(d);
+    return;
+  }
+  logical_ns_ += to_ns(d);
+  wake_expired_locked();
+  trace_locked("stall " + slot_name(*s) + " +" + std::to_string(d.count()) + "ms");
+  if (!switch_from(lk, s, false, Yield::kStall)) {
+    lk.unlock();
+    if (!s->ticker) throw_aborted();
+  }
+}
+
+// --- Hooks: tagged accesses (the race detector) -----------------------------
+
+void Engine::check_race_locked(Slot& s, const void* addr, bool write,
+                               const char* site) {
+  VarState& v = vars_[addr];
+  const std::uint64_t my = s.clock.get(s.ci);
+  auto report = [&](const char* site_a, bool write_a) {
+    if (races_.size() >= 64) return;
+    for (const RaceReport& r : races_)
+      if (r.site_a == site_a && r.site_b == site) return;  // dedup by site pair
+    races_.push_back(RaceReport{site_a, write_a, site, write});
+    trace_locked(races_.back().to_string());
+  };
+  if (v.w_site != nullptr && v.w_ci != s.ci && s.clock.get(v.w_ci) < v.w_tick)
+    report(v.w_site, true);
+  if (write) {
+    for (const auto& [ci, rd] : v.reads)
+      if (ci != s.ci && s.clock.get(ci) < rd.first) report(rd.second, false);
+    v.w_ci = s.ci;
+    v.w_tick = my;
+    v.w_site = site;
+    v.reads.clear();
+  } else {
+    v.reads[s.ci] = {my, site};
+  }
+}
+
+void Engine::access(const void* addr, bool write, const char* site) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Slot* s = slot_for_current_locked();
+  s->clock.tick(s->ci);
+  check_race_locked(*s, addr, write, site);
+  trace_locked(std::string(write ? "w " : "r ") + slot_name(*s) + " o" +
+               std::to_string(object_id_locked(addr)) + " " + site);
+}
+
+}  // namespace stfw::verify

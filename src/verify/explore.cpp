@@ -1,0 +1,228 @@
+#include "verify/explore.hpp"
+
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "core/env.hpp"
+#include "core/error.hpp"
+#include "core/sync.hpp"
+
+namespace stfw::verify {
+
+namespace {
+
+void write_trace_artifact(const std::string& label, const ScheduleFailure& f) {
+  const std::string dir = core::env_string("STFW_VERIFY_TRACE_DIR", "");
+  if (dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return;  // artifact write is best-effort; the failure is reported anyway
+  const std::string name = label + "-" +
+                           (f.path.empty() ? "seed" + std::to_string(f.seed)
+                                           : "path" + f.path) +
+                           ".trace";
+  std::ofstream out(std::filesystem::path(dir) /
+                    std::filesystem::path(name).filename());
+  out << f.to_string() << "\n--- trace ---\n" << f.trace;
+}
+
+struct ScheduleOutcome {
+  RunReport report;
+  bool body_threw = false;
+  std::string exception_what;
+};
+
+/// One schedule under an installed engine: begin_run, body, end_run. Any
+/// body exception is captured (the engine must still be closed out).
+ScheduleOutcome run_schedule(Engine& eng, std::uint64_t seed, const ExploreBody& body) {
+  ScheduleOutcome out;
+  eng.begin_run(seed);
+  try {
+    body();
+  } catch (const std::exception& e) {
+    out.body_threw = true;
+    out.exception_what = e.what();
+  } catch (...) {  // stfw-lint: allow(l4-catch-all) -- schedule boundary: any body failure becomes a reported ScheduleFailure
+    out.body_threw = true;
+    out.exception_what = "non-std exception";
+  }
+  out.report = eng.end_run();
+  return out;
+}
+
+/// Classify one finished schedule. Returns true when it failed (and appends
+/// the failure to `res`).
+bool classify(ExploreResult& res, const ExploreConfig& cfg, const Engine& eng,
+              std::uint64_t seed, bool exhaustive, const ScheduleOutcome& out) {
+  ScheduleFailure f;
+  f.seed = seed;
+  if (exhaustive) f.path = eng.path_string();
+  f.trace = out.report.trace;
+  if (!out.report.races.empty()) {
+    f.kind = "race";
+    f.detail = out.report.races.front().to_string();
+    if (out.report.races.size() > 1)
+      f.detail += " (+" + std::to_string(out.report.races.size() - 1) + " more)";
+  } else if (out.report.aborted) {
+    f.kind = "deadlock";
+    f.detail = out.report.abort_reason +
+               (out.report.blocked_state.empty() ? ""
+                                                 : "; " + out.report.blocked_state);
+  } else if (out.body_threw) {
+    f.kind = "exception";
+    f.detail = out.exception_what;
+  } else {
+    return false;
+  }
+  write_trace_artifact(cfg.label, f);
+  res.failures.push_back(std::move(f));
+  return true;
+}
+
+void check_oracle(ExploreResult& res, const ExploreConfig& cfg, const Engine& eng,
+                  std::uint64_t seed, bool exhaustive, const ScheduleOutcome& out,
+                  const ExploreOracle& oracle) {
+  if (!oracle) return;
+  const std::string violation = oracle();
+  if (violation.empty()) return;
+  ScheduleFailure f;
+  f.seed = seed;
+  if (exhaustive) f.path = eng.path_string();
+  f.trace = out.report.trace;
+  f.kind = "oracle";
+  f.detail = violation;
+  write_trace_artifact(cfg.label, f);
+  res.failures.push_back(std::move(f));
+}
+
+class HookInstallation {
+public:
+  explicit HookInstallation(Engine& eng) { install_hooks(&eng); }
+  ~HookInstallation() { install_hooks(nullptr); }
+  HookInstallation(const HookInstallation&) = delete;
+  HookInstallation& operator=(const HookInstallation&) = delete;
+};
+
+}  // namespace
+
+std::string ScheduleFailure::to_string() const {
+  std::string out = kind + ": " + detail;
+  if (!path.empty())
+    out += "  [replay: exhaustive path " + path + "]";
+  else
+    out += "  [replay: STFW_VERIFY_SCHEDULE=" + std::to_string(seed) + "]";
+  return out;
+}
+
+std::string ExploreResult::summary() const {
+  std::string out = std::to_string(schedules_run) + " schedule(s)";
+  if (truncated) out += " (truncated)";
+  if (replayed) out += " (single-seed replay)";
+  if (failures.empty()) {
+    out += ", all clean";
+    return out;
+  }
+  out += ", " + std::to_string(failures.size()) + " failure(s):";
+  for (const ScheduleFailure& f : failures) {
+    out += "\n  ";
+    out += f.to_string();
+  }
+  return out;
+}
+
+ExploreResult explore(const ExploreConfig& cfg, const ExploreBody& body,
+                      const ExploreOracle& oracle) {
+  ExploreResult res;
+
+  // A set replay seed turns any sweep into one fully traced seeded run.
+  if (core::env_present("STFW_VERIFY_SCHEDULE")) {
+    const std::uint64_t seed = core::env_u64("STFW_VERIFY_SCHEDULE", 0);
+    EngineConfig ec;
+    ec.record_trace = true;
+    Engine eng(ec);
+    HookInstallation guard(eng);
+    const ScheduleOutcome out = run_schedule(eng, seed, body);
+    res.schedules_run = 1;
+    res.replayed = true;
+    res.last_trace = out.report.trace;
+    if (!classify(res, cfg, eng, seed, /*exhaustive=*/false, out))
+      check_oracle(res, cfg, eng, seed, false, out, oracle);
+    return res;
+  }
+
+  const bool exhaustive = (cfg.mode == ExploreConfig::Mode::kExhaustive);
+  EngineConfig ec;
+  ec.exhaustive = exhaustive;
+  ec.max_preemptions = cfg.max_preemptions;
+  // Traces are recorded unconditionally: they are per-schedule (reset by
+  // begin_run) and every failure must ship its trace without a re-run.
+  ec.record_trace = true;
+  Engine eng(ec);
+  HookInstallation guard(eng);
+
+  if (exhaustive) {
+    for (;;) {
+      const ScheduleOutcome out = run_schedule(eng, cfg.base_seed, body);
+      ++res.schedules_run;
+      res.last_trace = out.report.trace;
+      if (!classify(res, cfg, eng, cfg.base_seed, true, out))
+        check_oracle(res, cfg, eng, cfg.base_seed, true, out, oracle);
+      if (res.failures.size() >= cfg.max_failures) break;
+      if (res.schedules_run >= cfg.max_schedules) {
+        res.truncated = true;
+        break;
+      }
+      if (!eng.advance_exhaustive()) break;
+    }
+    return res;
+  }
+
+  for (int i = 0; i < cfg.schedules; ++i) {
+    const std::uint64_t seed = cfg.base_seed + static_cast<std::uint64_t>(i);
+    const ScheduleOutcome out = run_schedule(eng, seed, body);
+    ++res.schedules_run;
+    res.last_trace = out.report.trace;
+    if (!classify(res, cfg, eng, seed, false, out))
+      check_oracle(res, cfg, eng, seed, false, out, oracle);
+    if (res.failures.size() >= cfg.max_failures) break;
+  }
+  return res;
+}
+
+RunReport run_traced(std::uint64_t seed, const ExploreBody& body) {
+  EngineConfig ec;
+  ec.record_trace = true;
+  Engine eng(ec);
+  HookInstallation guard(eng);
+  ScheduleOutcome out = run_schedule(eng, seed, body);
+  return out.report;
+}
+
+void run_threads(int n, const std::function<void(int)>& fn) {
+  Hooks* h = hooks();
+  if (h != nullptr) h->region_begin(n);
+  std::vector<core::Thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  core::Mutex err_mu;
+  std::exception_ptr first;
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([&, i] {
+      Hooks* th = hooks();
+      if (th != nullptr) th->thread_begin(i, /*ticker=*/false);
+      try {
+        fn(i);
+      } catch (...) {  // stfw-lint: allow(l4-catch-all) -- thread boundary: first exception is rethrown on the spawner after join
+        core::MutexLock lock(err_mu);
+        if (!first) first = std::current_exception();
+      }
+      if (th != nullptr) th->thread_end();
+    });
+  }
+  for (core::Thread& t : threads) t.join();
+  if (h != nullptr) h->region_end();
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace stfw::verify

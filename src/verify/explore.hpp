@@ -1,0 +1,91 @@
+#pragma once
+
+#if !STFW_VERIFY_ENABLED
+#error "src/verify requires -DSTFW_VERIFY=ON (it implements the verify hooks)"
+#endif
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "verify/engine.hpp"
+
+/// \file explore.hpp
+/// Schedule-space drivers on top of verify::Engine.
+///
+/// explore() runs a body (typically a Cluster::run with an exchange inside)
+/// under the deterministic scheduler many times — either exhaustively over
+/// the delay-bounded branch space (small configs) or across seeded random
+/// schedules — and checks protocol oracles at every terminal state. Each
+/// failure carries the seed (random) or ordinal path (exhaustive) plus the
+/// full event trace, so `STFW_VERIFY_SCHEDULE=<seed>` replays it exactly.
+///
+/// Environment knobs (read by explore()):
+///  * STFW_VERIFY_SCHEDULE   — replay exactly this one seed instead of the
+///    configured sweep (turns any sweep into a single traced run);
+///  * STFW_VERIFY_TRACE_DIR  — directory to write failing-schedule event
+///    traces into (one file per failure), for CI artifacts.
+
+namespace stfw::verify {
+
+struct ExploreConfig {
+  enum class Mode : std::uint8_t { kExhaustive, kRandom };
+  Mode mode = Mode::kRandom;
+  /// Random mode: number of seeded schedules (seeds base_seed..base_seed+n-1).
+  int schedules = 64;
+  std::uint64_t base_seed = 1;
+  /// Exhaustive mode: preemption bound of the enumeration.
+  int max_preemptions = 2;
+  /// Exhaustive mode: hard cap on enumerated schedules (sets `truncated`).
+  std::uint64_t max_schedules = 100000;
+  /// Stop after this many failures (the space is clearly broken by then).
+  std::size_t max_failures = 8;
+  /// Tag for trace-artifact file names.
+  std::string label = "explore";
+};
+
+struct ScheduleFailure {
+  std::uint64_t seed = 0;    // random mode (and replay)
+  std::string path;          // exhaustive mode ordinal path
+  std::string kind;          // "race" | "deadlock" | "exception" | "oracle"
+  std::string detail;
+  std::string trace;         // full deterministic event trace
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct ExploreResult {
+  std::uint64_t schedules_run = 0;
+  std::vector<ScheduleFailure> failures;
+  bool truncated = false;     // exhaustive cap hit before the space was spent
+  bool replayed = false;      // STFW_VERIFY_SCHEDULE overrode the sweep
+  std::string last_trace;     // trace of the last schedule (replay/debugging)
+
+  [[nodiscard]] bool clean() const noexcept { return failures.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Body of one schedule. It runs on the calling thread (unscheduled) and is
+/// expected to spawn the hooked threads itself (Cluster::run, run_threads).
+using ExploreBody = std::function<void()>;
+
+/// Oracle checked after every schedule whose body returned normally. Returns
+/// an empty string when the terminal state is fine, else the violation.
+using ExploreOracle = std::function<std::string()>;
+
+/// Sweep the schedule space of `body` per `cfg`; classify every terminal
+/// state (races, deadlock/abort, escaped exceptions, oracle violations).
+[[nodiscard]] ExploreResult explore(const ExploreConfig& cfg, const ExploreBody& body,
+                                    const ExploreOracle& oracle = {});
+
+/// Run `body` once under the scheduler with `seed`, recording the trace.
+/// The replay primitive: equal seeds yield byte-identical traces.
+RunReport run_traced(std::uint64_t seed, const ExploreBody& body);
+
+/// Spawn `n` hooked threads running fn(0..n-1) inside a verify region and
+/// join them; rethrows the first thread exception. For unit-level schedules
+/// that do not involve a Cluster (e.g. the race-detector tests).
+void run_threads(int n, const std::function<void(int)>& fn);
+
+}  // namespace stfw::verify

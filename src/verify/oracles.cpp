@@ -1,0 +1,72 @@
+#include "verify/oracles.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+
+namespace stfw::verify {
+
+namespace {
+
+using PayloadMultiset = std::map<std::vector<std::byte>, int>;
+using PairKey = std::pair<int, int>;  // (source, dest)
+
+std::string pair_name(const PairKey& k) {
+  return std::to_string(k.first) + "->" + std::to_string(k.second);
+}
+
+}  // namespace
+
+std::string check_exchange_delivery(const ExchangeObservation& obs) {
+  if (obs.sends.size() != obs.delivered.size())
+    return "observation is lopsided: " + std::to_string(obs.sends.size()) +
+           " send slots vs " + std::to_string(obs.delivered.size()) +
+           " delivery slots";
+  const int n = static_cast<int>(obs.sends.size());
+
+  std::map<PairKey, PayloadMultiset> posted;
+  for (int src = 0; src < n; ++src) {
+    for (const OutboundMessage& m : obs.sends[static_cast<std::size_t>(src)]) {
+      if (m.dest < 0 || m.dest >= n)
+        return "rank " + std::to_string(src) + " posted to out-of-range dest " +
+               std::to_string(m.dest);
+      ++posted[{src, static_cast<int>(m.dest)}][m.bytes];
+    }
+  }
+
+  for (int dst = 0; dst < n; ++dst) {
+    const auto& inbox = obs.delivered[static_cast<std::size_t>(dst)];
+    for (std::size_t i = 1; i < inbox.size(); ++i)
+      if (inbox[i - 1].source > inbox[i].source)
+        return "rank " + std::to_string(dst) +
+               " deliveries not sorted by source (…" +
+               std::to_string(inbox[i - 1].source) + ", " +
+               std::to_string(inbox[i].source) + "…)";
+    for (const InboundMessage& m : inbox) {
+      const PairKey key{static_cast<int>(m.source), dst};
+      auto it = posted.find(key);
+      if (it == posted.end())
+        return "conservation violated: rank " + std::to_string(dst) +
+               " received a message from " + std::to_string(m.source) +
+               " that was never posted";
+      auto pit = it->second.find(m.bytes);
+      if (pit == it->second.end())
+        return "conservation violated: " + pair_name(key) + " delivered a " +
+               std::to_string(m.bytes.size()) +
+               "-byte payload that does not match any outstanding post";
+      if (--pit->second == 0) it->second.erase(pit);
+      if (it->second.empty()) posted.erase(it);
+    }
+  }
+
+  for (const auto& [key, payloads] : posted) {
+    int lost = 0;
+    for (const auto& [bytes, count] : payloads) lost += count;
+    return "exactly-once violated: " + std::to_string(lost) + " message(s) " +
+           pair_name(key) + " posted but never delivered";
+  }
+  return {};
+}
+
+}  // namespace stfw::verify

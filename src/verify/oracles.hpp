@@ -1,0 +1,49 @@
+#pragma once
+
+#if !STFW_VERIFY_ENABLED
+#error "src/verify requires -DSTFW_VERIFY=ON (it implements the verify hooks)"
+#endif
+
+#include <string>
+#include <vector>
+
+#include "runtime/stfw_communicator.hpp"
+
+/// \file oracles.hpp
+/// Terminal-state protocol oracles for explored exchange schedules.
+///
+/// An ExchangeObservation collects what every rank sent and what every rank
+/// saw delivered during one schedule; check_exchange_delivery() then asserts
+/// the exchange contract independently of the route taken:
+///
+///  * exactly-once delivery — each posted payload arrives at its destination
+///    exactly once (no loss, no duplication), compared as multisets per
+///    (source, dest) pair so reordering among equal payloads is immaterial;
+///  * payload conservation — no bytes appear out of thin air (every
+///    delivered message matches a posted one);
+///  * per-rank delivery order — exchange() promises delivery sorted by
+///    source rank.
+///
+/// Under a FaultInjector the same oracle doubles as the no-frame-loss check:
+/// when exchange_resilient() reports fully_recovered, the observation must
+/// still satisfy exactly-once delivery.
+
+namespace stfw::verify {
+
+struct ExchangeObservation {
+  /// sends[r] — the OutboundMessages rank r passed to the exchange.
+  std::vector<std::vector<OutboundMessage>> sends;
+  /// delivered[r] — the InboundMessages the exchange returned on rank r.
+  std::vector<std::vector<InboundMessage>> delivered;
+
+  void reset(int num_ranks) {
+    sends.assign(static_cast<std::size_t>(num_ranks), {});
+    delivered.assign(static_cast<std::size_t>(num_ranks), {});
+  }
+};
+
+/// Empty string when the observation satisfies the exchange contract, else
+/// a description of the first violation found.
+std::string check_exchange_delivery(const ExchangeObservation& obs);
+
+}  // namespace stfw::verify

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file vector_clock.hpp
+/// Sparse-tailed vector clock for the stfw-verify happens-before engine.
+///
+/// Components are indexed by "clock index" (one per hooked thread or external
+/// caller, allocated by the engine); missing tail entries read as zero, so
+/// clocks grow lazily as threads appear.
+
+namespace stfw::verify {
+
+class VectorClock {
+public:
+  [[nodiscard]] std::uint64_t get(std::size_t i) const noexcept {
+    return i < c_.size() ? c_[i] : 0;
+  }
+
+  void set(std::size_t i, std::uint64_t v) {
+    if (i >= c_.size()) c_.resize(i + 1, 0);
+    c_[i] = v;
+  }
+
+  /// Increment this thread's own component and return the new value.
+  std::uint64_t tick(std::size_t i) {
+    if (i >= c_.size()) c_.resize(i + 1, 0);
+    return ++c_[i];
+  }
+
+  /// Pointwise maximum: afterwards *this dominates both inputs.
+  void join(const VectorClock& o) {
+    if (o.c_.size() > c_.size()) c_.resize(o.c_.size(), 0);
+    for (std::size_t i = 0; i < o.c_.size(); ++i)
+      if (o.c_[i] > c_[i]) c_[i] = o.c_[i];
+  }
+
+  void clear() noexcept { c_.clear(); }
+
+private:
+  std::vector<std::uint64_t> c_;
+};
+
+}  // namespace stfw::verify

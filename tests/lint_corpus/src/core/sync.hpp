@@ -1,0 +1,27 @@
+// Corpus: l6-raw-sync negative case — this file simulates the real
+// src/core/sync.hpp (the selftest strips the corpus prefix), the one
+// header allowed to own raw primitives. Nothing here may be flagged.
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace stfw::core {
+
+class CorpusMutex {
+  std::mutex mu_;
+};
+
+class CorpusCondVar {
+  std::condition_variable cv_;
+};
+
+class CorpusThread {
+  std::thread t_;
+};
+
+inline void corpus_lock(std::mutex& mu) {
+  std::unique_lock<std::mutex> lk(mu);
+}
+
+}  // namespace stfw::core

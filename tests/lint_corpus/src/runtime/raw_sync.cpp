@@ -1,0 +1,48 @@
+// Corpus: l6-raw-sync — raw standard-library sync primitives outside
+// core/sync.hpp / src/verify/. Each must be flagged on its own line; the
+// core::-wrapped equivalents below must not be.
+
+#include <mutex>
+#include <thread>
+
+#include "core/sync.hpp"
+
+namespace stfw::runtime {
+
+struct RawSyncOffenders {
+  std::mutex mu;                      // lint-expect: l6-raw-sync
+  std::condition_variable cv;         // lint-expect: l6-raw-sync
+  std::shared_mutex cache_mu;         // lint-expect: l6-raw-sync
+};
+
+void spawn_raw_worker() {
+  std::thread worker([] {});          // lint-expect: l6-raw-sync
+  worker.join();
+}
+
+void lock_raw(RawSyncOffenders& s) {
+  std::lock_guard<std::mutex> a(s.mu);    // lint-expect: l6-raw-sync
+  std::unique_lock<std::mutex> b(s.mu);   // lint-expect: l6-raw-sync
+  std::scoped_lock c(s.mu);               // lint-expect: l6-raw-sync
+}
+
+// The wrapped primitives — and std::this_thread, which is not a primitive —
+// are fine anywhere.
+struct WrappedSyncClean {
+  core::Mutex mu;
+  core::CondVar cv;
+};
+
+void spawn_wrapped_worker() {
+  core::Thread worker([] { std::this_thread::yield(); });
+  worker.join();
+}
+
+// A documented suppression silences the rule (e.g. interop with a foreign
+// API that hands out a std::unique_lock).
+void suppressed_raw(RawSyncOffenders& s) {
+  // stfw-lint: allow(l6-raw-sync) -- corpus: documented-interop suppression
+  std::unique_lock<std::mutex> lk(s.mu);
+}
+
+}  // namespace stfw::runtime

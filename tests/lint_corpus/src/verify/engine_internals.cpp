@@ -1,0 +1,20 @@
+// Corpus: l6-raw-sync negative case — src/verify/ implements the scheduler
+// that *controls* the wrapped primitives, so it must build on the raw ones
+// (a core::Mutex here would re-enter its own hooks). Nothing may be flagged.
+
+#include <condition_variable>
+#include <mutex>
+
+namespace stfw::verify {
+
+struct CorpusEngineState {
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+inline void corpus_park(CorpusEngineState& s) {
+  std::unique_lock<std::mutex> lk(s.mu);
+  s.cv.wait(lk, [] { return true; });
+}
+
+}  // namespace stfw::verify

@@ -24,6 +24,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/sync.hpp"
+
 #include "core/vpt.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/stfw_communicator.hpp"
@@ -80,7 +82,7 @@ TEST(PlanCacheConcurrency, CapacityFlipsRacePlannedAndResilientExchanges) {
     // forcing evictions of in-use plans (the shared_ptr pin keeps replays
     // safe) and unsynchronized planned/unplanned mixes across ranks.
     std::atomic<bool> stop{false};
-    std::thread config([&] {
+    core::Thread config([&] {
       std::uint64_t flip = 0;
       while (!stop.load(std::memory_order_acquire)) {
         stfw.set_plan_cache_capacity(flip++ % 2 == 0 ? 0 : 4);

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "runtime/comm.hpp"
+#include "verify/engine.hpp"
+#include "verify/explore.hpp"
+#include "verify_doubles.hpp"
+
+/// Race-detector tests: a seeded unsynchronized counter, the reintroduced
+/// pre-exchange-plan barrier-rearm locking hole (both must be flagged with a
+/// two-site report), and clean counterparts (the corrected barrier and the
+/// production mailbox path) that must stay silent.
+
+namespace stfw {
+namespace {
+
+using verify::RunReport;
+
+bool race_between(const RunReport& rep, const std::string& label_a,
+                  const std::string& label_b) {
+  for (const verify::RaceReport& r : rep.races) {
+    const std::string a = r.site_a;
+    const std::string b = r.site_b;
+    if ((a.find(label_a) != std::string::npos && b.find(label_b) != std::string::npos) ||
+        (a.find(label_b) != std::string::npos && b.find(label_a) != std::string::npos))
+      return true;
+  }
+  return false;
+}
+
+int counter_unsync = 0;  // addressable shared state for the seeded race
+
+TEST(VerifyRace, SeededUnsyncCounterFlaggedWithTwoSites) {
+  counter_unsync = 0;
+  const RunReport rep = verify::run_traced(1, [] {
+    verify::run_threads(2, [](int i) {
+      if (i == 0) {
+        STFW_VERIFY_WRITE(&counter_unsync, "unsync increment a");
+        ++counter_unsync;
+      } else {
+        STFW_VERIFY_WRITE(&counter_unsync, "unsync increment b");
+        ++counter_unsync;
+      }
+    });
+  });
+  ASSERT_FALSE(rep.races.empty()) << "unsynchronized writes not flagged";
+  EXPECT_TRUE(race_between(rep, "unsync increment a", "unsync increment b"))
+      << rep.races.front().to_string();
+}
+
+TEST(VerifyRace, LeakyBarrierRearmFlaggedWithBothSites) {
+  const RunReport rep = verify::run_traced(1, [] {
+    verify_test::RearmBarrier barrier(2, /*leaky=*/true);
+    verify::run_threads(2, [&](int i) {
+      barrier.arrive();
+      // Rank 0 races ahead into the next round while the releaser is still
+      // rearming outside the mutex — the exact shape of the original bug.
+      if (i == 0) barrier.arrive_next_round();
+    });
+  });
+  ASSERT_FALSE(rep.races.empty()) << "leaky rearm not flagged; trace:\n" << rep.trace;
+  EXPECT_TRUE(race_between(rep, "unlocked rearm", "next-round arrive"))
+      << "race found but not between the rearm and the next arrival: "
+      << rep.races.front().to_string();
+  for (const verify::RaceReport& r : rep.races) {
+    EXPECT_NE(std::string(r.site_a).find("verify_doubles.hpp:"), std::string::npos)
+        << r.site_a;
+    EXPECT_NE(std::string(r.site_b).find("verify_doubles.hpp:"), std::string::npos)
+        << r.site_b;
+  }
+  EXPECT_FALSE(rep.aborted) << rep.abort_reason;
+}
+
+TEST(VerifyRace, CorrectedBarrierRearmIsClean) {
+  const RunReport rep = verify::run_traced(1, [] {
+    verify_test::RearmBarrier barrier(2, /*leaky=*/false);
+    verify::run_threads(2, [&](int i) {
+      barrier.arrive();
+      if (i == 0) barrier.arrive_next_round();
+    });
+  });
+  EXPECT_TRUE(rep.races.empty())
+      << "false positive on the locked rearm: " << rep.races.front().to_string();
+  EXPECT_FALSE(rep.aborted) << rep.abort_reason;
+}
+
+TEST(VerifyRace, CleanMailboxPathIsClean) {
+  // The production send/recv/barrier path, fully instrumented: the mailbox
+  // mutex and send→recv edges must order every tagged access (a report here
+  // is a detector false positive or a real runtime race).
+  const RunReport rep = verify::run_traced(1, [] {
+    runtime::Cluster cluster(2);
+    cluster.run([](runtime::Comm& comm) {
+      const int peer = 1 - comm.rank();
+      std::vector<std::byte> payload(8, static_cast<std::byte>(comm.rank()));
+      comm.send(peer, /*tag=*/7, payload);
+      const runtime::Message got = comm.recv(peer, /*tag=*/7);
+      ASSERT_EQ(got.data.size(), 8u);
+      comm.barrier();
+    });
+  });
+  EXPECT_TRUE(rep.races.empty()) << rep.races.front().to_string() << "\n"
+                                 << rep.trace;
+  EXPECT_FALSE(rep.aborted) << rep.abort_reason << "; " << rep.blocked_state;
+  EXPECT_GT(rep.steps, 0u) << "scheduler never engaged";
+}
+
+}  // namespace
+}  // namespace stfw

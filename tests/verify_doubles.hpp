@@ -1,0 +1,78 @@
+#pragma once
+
+#if !STFW_VERIFY_ENABLED
+#error "verify_doubles.hpp is part of the STFW_VERIFY test suite"
+#endif
+
+#include <cstdint>
+
+#include "core/sync.hpp"
+#include "core/verify_hooks.hpp"
+
+/// \file verify_doubles.hpp
+/// Concurrency test doubles for the stfw-verify suite.
+///
+/// RearmBarrier re-creates, in isolation, the locking hole the exchange-plan
+/// work fixed in runtime::Cluster's reusable barrier: the releasing thread
+/// rearmed the arrival counter *after* dropping the barrier mutex, racing
+/// with any peer that had already moved on to the next round's (locked)
+/// arrival. The `leaky` flag selects between the buggy rearm placement and
+/// the corrected one, so the same driver exercises both the positive
+/// (two-site race report) and negative (clean) detector paths.
+
+namespace stfw::verify_test {
+
+class RearmBarrier {
+public:
+  RearmBarrier(int n, bool leaky) : n_(n), leaky_(leaky) {}
+
+  /// One barrier round. The last arriver releases the waiters and rearms
+  /// count_ — under mu_ when !leaky_, after dropping mu_ when leaky_.
+  void arrive() {
+    core::MutexLock lock(mu_);
+    STFW_VERIFY_WRITE(&count_, "barrier arrive");
+    ++count_;
+    if (count_ == n_) {
+      if (!leaky_) {
+        STFW_VERIFY_WRITE(&count_, "locked rearm");
+        count_ = 0;
+      }
+      STFW_VERIFY_WRITE(&gen_, "barrier release");
+      ++gen_;
+      cv_.notify_all();
+      if (leaky_) {
+        lock.unlock();
+        // The reintroduced bug: peers re-entering arrive() hold mu_ for
+        // their counter increment; this write holds nothing.
+        STFW_VERIFY_WRITE(&count_, "unlocked rearm");
+        count_ = 0;
+      }
+      return;
+    }
+    const std::uint64_t g = gen_;
+    for (;;) {
+      STFW_VERIFY_READ(&gen_, "barrier generation check");
+      if (gen_ != g) break;
+      cv_.wait(lock);
+    }
+  }
+
+  /// A peer racing ahead into the next round: takes mu_ and bumps the
+  /// counter exactly like arrive()'s entry, without waiting for the round
+  /// to complete. This is the locked access the leaky rearm collides with.
+  void arrive_next_round() {
+    core::MutexLock lock(mu_);
+    STFW_VERIFY_WRITE(&count_, "next-round arrive");
+    ++count_;
+  }
+
+private:
+  core::Mutex mu_;
+  core::CondVar cv_;
+  int n_;
+  bool leaky_;
+  int count_ = 0;
+  std::uint64_t gen_ = 0;
+};
+
+}  // namespace stfw::verify_test

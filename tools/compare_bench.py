@@ -14,10 +14,13 @@ _us or _ms, or named *time*) are regression-only: the candidate may be faster
 by any amount, but slower than baseline by more than the tolerance fails.
 Other numeric metrics must match within the tolerance in both directions.
 Missing or extra rows fail. Exit status 0 = pass, 1 = regression/mismatch,
-2 = malformed input. Schema: docs/performance.md.
+2 = malformed input. Missing files, globs that match nothing, and empty
+"results" arrays are malformed input: a silent pass over an absent or empty
+bench file would defeat the regression gate. Schema: docs/performance.md.
 """
 
 import argparse
+import glob
 import json
 import math
 import sys
@@ -25,10 +28,38 @@ import sys
 SCHEMA_VERSION = 1
 
 
+def expand_paths(patterns):
+    """Expand shell-style globs that reached us unexpanded.
+
+    CI invokes this as `compare_bench.py --schema bench-json/BENCH_*.json`; if
+    the bench never ran (or wrote nowhere), some shells hand us the literal
+    pattern and a bare open() error ("No such file or directory:
+    'BENCH_*.json'") buries the real cause. Expand here and fail loudly when a
+    pattern matches nothing.
+    """
+    paths = []
+    for pattern in patterns:
+        if any(ch in pattern for ch in "*?["):
+            matches = sorted(glob.glob(pattern))
+            if not matches:
+                print(f"error: {pattern!r} matched no files -- did the benchmark "
+                      f"run and write its BENCH_*.json (STFW_BENCH_JSON_DIR)?",
+                      file=sys.stderr)
+                sys.exit(2)
+            paths.extend(matches)
+        else:
+            paths.append(pattern)
+    return paths
+
+
 def load(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
             return json.load(f)
+    except FileNotFoundError:
+        print(f"error: {path} does not exist -- did the benchmark run and write "
+              f"its BENCH_*.json (STFW_BENCH_JSON_DIR)?", file=sys.stderr)
+        sys.exit(2)
     except (OSError, json.JSONDecodeError) as e:
         print(f"error: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
@@ -49,6 +80,9 @@ def check_schema(path, doc):
         return problems
     if doc["schema_version"] != SCHEMA_VERSION:
         problems.append(f"{path}: schema_version {doc['schema_version']} != {SCHEMA_VERSION}")
+    if not doc["results"]:
+        problems.append(f"{path}: 'results' is empty -- the benchmark produced no "
+                        f"rows, which would make any regression diff vacuously pass")
     seen = set()
     for i, row in enumerate(doc["results"]):
         where = f"{path}: results[{i}]"
@@ -131,7 +165,7 @@ def main():
                     help="relative tolerance for the diff (default 0.25)")
     args = ap.parse_args()
 
-    docs = [(path, load(path)) for path in args.files]
+    docs = [(path, load(path)) for path in expand_paths(args.files)]
     problems = []
     for path, doc in docs:
         problems += check_schema(path, doc)

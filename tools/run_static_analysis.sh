@@ -8,7 +8,9 @@
 #   --tidy                run clang-tidy over the compile database
 #   --lint                run tools/stfw_lint.py (selftest + tree)
 #   --tsa                 build the `tsa` preset (-Wthread-safety as errors)
-#   --all                 all three stages
+#   --verify              build the `verify` preset and run the stfw-verify
+#                         schedule suites (ctest -L verify)
+#   --all                 all four stages
 #   --changed-only[=REF]  restrict tidy/lint to files changed vs REF
 #                         (default: merge base with origin/main)
 #
@@ -32,6 +34,7 @@ cd "${repo_root}"
 run_tidy=0
 run_lint=0
 run_tsa=0
+run_verify=0
 changed_base=""
 changed_only=0
 build_dir=""
@@ -40,11 +43,12 @@ for arg in "$@"; do
     --tidy) run_tidy=1 ;;
     --lint) run_lint=1 ;;
     --tsa) run_tsa=1 ;;
-    --all) run_tidy=1; run_lint=1; run_tsa=1 ;;
+    --verify) run_verify=1 ;;
+    --all) run_tidy=1; run_lint=1; run_tsa=1; run_verify=1 ;;
     --changed-only) changed_only=1 ;;
     --changed-only=*) changed_only=1; changed_base="${arg#--changed-only=}" ;;
     --help|-h)
-      sed -n '2,25p' "${BASH_SOURCE[0]}" | sed 's/^# \{0,1\}//'
+      sed -n '2,27p' "${BASH_SOURCE[0]}" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     -*)
@@ -54,7 +58,8 @@ for arg in "$@"; do
     *) build_dir="${arg}" ;;
   esac
 done
-if [[ ${run_tidy} -eq 0 && ${run_lint} -eq 0 && ${run_tsa} -eq 0 ]]; then
+if [[ ${run_tidy} -eq 0 && ${run_lint} -eq 0 && ${run_tsa} -eq 0 \
+      && ${run_verify} -eq 0 ]]; then
   run_tidy=1
   run_lint=1
 fi
@@ -172,6 +177,26 @@ if [[ ${run_tsa} -eq 1 ]]; then
       echo "run_static_analysis: thread-safety analysis clean."
     else
       echo "run_static_analysis: -Wthread-safety reported errors (see above)." >&2
+      overall=1
+    fi
+  fi
+fi
+
+# -------------------------------------------------------------------- verify
+# Dynamic verification (docs/validation.md, Layer 5): build with STFW_VERIFY=ON
+# and run the stfw-verify suites — happens-before race detection plus the
+# exhaustive small-config sweep and seeded random schedules. Failing schedules
+# print a replay seed; STFW_VERIFY_SCHEDULE=<seed> reruns exactly that one.
+if [[ ${run_verify} -eq 1 ]]; then
+  if ! command -v cmake >/dev/null 2>&1; then
+    echo "run_static_analysis: cmake not found; skipping the verify gate." >&2
+  else
+    if cmake --preset verify \
+        && cmake --build --preset verify \
+        && ctest --test-dir build-verify -L verify --output-on-failure; then
+      echo "run_static_analysis: stfw-verify schedules clean."
+    else
+      echo "run_static_analysis: stfw-verify found races or oracle violations (see above)." >&2
       overall=1
     fi
   fi

@@ -22,6 +22,11 @@ directly above it — the reason is mandatory):
   l5-nodiscard     public header APIs returning status/stats types
                    (*Stats, *Result, *Counters, *Failure, *Totals,
                    *Decision) must be [[nodiscard]].
+  l6-raw-sync      no raw std::thread / std::mutex / std::condition_variable
+                   (or their lock/variant types) outside core/sync.hpp and
+                   src/verify/. The core wrappers carry the thread-safety
+                   annotations and the stfw-verify event hooks; a raw
+                   primitive is invisible to both TSA and the race detector.
 
 Engines: the default `text` engine is a dependency-free tokenizer (comments
 and strings stripped, clang-format-shaped function tracking) so the tool runs
@@ -71,6 +76,12 @@ RULES = {
         "mark the declaration [[nodiscard]]; silently discarding a status or "
         "stats return value loses the outcome of the call",
     ),
+    "l6-raw-sync": (
+        "raw standard-library sync primitive outside core/sync.hpp",
+        "use core::Mutex/core::MutexLock/core::CondVar/core::Thread "
+        "(core/sync.hpp): the wrappers carry the Clang thread-safety "
+        "annotations and the STFW_VERIFY hook instrumentation",
+    ),
     "suppression": (
         "malformed suppression comment",
         "write `// stfw-lint: allow(<rule>) -- <reason>`; the reason is "
@@ -83,6 +94,13 @@ RULES = {
 CATCH_ALL_ALLOWLIST = {("src/runtime/comm.cpp", "run")}
 
 GETENV_EXEMPT_FILES = {"src/core/env.cpp"}
+
+# The one place raw primitives are allowed to live (the annotated wrappers
+# themselves + the hook seam, whose cv_wait signature is expressed in
+# std::unique_lock terms), and the verify engine, which schedules the
+# wrapped primitives and therefore cannot be built on top of them.
+RAW_SYNC_EXEMPT_FILES = {"src/core/sync.hpp", "src/core/verify_hooks.hpp"}
+RAW_SYNC_EXEMPT_PREFIXES = ("src/verify/",)
 
 L3_FUNCTION_RE = re.compile(r"resilient|settle|watchdog|timeout|deadlock|recover")
 L3_CALL_RE = re.compile(r"\b(recv|wait_message|barrier|allgather)\s*\(")
@@ -396,6 +414,25 @@ L5_SKIP_RE = re.compile(r"^\s*(struct|class|enum|using|typedef|template|return)\
 NODISCARD_RE = re.compile(r"\[\[\s*nodiscard\s*\]\]")
 
 
+RAW_SYNC_RE = re.compile(
+    r"\bstd\s*::\s*(thread|jthread|mutex|timed_mutex|recursive_mutex|"
+    r"recursive_timed_mutex|shared_mutex|shared_timed_mutex|"
+    r"condition_variable|condition_variable_any|lock_guard|unique_lock|"
+    r"scoped_lock|shared_lock)\b")
+
+
+def check_l6(ft: FileText):
+    if ft.path in RAW_SYNC_EXEMPT_FILES or \
+            any(ft.path.startswith(p) for p in RAW_SYNC_EXEMPT_PREFIXES):
+        return
+    for i, line in enumerate(ft.code):
+        m = RAW_SYNC_RE.search(line)
+        if m:
+            yield Finding("l6-raw-sync", ft.path, i + 1,
+                          f"raw std::{m.group(1)} bypasses the annotated, "
+                          "verify-instrumented core/sync.hpp wrappers")
+
+
 def check_l5(ft: FileText):
     if not ft.path.endswith((".hpp", ".h")):
         return
@@ -426,6 +463,7 @@ def lint_file(ft: FileText, repo_root: str, engine: str,
     raw.extend(check_l3(ft, spans))
     raw.extend(check_l4(ft, spans))
     raw.extend(check_l5(ft))
+    raw.extend(check_l6(ft))
     for bad in ft.bad_allows:
         raw.append(Finding("suppression", ft.path, bad + 1,
                            "stfw-lint: allow(...) without a `-- reason`"))
