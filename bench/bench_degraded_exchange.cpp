@@ -1,0 +1,253 @@
+// Cost of surviving a rank failure: healthy replay vs degraded replay.
+//
+// exchange_resilient() on a repeated pattern replays the frozen ExchangePlan;
+// after a survivable rank crash the plan is incrementally repaired (detours
+// over the relay lane, dead destinations dropped) and replayed among the
+// survivors instead of being re-recorded. This harness prices that repaired
+// replay against the all-alive baseline on one skewed pattern per K:
+//
+//   healthy    all K ranks alive; warm plain exchange() records the plan,
+//              timed iterations replay it through exchange_resilient()
+//   degraded   same warm-up, then a FaultInjector crashes rank 1 survivably
+//              at stage 0 of the first resilient exchange; the timed
+//              iterations replay the *repaired* plan among the K-1 survivors
+//
+// The crash exchange itself is untimed — it pays one-off detection and
+// repair costs (retransmit timeouts toward the dead rank, the epoch bump,
+// the plan diff); the steady state an iterative solver lives in afterwards
+// is what the degraded rows measure. Rows land in
+// BENCH_degraded_exchange.json for tools/compare_bench.py. Knobs:
+// STFW_BENCH_DEGRADED_KMAX (default 128), STFW_BENCH_DEGRADED_ITERS (timed
+// iterations, default 16), STFW_BENCH_DEGRADED_BYTES (base payload, 64).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/env.hpp"
+#include "core/vpt.hpp"
+#include "fault/fault_injector.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/stfw_communicator.hpp"
+
+namespace {
+
+using stfw::core::Rank;
+
+/// splitmix64 — deterministic pattern generation, no <random> state.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Skewed fixed pattern: every rank sends to ~12 pseudo-random peers with
+/// sizes in [base, 4*base); rank 0 additionally sends to everyone. The
+/// pattern is held constant across modes and iterations so the degraded
+/// rows replay the same signature the healthy rows do — traffic whose
+/// destination died is dropped at seed time, not rebuilt.
+std::vector<std::vector<stfw::OutboundMessage>> build_pattern(Rank num_ranks,
+                                                              std::uint32_t base_bytes,
+                                                              std::uint64_t seed) {
+  const auto nK = static_cast<std::size_t>(num_ranks);
+  std::vector<std::vector<stfw::OutboundMessage>> sends(nK);
+  for (Rank r = 0; r < num_ranks; ++r) {
+    std::vector<bool> chosen(nK, false);
+    auto add = [&](Rank dest) -> bool {
+      if (dest == r || chosen[static_cast<std::size_t>(dest)]) return false;
+      chosen[static_cast<std::size_t>(dest)] = true;
+      const std::uint64_t h =
+          mix(seed ^ (static_cast<std::uint64_t>(r) << 32) ^ static_cast<std::uint64_t>(dest));
+      const std::uint32_t size = base_bytes * (1u + static_cast<std::uint32_t>(h % 4));
+      stfw::OutboundMessage m;
+      m.dest = dest;
+      m.bytes.assign(size, std::byte{static_cast<unsigned char>(h)});
+      sends[static_cast<std::size_t>(r)].push_back(std::move(m));
+      return true;
+    };
+    if (r == 0) {
+      for (Rank d = 1; d < num_ranks; ++d) add(d);
+    } else {
+      const int fanout = std::min<int>(12, num_ranks - 1);
+      std::uint64_t h = mix(seed ^ static_cast<std::uint64_t>(r));
+      int added = 0;
+      for (int attempts = 0; added < fanout && attempts < 16 * fanout; ++attempts) {
+        h = mix(h);
+        if (add(static_cast<Rank>(h % static_cast<std::uint64_t>(num_ranks)))) ++added;
+      }
+    }
+  }
+  return sends;
+}
+
+enum class Mode { kHealthy, kDegraded };
+
+const char* mode_name(Mode m) { return m == Mode::kHealthy ? "healthy" : "degraded"; }
+
+constexpr Rank kCrashRank = 1;
+
+struct ModeResult {
+  double ns_per_exchange = 0.0;
+  std::int64_t plan_repairs = 0;       // across all survivors, whole run
+  std::int64_t relay_submessages = 0;  // per timed iteration, summed over survivors
+  std::int64_t live_ranks = 0;
+  std::uint32_t epoch = 0;  // membership epoch the timed iterations ran at
+};
+
+std::atomic<std::uint64_t> g_sink{0};  // defeats dead-code elimination
+
+/// Tight enough that the crash exchange's retransmits toward the dead rank
+/// resolve quickly, loose enough that healthy replay never trips a retry.
+stfw::ResilienceOptions bench_options() {
+  stfw::ResilienceOptions opt;
+  opt.retransmit_timeout = std::chrono::milliseconds(5);
+  opt.max_attempts = 8;
+  opt.stage_deadline = std::chrono::milliseconds(2000);
+  return opt;
+}
+
+ModeResult run_mode(const stfw::core::Vpt& vpt,
+                    const std::vector<std::vector<stfw::OutboundMessage>>& pattern, int iters,
+                    Mode mode, std::uint64_t seed) {
+  const Rank num_ranks = vpt.size();
+  stfw::runtime::Cluster cluster(num_ranks);
+  std::shared_ptr<stfw::fault::FaultInjector> injector;
+  if (mode == Mode::kDegraded) {
+    stfw::fault::FaultConfig cfg;
+    cfg.seed = seed;
+    cfg.crash_rank = kCrashRank;
+    // Visits 0..dim-1 belong to the warm plain exchange (which cannot
+    // survive a crash); visit dim is stage 0 of the first resilient one.
+    cfg.crash_visit = vpt.dim();
+    cfg.crash_survivable = true;
+    injector = std::make_shared<stfw::fault::FaultInjector>(cfg);
+    cluster.set_fault_injector(injector);
+  }
+
+  double wall_ns = 0.0;
+  std::atomic<std::int64_t> repairs{0};
+  std::atomic<std::int64_t> relays{0};
+  std::atomic<std::uint32_t> epoch{0};
+  const stfw::ResilienceOptions opt = bench_options();
+  cluster.run([&](stfw::runtime::Comm& comm) {
+    stfw::StfwCommunicator communicator(comm, vpt);
+    const auto& sends = pattern[static_cast<std::size_t>(comm.rank())];
+    (void)communicator.exchange(sends);  // warm-up records the plan
+    std::int64_t my_repairs = 0;
+    if (mode == Mode::kDegraded) {
+      // The crash exchange: rank kCrashRank dies at stage 0, survivors
+      // detect the death, bump the epoch and repair the plan. Untimed.
+      (void)communicator.exchange_resilient(sends, opt);
+      my_repairs += communicator.last_stats().plan_repairs;
+    }
+    comm.barrier();  // alive-aware: released once every survivor arrives
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t received = 0;
+    std::int64_t my_relays = 0;
+    for (int it = 0; it < iters; ++it) {
+      const stfw::ResilientExchangeResult result = communicator.exchange_resilient(sends, opt);
+      for (const stfw::InboundMessage& m : result.delivered) received += m.bytes.size();
+      my_repairs += communicator.last_stats().plan_repairs;
+      my_relays += communicator.last_stats().relay_submessages;
+    }
+    comm.barrier();
+    const auto t1 = std::chrono::steady_clock::now();
+    g_sink.fetch_add(received, std::memory_order_relaxed);
+    repairs.fetch_add(my_repairs, std::memory_order_relaxed);
+    relays.fetch_add(my_relays, std::memory_order_relaxed);
+    if (comm.rank() == 0) {
+      epoch.store(communicator.last_stats().membership_epoch, std::memory_order_relaxed);
+      wall_ns = static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+    }
+  });
+  cluster.set_fault_injector(nullptr);
+
+  ModeResult out;
+  out.ns_per_exchange = wall_ns / static_cast<double>(iters);
+  out.plan_repairs = repairs.load();
+  out.relay_submessages = relays.load();
+  out.live_ranks = num_ranks - static_cast<Rank>(cluster.membership().failed().size());
+  out.epoch = epoch.load();
+  if (mode == Mode::kDegraded && injector->counters().crashes != 1)
+    std::fprintf(stderr, "warning: K=%d expected 1 injected crash, saw %lld\n", num_ranks,
+                 static_cast<long long>(injector->counters().crashes));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using stfw::bench::Json;
+  using stfw::bench::fmt;
+
+  const int kmax = static_cast<int>(
+      std::clamp<std::int64_t>(stfw::core::env_int("STFW_BENCH_DEGRADED_KMAX", 128), 4, 4096));
+  const int iters = static_cast<int>(
+      std::clamp<std::int64_t>(stfw::core::env_int("STFW_BENCH_DEGRADED_ITERS", 16), 1, 100000));
+  const auto base_bytes = static_cast<std::uint32_t>(
+      std::clamp<std::int64_t>(stfw::core::env_int("STFW_BENCH_DEGRADED_BYTES", 64), 1, 1 << 20));
+
+  Json root = stfw::bench::bench_json_envelope("degraded_exchange");
+  root.set("config", Json::object()
+                         .set("kmax", Json::integer(kmax))
+                         .set("iters", Json::integer(iters))
+                         .set("payload_base_bytes", Json::integer(base_bytes))
+                         .set("crash_rank", Json::integer(kCrashRank))
+                         .set("seed", Json::integer(static_cast<std::int64_t>(
+                                          stfw::bench::bench_seed()))));
+  Json results = Json::array();
+
+  std::printf("healthy vs one-rank-dead repaired-plan replay, %d timed iterations\n", iters);
+  std::printf("%6s %10s %6s %14s %9s %9s %10s\n", "K", "mode", "live", "ns/exchange",
+              "repairs", "relays", "overhead");
+  stfw::bench::print_rule(70);
+
+  for (const Rank num_ranks : {16, 32, 64, 128, 256}) {
+    if (num_ranks > kmax) break;
+    const stfw::core::Vpt vpt = stfw::core::Vpt::balanced(num_ranks, 2);
+    const std::uint64_t seed =
+        stfw::bench::bench_seed() ^ static_cast<std::uint64_t>(num_ranks);
+    const auto pattern = build_pattern(num_ranks, base_bytes, seed);
+
+    double healthy_ns = 0.0;
+    for (const Mode mode : {Mode::kHealthy, Mode::kDegraded}) {
+      const ModeResult r = run_mode(vpt, pattern, iters, mode, seed);
+      if (mode == Mode::kHealthy) healthy_ns = r.ns_per_exchange;
+      const double overhead = healthy_ns > 0.0 ? r.ns_per_exchange / healthy_ns : 0.0;
+      std::printf("%6d %10s %6lld %14.0f %9lld %9lld %10s\n", num_ranks, mode_name(mode),
+                  static_cast<long long>(r.live_ranks), r.ns_per_exchange,
+                  static_cast<long long>(r.plan_repairs),
+                  static_cast<long long>(r.relay_submessages), (fmt(overhead, 2) + "x").c_str());
+      std::string row_name = "K";
+      row_name += std::to_string(num_ranks);
+      row_name += '/';
+      row_name += mode_name(mode);
+      results.push(Json::object()
+                       .set("name", Json::string(std::move(row_name)))
+                       .set("mode", Json::string(mode_name(mode)))
+                       .set("scheme", Json::string(stfw::bench::scheme_name(2)))
+                       .set("ranks", Json::integer(num_ranks))
+                       .set("live_ranks", Json::integer(r.live_ranks))
+                       .set("iters", Json::integer(iters))
+                       .set("membership_epoch", Json::integer(r.epoch))
+                       .set("plan_repairs", Json::integer(r.plan_repairs))
+                       .set("relay_submessages", Json::integer(r.relay_submessages))
+                       .set("wall_ns_per_exchange", Json::number(r.ns_per_exchange))
+                       .set("overhead_vs_healthy", Json::number(overhead)));
+    }
+  }
+
+  root.set("results", std::move(results));
+  const std::string path = stfw::bench::write_bench_json("degraded_exchange", root);
+  std::printf("\nwrote %s (sink %llu)\n", path.c_str(),
+              static_cast<unsigned long long>(g_sink.load()));
+  return 0;
+}

@@ -1,0 +1,330 @@
+#include "plan_repair.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "error.hpp"
+
+namespace stfw::core {
+
+namespace {
+
+// Same resize+memcpy idiom as wire.cpp (gcc 12 -Wstringop-overflow dodge).
+template <class T>
+void put(std::vector<std::byte>& out, T v) {
+  const std::size_t pos = out.size();
+  out.resize(pos + sizeof(T));
+  std::memcpy(out.data() + pos, &v, sizeof(T));
+}
+
+bool is_alive(std::span<const std::uint8_t> alive, Rank r) {
+  return r >= 0 && r < static_cast<Rank>(alive.size()) && alive[static_cast<std::size_t>(r)] != 0;
+}
+
+/// Walks the canonical route src -> dst up to (excluding) `me`. Returns true
+/// iff every hop strictly before `me` is alive — i.e. the submessage still
+/// reaches `me` through the static frames. On success *pred (if non-null)
+/// receives the hop immediately before `me` (src itself when me is the first
+/// hop), from which the arrival stage at `me` follows.
+bool arrives_at(const Vpt& vpt, std::span<const std::uint8_t> alive, Rank src, Rank dst,
+                Rank me, Rank* pred) {
+  if (src == me) {
+    if (pred != nullptr) *pred = me;
+    return true;
+  }
+  Rank cur = src;
+  while (cur != dst) {
+    const int d = vpt.first_diff_dim(cur, dst);
+    const Rank next = vpt.with_coord(cur, d, vpt.coord(dst, d));
+    if (next == me) {
+      if (pred != nullptr) *pred = cur;
+      return true;
+    }
+    if (!is_alive(alive, next)) return false;
+    cur = next;
+  }
+  // `me` was not on the route at all: it cannot receive this submessage.
+  return false;
+}
+
+}  // namespace
+
+std::vector<Rank> route_hops(const Vpt& vpt, Rank src, Rank dst) {
+  std::vector<Rank> hops;
+  Rank cur = src;
+  while (cur != dst) {
+    const int d = vpt.first_diff_dim(cur, dst);
+    cur = vpt.with_coord(cur, d, vpt.coord(dst, d));
+    hops.push_back(cur);
+  }
+  return hops;
+}
+
+Rank greedy_next_hop(const Vpt& vpt, std::span<const std::uint8_t> alive, Rank cur, Rank dst) {
+  require(cur != dst, "greedy_next_hop: already at destination");
+  require(is_alive(alive, dst), "greedy_next_hop: destination is dead");
+  for (int d = 0; d < vpt.dim(); ++d) {
+    if (vpt.coord(cur, d) == vpt.coord(dst, d)) continue;
+    const Rank cand = vpt.with_coord(cur, d, vpt.coord(dst, d));
+    if (is_alive(alive, cand)) return cand;
+  }
+  // No surviving intermediate in any dimension: hop straight to the
+  // destination (the relay lane's equivalent of the direct fallback).
+  return dst;
+}
+
+RepairedPlan repair_plan(const ExchangePlanLayout& pristine, const Vpt& vpt,
+                         std::span<const std::uint8_t> alive) {
+  const Rank me = pristine.rank;
+  require(is_alive(alive, me), "repair_plan: own rank is dead");
+  require(static_cast<int>(alive.size()) == vpt.size(),
+          "repair_plan: alive bitmap size mismatch");
+
+  RepairedPlan out;
+  out.layout = pristine;
+  ExchangePlanLayout& L = out.layout;
+  const int n = pristine.dim();
+
+  // Fully-alive fast path: the contract promises an untouched copy, and the
+  // recomputed transit/buffering estimates below would otherwise replace the
+  // runtime-recorded ones with an analytic model of them.
+  if (std::all_of(alive.begin(), alive.end(),
+                  [](std::uint8_t a) { return a != 0; })) {
+    out.seed_routes.resize(pristine.signature.sequence.size());
+    for (std::size_t i = 0; i < pristine.signature.sequence.size(); ++i) {
+      SeedRoute& sr = out.seed_routes[i];
+      if (pristine.seed_first_dim[i] < 0) {
+        sr.kind = SeedRoute::Kind::kSelf;
+      } else {
+        sr.kind = SeedRoute::Kind::kPlanned;
+        sr.first_dim = pristine.seed_first_dim[i];
+      }
+    }
+    return out;
+  }
+
+  // ---- pass 0: seed routing overrides -------------------------------------
+  out.seed_routes.resize(pristine.signature.sequence.size());
+  for (std::size_t i = 0; i < pristine.signature.sequence.size(); ++i) {
+    const Rank dest = pristine.signature.sequence[i].first;
+    SeedRoute& sr = out.seed_routes[i];
+    if (dest == me) {
+      sr.kind = SeedRoute::Kind::kSelf;
+      continue;
+    }
+    if (!is_alive(alive, dest)) {
+      sr.kind = SeedRoute::Kind::kDeadDest;
+      ++out.stats.subs_dropped_dead_dest;
+      continue;
+    }
+    const std::int8_t d = pristine.seed_first_dim[i];
+    const Rank hop = vpt.with_coord(me, d, vpt.coord(dest, d));
+    if (is_alive(alive, hop)) {
+      sr.kind = SeedRoute::Kind::kPlanned;
+      sr.first_dim = d;
+    } else {
+      // The canonical first hop died. A detour would break the ascending
+      // dimension order the stage machinery depends on, so this send leaves
+      // the static plan entirely and is injected into the relay lane.
+      sr.kind = SeedRoute::Kind::kRelay;
+      ++out.stats.seed_reroutes;
+    }
+  }
+
+  // ---- pass 1: inbound frames ---------------------------------------------
+  // frame_map[stage][old_idx] -> new idx (-1 removed); offset_map remaps a
+  // kept payload's byte offset within its frame. Both drive slot/delivery
+  // patching in the later passes.
+  std::vector<std::vector<int>> frame_map(static_cast<std::size_t>(n));
+  std::vector<std::vector<std::unordered_map<std::uint32_t, std::uint32_t>>> offset_map(
+      static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    const auto& frames = pristine.in_frames[static_cast<std::size_t>(s)];
+    auto& fmap = frame_map[static_cast<std::size_t>(s)];
+    auto& omap = offset_map[static_cast<std::size_t>(s)];
+    fmap.assign(frames.size(), -1);
+    omap.resize(frames.size());
+    std::vector<PlanInFrame> kept;
+    for (std::size_t fi = 0; fi < frames.size(); ++fi) {
+      const PlanInFrame& f = frames[fi];
+      if (!is_alive(alive, f.source)) {
+        ++out.stats.in_frames_removed;
+        continue;
+      }
+      PlanInFrame nf;
+      nf.source = f.source;
+      std::uint64_t pos = 4;  // u32 count
+      for (const Submessage& sub : f.subs) {
+        const bool keep = is_alive(alive, sub.source) && is_alive(alive, sub.dest) &&
+                          arrives_at(vpt, alive, sub.source, sub.dest, me, nullptr);
+        if (!keep) {
+          ++out.stats.subs_excised;
+          continue;
+        }
+        Submessage ns = sub;
+        pos += 12;  // i32 source, i32 dest, u32 len
+        omap[fi].emplace(static_cast<std::uint32_t>(sub.offset),
+                         static_cast<std::uint32_t>(pos));
+        ns.offset = pos;
+        pos += ns.size_bytes;
+        nf.subs.push_back(ns);
+      }
+      if (nf.subs.empty()) {
+        // The sending peer's repaired plan drops this frame for the same
+        // reasons (the classification is a pure function of global state),
+        // so expecting it would hang the replay.
+        ++out.stats.in_frames_removed;
+        continue;
+      }
+      nf.wire_size = pos;
+      fmap[fi] = static_cast<int>(kept.size());
+      kept.push_back(std::move(nf));
+    }
+    L.in_frames[static_cast<std::size_t>(s)] = std::move(kept);
+  }
+
+  // Remaps a pristine kRecv PayloadSrc to repaired coordinates. Returns
+  // false when the referenced bytes no longer arrive statically.
+  auto remap_src = [&](PayloadSrc& src) {
+    if (src.kind != PayloadSrc::Kind::kRecv) return true;
+    const auto st = static_cast<std::size_t>(src.stage);
+    if (st >= frame_map.size() || src.frame >= frame_map[st].size()) return false;
+    const int nfi = frame_map[st][src.frame];
+    if (nfi < 0) return false;
+    const auto& om = offset_map[st][src.frame];
+    const auto it = om.find(src.offset);
+    if (it == om.end()) return false;
+    src.frame = static_cast<std::uint16_t>(nfi);
+    src.offset = it->second;
+    return true;
+  };
+
+  // ---- pass 2: outbound frames --------------------------------------------
+  for (int s = 0; s < n; ++s) {
+    auto& stage_frames = L.out_frames[static_cast<std::size_t>(s)];
+    std::vector<PlanOutFrame> kept;
+    for (const PlanOutFrame& f : pristine.out_frames[static_cast<std::size_t>(s)]) {
+      const bool to_dead = !is_alive(alive, f.to);
+      PlanOutFrame nf;
+      nf.to = f.to;
+      put<std::uint32_t>(nf.image, 0);  // count backpatched below
+      std::size_t slot_idx = 0;         // pristine slots cover size>0 subs in order
+      for (const Submessage& sub : f.subs) {
+        const PayloadSrc* psrc = nullptr;
+        if (sub.size_bytes > 0) psrc = &f.slots[slot_idx++];
+        if (!is_alive(alive, sub.source)) {
+          ++out.stats.subs_excised;
+          continue;
+        }
+        if (!is_alive(alive, sub.dest)) {
+          // Origin-side dead-destination drops were already counted by the
+          // seed pass; transit copies count as plain excisions.
+          if (sub.source != me) ++out.stats.subs_excised;
+          continue;
+        }
+        if (!arrives_at(vpt, alive, sub.source, sub.dest, me, nullptr)) {
+          ++out.stats.subs_excised;
+          continue;
+        }
+        if (to_dead) {
+          // This rank is the pivot: the last alive holder before the dead
+          // hop. Origin seeds are re-homed by their SeedRoute override;
+          // transit submessages become explicit pivot work.
+          if (sub.source != me) {
+            PivotSend ps;
+            ps.sub = sub;
+            if (psrc != nullptr) {
+              ps.src = *psrc;
+              require(remap_src(ps.src), "repair_plan: pivot payload source vanished");
+            }
+            ps.stage = s;
+            ps.dead_hop = f.to;
+            out.pivot_sends.push_back(std::move(ps));
+            ++out.stats.pivot_reroutes;
+          }
+          continue;
+        }
+        // Keep: append header + (zeroed) payload gap to the rebuilt image.
+        put<std::int32_t>(nf.image, sub.source);
+        put<std::int32_t>(nf.image, sub.dest);
+        put<std::uint32_t>(nf.image, sub.size_bytes);
+        if (sub.size_bytes > 0) {
+          PayloadSrc ns = *psrc;
+          const PayloadSrc before = ns;
+          require(remap_src(ns), "repair_plan: kept payload source vanished");
+          if (!(ns == before)) ++out.stats.slots_patched;
+          nf.slot_offsets.push_back(static_cast<std::uint32_t>(nf.image.size()));
+          nf.slots.push_back(ns);
+          nf.image.resize(nf.image.size() + sub.size_bytes);  // zeroed gap
+          nf.payload_bytes += sub.size_bytes;
+        }
+        nf.subs.push_back(sub);
+      }
+      if (to_dead || nf.subs.empty()) {
+        ++out.stats.out_frames_removed;
+        continue;
+      }
+      const auto count = static_cast<std::uint32_t>(nf.subs.size());
+      std::memcpy(nf.image.data(), &count, sizeof(count));
+      kept.push_back(std::move(nf));
+    }
+    stage_frames = std::move(kept);
+  }
+
+  // ---- pass 3: deliveries --------------------------------------------------
+  {
+    std::vector<PlanDelivery> kept;
+    for (PlanDelivery d : pristine.deliveries) {
+      if (!is_alive(alive, d.source) || !remap_src(d.src)) {
+        ++out.stats.deliveries_removed;
+        continue;
+      }
+      kept.push_back(d);
+    }
+    L.deliveries = std::move(kept);
+  }
+
+  // ---- pass 4: recompute the frozen stats ---------------------------------
+  L.messages_sent = 0;
+  L.messages_received = 0;
+  L.payload_bytes_sent = 0;
+  L.wire_bytes_sent = 0;
+  std::vector<std::uint64_t> buf_bytes(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint64_t> buf_subs(static_cast<std::size_t>(n), 0);
+  std::uint64_t initial_seed_buffered = 0;
+  for (int s = 0; s < n; ++s) {
+    L.messages_received +=
+        static_cast<std::int64_t>(L.in_frames[static_cast<std::size_t>(s)].size());
+    for (const PlanOutFrame& f : L.out_frames[static_cast<std::size_t>(s)]) {
+      ++L.messages_sent;
+      L.payload_bytes_sent += f.payload_bytes;
+      L.wire_bytes_sent += f.image.size();
+      for (const Submessage& sub : f.subs) {
+        Rank pred = -1;
+        arrives_at(vpt, alive, sub.source, sub.dest, me, &pred);
+        const int arrival = sub.source == me ? -1 : vpt.first_diff_dim(pred, me);
+        if (arrival < 0) initial_seed_buffered += sub.size_bytes;
+        for (int d = std::max(arrival, 0); d < s; ++d) {
+          buf_bytes[static_cast<std::size_t>(d)] += sub.size_bytes;
+          buf_subs[static_cast<std::size_t>(d)] += 1;
+        }
+      }
+    }
+  }
+  L.stage_buffered_bytes.assign(buf_bytes.begin(), buf_bytes.end());
+  L.stage_buffered_subs.assign(buf_subs.begin(), buf_subs.end());
+  std::uint64_t peak = initial_seed_buffered;
+  for (const std::uint64_t b : buf_bytes) peak = std::max(peak, b);
+  L.transit_peak_bytes = peak;
+  L.seed_payload_bytes = 0;
+  for (std::size_t i = 0; i < pristine.signature.sequence.size(); ++i)
+    if (out.seed_routes[i].kind != SeedRoute::Kind::kDeadDest)
+      L.seed_payload_bytes += pristine.signature.sequence[i].second;
+  L.delivered_payload_bytes = 0;
+  for (const PlanDelivery& d : L.deliveries) L.delivered_payload_bytes += d.src.bytes;
+
+  return out;
+}
+
+}  // namespace stfw::core

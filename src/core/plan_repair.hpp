@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "exchange_plan.hpp"
+#include "vpt.hpp"
+
+/// \file plan_repair.hpp
+/// Incremental repair of a frozen ExchangePlanLayout after rank failure.
+///
+/// Dimension-order routing is fully deterministic: the route of a submessage
+/// (src, dst) is a pure function of the two ranks and the VPT. That means a
+/// membership change needs **no communication** to repair a plan — every
+/// survivor can locally diff the dead ranks out of its own frozen layout:
+///
+///   * frames to/from a dead neighbor are removed outright;
+///   * a submessage whose source or final destination died is excised
+///     everywhere (its traffic no longer exists / can no longer be wanted);
+///   * a submessage whose route crosses a dead *intermediate* rank is kept
+///     in the frames up to the last alive rank before the dead hop (the
+///     **pivot**), excised downstream, and reported to the pivot as a
+///     `PivotSend` so the resilient exchange can re-home it over the relay
+///     lane (kRelay frames, greedy-alive next hops);
+///   * affected frame images, payload slot tables, in-frame offsets and the
+///     delivery list are patched in place — nothing is re-recorded.
+///
+/// Re-homed traffic cannot go back through the stage machinery: store-and-
+/// forward fixes dimensions in ascending order, and a detour around a dead
+/// rank generally breaks that order. Relay frames are therefore event-driven
+/// (forwarded or delivered on receipt, any stage), which is why the repaired
+/// *static* layout carries only fully-surviving routes and hands the rest to
+/// the dynamic lane.
+
+namespace stfw::core {
+
+/// Canonical dimension-order hop sequence from `src` to `dst`, excluding
+/// `src`, including `dst`. Empty when src == dst.
+std::vector<Rank> route_hops(const Vpt& vpt, Rank src, Rank dst);
+
+/// Greedy-alive next hop from `cur` toward `dst`: the aligned neighbor in
+/// the smallest differing dimension that is still alive, falling back to
+/// `dst` itself (direct) when no intermediate survives. Every hop fixes one
+/// coordinate, so relay chains strictly reduce Hamming distance and cannot
+/// cycle, whatever (possibly stale) alive views the hops hold. Requires
+/// `dst` alive and cur != dst.
+Rank greedy_next_hop(const Vpt& vpt, std::span<const std::uint8_t> alive, Rank cur, Rank dst);
+
+/// How one seed send should be injected after repair.
+struct SeedRoute {
+  enum class Kind : std::uint8_t {
+    kSelf,      // self-send, delivered locally as before
+    kPlanned,   // canonical first hop alive: file under first_dim as usual
+    kRelay,     // canonical first hop dead: inject into the relay lane
+    kDeadDest,  // destination died: drop and account
+  };
+  Kind kind = Kind::kPlanned;
+  std::int8_t first_dim = -1;  // kPlanned only
+};
+
+/// A submessage this rank must re-home: its next canonical hop died while
+/// this rank is (or will be) holding it.
+struct PivotSend {
+  Submessage sub;      // full header; offset is meaningless here
+  PayloadSrc src;      // where the bytes live at replay time
+  int stage = 0;       // stage of the out-frame it was excised from
+  Rank dead_hop = -1;  // the canonical next hop that died
+};
+
+struct PlanRepairStats {
+  int out_frames_removed = 0;
+  int in_frames_removed = 0;
+  int subs_excised = 0;            // upstream-dead / dead-source / transit dead-dest
+  int pivot_reroutes = 0;          // subs handed to the relay lane at this rank
+  int seed_reroutes = 0;           // seed sends diverted off their canonical dim
+  int subs_dropped_dead_dest = 0;  // this rank's own sends to dead destinations
+  int slots_patched = 0;
+  int deliveries_removed = 0;
+};
+
+/// A repaired plan: the patched static layout plus the dynamic-lane work
+/// (seed routing overrides and pivot re-homes) the static frames cannot
+/// carry. Pure data; computed locally with no communication.
+struct RepairedPlan {
+  ExchangePlanLayout layout;
+  std::vector<SeedRoute> seed_routes;  // parallel to layout.signature.sequence
+  std::vector<PivotSend> pivot_sends;
+  PlanRepairStats stats;
+};
+
+/// Diff the dead ranks out of `pristine`. `alive` is indexed by rank (1 =
+/// alive); the layout's own rank must be alive. A fully-alive bitmap returns
+/// an untouched copy with empty pivot/override lists.
+RepairedPlan repair_plan(const ExchangePlanLayout& pristine, const Vpt& vpt,
+                         std::span<const std::uint8_t> alive);
+
+}  // namespace stfw::core

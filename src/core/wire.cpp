@@ -120,6 +120,7 @@ std::vector<std::byte> encode_frame(FrameHeader header, std::span<const std::byt
   put<std::uint16_t>(out, static_cast<std::uint16_t>(header.kind));
   put<std::uint16_t>(out, header.stage);
   put<std::uint32_t>(out, header.epoch);
+  put<std::uint32_t>(out, header.member_epoch);
   put<std::uint32_t>(out, header.seq);
   put<std::int32_t>(out, header.sender);
   put<std::uint32_t>(out, header.body_len);
@@ -136,14 +137,13 @@ std::optional<DecodedFrame> decode_frame(std::span<const std::byte> wire) noexce
   if (get<std::uint32_t>(wire, pos) != kFrameMagic) return std::nullopt;
   DecodedFrame f;
   const auto kind = get<std::uint16_t>(wire, pos);
-  if (kind != static_cast<std::uint16_t>(FrameKind::kData) &&
-      kind != static_cast<std::uint16_t>(FrameKind::kAck) &&
-      kind != static_cast<std::uint16_t>(FrameKind::kDirect) &&
-      kind != static_cast<std::uint16_t>(FrameKind::kNack))
+  if (kind < static_cast<std::uint16_t>(FrameKind::kData) ||
+      kind > static_cast<std::uint16_t>(FrameKind::kFailureNotice))
     return std::nullopt;
   f.header.kind = static_cast<FrameKind>(kind);
   f.header.stage = get<std::uint16_t>(wire, pos);
   f.header.epoch = get<std::uint32_t>(wire, pos);
+  f.header.member_epoch = get<std::uint32_t>(wire, pos);
   f.header.seq = get<std::uint32_t>(wire, pos);
   f.header.sender = get<std::int32_t>(wire, pos);
   f.header.body_len = get<std::uint32_t>(wire, pos);
@@ -154,6 +154,43 @@ std::optional<DecodedFrame> decode_frame(std::span<const std::byte> wire) noexce
   const std::uint64_t sum = fnv1a(f.body, fnv1a(wire.first(checksum_pos)));
   if (sum != claimed) return std::nullopt;
   return f;
+}
+
+void restamp_member_epoch(std::vector<std::byte>& wire, std::uint32_t member_epoch) {
+  // Field offsets in the frame layout: magic(0) kind(4) stage(6) epoch(8)
+  // member_epoch(12) seq(16) sender(20) body_len(24) checksum(28) body(36).
+  constexpr std::size_t kMemberEpochPos = 12;
+  constexpr std::size_t kChecksumPos = 28;
+  require(wire.size() >= kFrameOverheadBytes, "restamp_member_epoch: not a frame");
+  std::memcpy(wire.data() + kMemberEpochPos, &member_epoch, sizeof(member_epoch));
+  const std::span<const std::byte> all(wire);
+  const std::uint64_t sum =
+      fnv1a(all.subspan(kFrameOverheadBytes), fnv1a(all.first(kChecksumPos)));
+  std::memcpy(wire.data() + kChecksumPos, &sum, sizeof(sum));
+}
+
+std::vector<std::byte> encode_failure_notice(std::uint32_t membership_epoch,
+                                             std::span<const std::int32_t> dead) {
+  std::vector<std::byte> out;
+  out.reserve(8 + 4 * dead.size());
+  put<std::uint32_t>(out, membership_epoch);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(dead.size()));
+  for (const std::int32_t r : dead) put<std::int32_t>(out, r);
+  return out;
+}
+
+std::optional<FailureNotice> decode_failure_notice(std::span<const std::byte> body) noexcept {
+  if (body.size() < 8) return std::nullopt;
+  std::size_t pos = 0;
+  FailureNotice n;
+  n.membership_epoch = get<std::uint32_t>(body, pos);
+  const auto count = get<std::uint32_t>(body, pos);
+  // Bound the count by the bytes actually present before reserving, as the
+  // submessage deserializers do: a corrupt count must not demand gigabytes.
+  if (static_cast<std::uint64_t>(count) * 4 != body.size() - pos) return std::nullopt;
+  n.dead.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) n.dead.push_back(get<std::int32_t>(body, pos));
+  return n;
 }
 
 }  // namespace stfw::core

@@ -51,30 +51,41 @@ std::vector<Submessage> deserialize_tracked(std::span<const std::byte> wire, Pay
 // --- resilient frame layer -------------------------------------------------
 //
 // Frame layout (little-endian, packed):
-//   u32 magic  u16 kind  u16 stage  u32 epoch  u32 seq  i32 sender
-//   u32 body_len  u64 checksum  u8 body[body_len]
+//   u32 magic  u16 kind  u16 stage  u32 epoch  u32 member_epoch  u32 seq
+//   i32 sender  u32 body_len  u64 checksum  u8 body[body_len]
 //
 // `seq` is monotonically increasing per sender within one exchange, so every
 // frame a rank emits is globally identified by (sender, epoch, seq); acks
-// echo the seq they acknowledge. `checksum` is FNV-1a over all preceding
-// header bytes plus the body, which catches the truncation and bit-rot
-// faults the injector can produce.
+// echo the seq they acknowledge. `member_epoch` is the cluster membership
+// version the sender believed in when it built the frame: receivers whose
+// membership has advanced past it nack the frame, forcing the sender to
+// observe the failure and re-route before retrying (docs/fault_model.md,
+// "Membership epochs"). `checksum` is FNV-1a over all preceding header bytes
+// plus the body, which catches the truncation and bit-rot faults the
+// injector can produce.
 
 inline constexpr std::uint32_t kFrameMagic = 0x53544652u;  // "STFR"
-inline constexpr std::uint64_t kFrameOverheadBytes = 32;
+inline constexpr std::uint64_t kFrameOverheadBytes = 36;
 
 enum class FrameKind : std::uint16_t {
   kData = 1,    // a serialized StageMessage routed between stage neighbors
   kAck = 2,     // acknowledges (sender, seq); empty body
   kDirect = 3,  // degradation fallback: submessages sent straight to dest
-  kNack = 4,    // refuses (sender, seq): receiver moved past that stage; the
-                // sender should re-route directly instead of retrying
+  kNack = 4,    // refuses (sender, seq): receiver moved past that stage or
+                // has a newer membership epoch; the sender should re-route
+                // instead of retrying
+  kRelay = 5,   // degraded-mode re-homing: tracked submessages detoured
+                // around a dead rank; receivers deliver their own and
+                // forward the rest along surviving dimension-order hops
+  kFailureNotice = 6,  // membership change announcement; body is the
+                       // failure-notice codec below
 };
 
 struct FrameHeader {
   FrameKind kind = FrameKind::kData;
   std::uint16_t stage = 0;  // sending stage; unused for kAck/kDirect
   std::uint32_t epoch = 0;  // exchange number on the communicator
+  std::uint32_t member_epoch = 0;  // sender's membership version
   std::uint32_t seq = 0;    // per-sender frame counter (acked seq for kAck)
   std::int32_t sender = -1; // authoritative origin of the frame
   std::uint32_t body_len = 0;
@@ -99,5 +110,34 @@ std::vector<std::byte> encode_frame(FrameHeader header, std::span<const std::byt
 /// frame is indistinguishable from a lost one and is recovered the same way
 /// (sender retransmission), so it is dropped rather than raised.
 std::optional<DecodedFrame> decode_frame(std::span<const std::byte> wire) noexcept;
+
+/// Rewrite the member_epoch field of an already encoded frame in place and
+/// recompute the checksum. Used when a sender observes a membership change
+/// while frames are still unacknowledged: the payload is unchanged, only the
+/// sender's membership claim advances, so receivers stop nacking it as stale.
+void restamp_member_epoch(std::vector<std::byte>& wire, std::uint32_t member_epoch);
+
+// --- failure-notice body codec ---------------------------------------------
+//
+// Body layout (little-endian, packed):
+//   u32 membership_epoch  u32 dead_count  i32 dead[dead_count]
+//
+// Carried by kFailureNotice frames. The notice is a wake-up, not the source
+// of truth: receivers compare `membership_epoch` against their own observed
+// membership and re-snapshot from the cluster when the notice is newer; a
+// stale or corrupt notice is ignored.
+
+struct FailureNotice {
+  std::uint32_t membership_epoch = 0;
+  std::vector<std::int32_t> dead;
+};
+
+std::vector<std::byte> encode_failure_notice(std::uint32_t membership_epoch,
+                                             std::span<const std::int32_t> dead);
+
+/// Parse a failure-notice body. Returns std::nullopt — never throws — on a
+/// truncated buffer, a dead-rank count that exceeds the bytes present, or
+/// trailing garbage, so a corrupt notice can never crash a survivor.
+std::optional<FailureNotice> decode_failure_notice(std::span<const std::byte> body) noexcept;
 
 }  // namespace stfw::core

@@ -36,6 +36,10 @@ FaultConfig FaultConfig::from_env() {
   c.delay_max = std::chrono::milliseconds(
       env_u64("STFW_FAULT_DELAY_MAX_MS",
               static_cast<std::uint64_t>(c.delay_max.count())));
+  c.crash_rank = static_cast<int>(core::env_int("STFW_FAULT_CRASH_RANK", c.crash_rank));
+  c.crash_stage = static_cast<int>(core::env_int("STFW_FAULT_CRASH_STAGE", c.crash_stage));
+  c.crash_visit = static_cast<int>(core::env_int("STFW_FAULT_CRASH_VISIT", c.crash_visit));
+  c.crash_survivable = core::env_flag("STFW_FAULT_CRASH_SURVIVABLE", c.crash_survivable);
   return c;
 }
 
@@ -102,11 +106,18 @@ MessageDecision FaultInjector::on_post(int source, int dest, int tag,
 }
 
 void FaultInjector::at_stage(int rank, int stage) {
-  if (rank == config_.crash_rank &&
-      (config_.crash_stage < 0 || stage == config_.crash_stage)) {
-    crashes_.fetch_add(1, std::memory_order_relaxed);
-    throw FaultInjectedError("fault injection: rank " + std::to_string(rank) +
-                             " crashed at stage " + std::to_string(stage));
+  if (rank == config_.crash_rank) {
+    const int visit = crash_rank_visits_.fetch_add(1, std::memory_order_relaxed);
+    const bool hit = config_.crash_visit >= 0
+                         ? visit == config_.crash_visit
+                         : (config_.crash_stage < 0 || stage == config_.crash_stage);
+    if (hit) {
+      crashes_.fetch_add(1, std::memory_order_relaxed);
+      const std::string what = "fault injection: rank " + std::to_string(rank) +
+                               " crashed at stage " + std::to_string(stage);
+      if (config_.crash_survivable) throw RankCrashedError(what);
+      throw FaultInjectedError(what);
+    }
   }
   if (rank == config_.stall_rank &&
       (config_.stall_stage < 0 || stage == config_.stall_stage) &&

@@ -34,6 +34,16 @@ public:
   explicit FaultInjectedError(const std::string& what) : core::Error(what) {}
 };
 
+/// The survivable flavor of an injected crash (crash_survivable = true):
+/// runtime::Cluster catches this one at the rank-thread boundary, marks the
+/// rank dead in the membership state, and lets the surviving ranks keep
+/// running in degraded mode instead of aborting the whole cluster. See
+/// docs/fault_model.md, "Membership epochs and degraded mode".
+class RankCrashedError : public FaultInjectedError {
+public:
+  explicit RankCrashedError(const std::string& what) : FaultInjectedError(what) {}
+};
+
 struct FaultConfig {
   std::uint64_t seed = 1;
 
@@ -62,11 +72,24 @@ struct FaultConfig {
   std::chrono::milliseconds stall_duration{0};
   int crash_rank = -1;
   int crash_stage = -1;
+  /// >= 0: crash on the Nth at_stage() visit of crash_rank (counted across
+  /// exchanges) instead of matching crash_stage. With an n-dimensional VPT,
+  /// visit n + d is stage d of the *second* exchange — how the CI crash
+  /// matrix injects a failure during plan replay rather than plan recording.
+  int crash_visit = -1;
+  /// false: a crash throws FaultInjectedError, which escapes the rank
+  /// function and aborts the whole cluster (a fail-stop process group).
+  /// true: it throws RankCrashedError instead, which the cluster absorbs —
+  /// the rank is marked dead, the membership epoch bumps, and survivors
+  /// continue in degraded mode.
+  bool crash_survivable = false;
 
   /// Reads STFW_FAULT_SEED, STFW_FAULT_DROP, STFW_FAULT_DUP,
-  /// STFW_FAULT_REORDER, STFW_FAULT_TRUNCATE, STFW_FAULT_DELAY (probability)
-  /// and STFW_FAULT_DELAY_MAX_MS; unset variables keep their defaults. CI's
-  /// fault matrix drives the test grid through these.
+  /// STFW_FAULT_REORDER, STFW_FAULT_TRUNCATE, STFW_FAULT_DELAY (probability),
+  /// STFW_FAULT_DELAY_MAX_MS, and the crash knobs STFW_FAULT_CRASH_RANK,
+  /// STFW_FAULT_CRASH_STAGE and STFW_FAULT_CRASH_SURVIVABLE; unset variables
+  /// keep their defaults. CI's fault matrix and crash matrix drive the test
+  /// grids through these.
   static FaultConfig from_env();
 };
 
@@ -135,6 +158,7 @@ private:
   std::atomic<std::int64_t> delays_{0};
   std::atomic<std::int64_t> stalls_{0};
   std::atomic<std::int64_t> crashes_{0};
+  std::atomic<int> crash_rank_visits_{0};  // at_stage visits by crash_rank
 
   Stream& stream_for(int source);
 };

@@ -52,6 +52,8 @@ fault::FaultInjector* Comm::fault_injector() const noexcept {
   return cluster_->fault_injector().get();
 }
 
+const Membership& Comm::membership() const noexcept { return cluster_->membership(); }
+
 std::vector<std::vector<std::byte>> Comm::allgather(std::vector<std::byte> mine) {
   return allgather(std::move(mine), Deadline::never());
 }
@@ -100,6 +102,7 @@ Cluster::Cluster(int num_ranks) : num_ranks_(num_ranks) {
   mailboxes_.reserve(static_cast<std::size_t>(num_ranks));
   for (int i = 0; i < num_ranks; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
   block_state_.resize(static_cast<std::size_t>(num_ranks));
+  membership_.reset(num_ranks);
 }
 
 Cluster::~Cluster() = default;
@@ -109,13 +112,22 @@ void Cluster::set_fault_injector(std::shared_ptr<fault::FaultInjector> injector)
 }
 
 void Cluster::run(const std::function<void(Comm&)>& fn) {
-  for (const auto& mb : mailboxes_) {
+  for (int r = 0; r < num_ranks_; ++r) {
+    const auto& mb = mailboxes_[static_cast<std::size_t>(r)];
     // No rank threads are alive here, but the previous run's monitor could
     // in principle have raced this check before TSA made the lock mandatory.
     MutexLock lock(mb->mu);
+    if (!membership_.alive(r)) {
+      // A rank that died last run may have collected late retransmits after
+      // its mailbox was discarded; they belong to the finished run.
+      STFW_VERIFY_WRITE(&mb->queue, "Cluster::run dead-rank mailbox clear");
+      mb->queue.clear();
+      continue;
+    }
     STFW_VERIFY_READ(&mb->queue, "Cluster::run mailbox-empty precondition");
     require(mb->queue.empty(), "Cluster::run: mailbox not empty from previous run");
   }
+  membership_.reset(num_ranks_);  // every run starts with all ranks alive
 
   {
     MutexLock lock(block_mu_);
@@ -148,6 +160,11 @@ void Cluster::run(const std::function<void(Comm&)>& fn) {
       try {
         Comm comm(*this, r);
         fn(comm);
+      } catch (const fault::RankCrashedError&) {
+        // A survivable injected crash: this rank is dead, the cluster is
+        // not. Absorb the error (Membership::failed() records the death)
+        // and let the surviving ranks finish in degraded mode.
+        rank_died(r);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         abort_all();  // unblock peers stuck in recv() or barrier()
@@ -238,6 +255,33 @@ void Cluster::abort_all() {
   }
 }
 
+void Cluster::rank_died(int me) {
+  membership_.mark_failed(me);
+  {
+    // Whatever is queued for the dead rank will never be read; drop it so
+    // the cluster stays reusable. Late posts racing this clear are caught
+    // by the next run()'s dead-mailbox sweep.
+    Mailbox& mb = *mailboxes_[static_cast<std::size_t>(me)];
+    MutexLock lock(mb.mu);
+    STFW_VERIFY_WRITE(&mb.queue, "Cluster::rank_died mailbox clear");
+    mb.queue.clear();
+  }
+  {
+    // A barrier the survivors have already fully entered must release now:
+    // the dead rank will never arrive to complete it.
+    MutexLock lock(barrier_mu_);
+    maybe_release_barrier();
+  }
+  // Wake every blocked thread so it re-evaluates against the new membership
+  // (the resilient exchange polls the epoch at each wakeup). A death is
+  // progress, not silence — it must not trip the deadlock watchdog.
+  progress_.fetch_add(1, std::memory_order_relaxed);
+  for (const auto& mb : mailboxes_) {
+    MutexLock lock(mb->mu);
+    mb->cv.notify_all();
+  }
+}
+
 void Cluster::set_block_state(int me, BlockInfo::Kind kind, int source, int tag) {
   MutexLock lock(block_mu_);
   STFW_VERIFY_WRITE(block_state_.data(), "Cluster::set_block_state");
@@ -292,6 +336,10 @@ void Cluster::post(int dest, Message msg) {
 }
 
 void Cluster::post_raw(int dest, Message msg, bool to_front) {
+  // A message for a dead rank is dropped at the post site, like a packet
+  // into an unplugged NIC. any_failed() keeps the healthy hot path at one
+  // relaxed atomic load. Also covers the monitor's delayed-message pump.
+  if (membership_.any_failed() && !membership_.alive(dest)) return;
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dest)];
 #if STFW_VERIFY_ENABLED
   // Send edge: a scheduler branch point, and the id ties the matching recv's
@@ -422,20 +470,29 @@ bool Cluster::wait_message(int me, Deadline deadline) {
   }
 }
 
+void Cluster::maybe_release_barrier() {
+  STFW_VERIFY_READ(&barrier_count_, "Cluster::maybe_release_barrier check");
+  if (barrier_count_ == 0) return;
+  // The release target is the number of ranks that can still arrive. A dead
+  // rank cannot be parked inside the barrier (crash sites are stage
+  // boundaries, never blocking primitives), so its arrival is simply never.
+  if (barrier_count_ < membership_.alive_count()) return;
+  barrier_count_ = 0;
+  STFW_VERIFY_WRITE(&barrier_generation_, "Cluster::barrier_wait release");
+  ++barrier_generation_;
+  progress_.fetch_add(1, std::memory_order_relaxed);
+  barrier_cv_.notify_all();
+}
+
 void Cluster::barrier_wait(int me, Deadline deadline) {
   const auto entered = verify::verify_now();
   bool registered = false;
   MutexLock lock(barrier_mu_);
   const std::uint64_t gen = barrier_generation_;
   STFW_VERIFY_WRITE(&barrier_count_, "Cluster::barrier_wait arrive");
-  if (++barrier_count_ == num_ranks_) {
-    barrier_count_ = 0;
-    STFW_VERIFY_WRITE(&barrier_generation_, "Cluster::barrier_wait release");
-    ++barrier_generation_;
-    progress_.fetch_add(1, std::memory_order_relaxed);
-    barrier_cv_.notify_all();
-    return;
-  }
+  ++barrier_count_;
+  maybe_release_barrier();
+  if (barrier_generation_ != gen) return;  // our arrival completed it
   for (;;) {
     STFW_VERIFY_READ(&barrier_generation_, "Cluster::barrier_wait generation check");
     if (barrier_generation_ != gen) {
@@ -473,8 +530,24 @@ void Cluster::barrier_wait(int me, Deadline deadline) {
 // --- monitor thread: watchdog + delayed-message pump ------------------------
 
 void Cluster::monitor_loop() {
+  std::uint32_t seen_epoch = membership_.epoch();
   while (!monitor_stop_.load()) {
     const auto now = verify::verify_now();
+
+    // Heartbeat piggyback: the watchdog thread doubles as the failure
+    // detector's wake-up path. When the membership epoch advances, every
+    // blocked survivor is notified so it re-snapshots membership promptly
+    // instead of sleeping out its full timeout against a dead peer.
+    const std::uint32_t ep = membership_.epoch();
+    if (ep != seen_epoch) {
+      seen_epoch = ep;
+      for (const auto& mb : mailboxes_) {
+        MutexLock lock(mb->mu);
+        mb->cv.notify_all();
+      }
+      MutexLock lock(barrier_mu_);
+      maybe_release_barrier();
+    }
 
     // Pump injector-delayed messages whose release time has passed.
     std::vector<DelayedMessage> due;

@@ -12,6 +12,7 @@
 
 #include "core/sync.hpp"
 #include "core/verify_hooks.hpp"
+#include "membership.hpp"
 
 /// \file comm.hpp
 /// In-process message-passing runtime.
@@ -134,6 +135,11 @@ public:
   /// its stage sites (stall/crash injection) from here.
   fault::FaultInjector* fault_injector() const noexcept;
 
+  /// The cluster's membership state (who is alive, at which epoch). The
+  /// degraded exchange path polls Membership::epoch() to detect rank deaths
+  /// mid-protocol.
+  [[nodiscard]] const Membership& membership() const noexcept;
+
 private:
   friend class Cluster;
   Comm(Cluster& cluster, int rank) : cluster_(&cluster), rank_(rank) {}
@@ -179,6 +185,12 @@ public:
   /// window == 0 disables (default). Must not be called during run().
   void set_watchdog(std::chrono::milliseconds window) { watchdog_window_ = window; }
 
+  /// Membership state: all ranks alive at the start of every run; a rank
+  /// that throws fault::RankCrashedError is marked dead (epoch bump) and the
+  /// run continues on the survivors. Membership::failed() after run() tells
+  /// the caller who died.
+  [[nodiscard]] const Membership& membership() const noexcept { return membership_; }
+
 private:
   friend class Comm;
 
@@ -213,6 +225,15 @@ private:
   void abort_all();
   void flush_delayed();
 
+  /// Absorbs a survivable crash on rank `me`'s own unwind path: marks it
+  /// dead, discards its mailbox, releases any barrier now satisfied by the
+  /// survivors alone, and wakes every blocked thread to re-evaluate.
+  void rank_died(int me);
+  /// Release the barrier if every *alive* rank has arrived. Dead ranks never
+  /// arrive, so the release target is the live count, re-evaluated on every
+  /// arrival and on every death.
+  void maybe_release_barrier() STFW_REQUIRES(barrier_mu_);
+
   void set_block_state(int me, BlockInfo::Kind kind, int source = 0, int tag = 0)
       STFW_EXCLUDES(block_mu_);
   /// Checks deadlock/abort flags from inside a blocking primitive; throws
@@ -229,6 +250,7 @@ private:
   int num_ranks_;
   std::atomic<bool> aborted_{false};
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  Membership membership_;
 
   // Reusable two-phase barrier.
   core::Mutex barrier_mu_;

@@ -1,0 +1,61 @@
+#include "membership.hpp"
+
+namespace stfw::runtime {
+
+void Membership::reset(int num_ranks) {
+  core::MutexLock lock(mu_);
+  alive_.assign(static_cast<std::size_t>(num_ranks), 1);
+  any_failed_.store(false, std::memory_order_release);
+  // No epoch bump: reviving everyone is the baseline state of a run, and
+  // keeping the counter monotonic means a frame stamped in an old degraded
+  // run can never claim to be newer than the fresh view.
+}
+
+bool Membership::alive(int rank) const {
+  core::MutexLock lock(mu_);
+  return rank >= 0 && rank < static_cast<int>(alive_.size()) &&
+         alive_[static_cast<std::size_t>(rank)] != 0;
+}
+
+int Membership::alive_count() const {
+  core::MutexLock lock(mu_);
+  int n = 0;
+  for (const std::uint8_t a : alive_) n += a != 0;
+  return n;
+}
+
+MembershipSnapshot Membership::snapshot() const {
+  core::MutexLock lock(mu_);
+  MembershipSnapshot s;
+  s.epoch = epoch_.load(std::memory_order_acquire);
+  s.alive = alive_;
+  for (std::size_t r = 0; r < alive_.size(); ++r) {
+    if (alive_[r] == 0) continue;
+    ++s.alive_count;
+    if (s.lowest_alive < 0) s.lowest_alive = static_cast<int>(r);
+  }
+  return s;
+}
+
+std::vector<std::int32_t> Membership::failed() const {
+  core::MutexLock lock(mu_);
+  std::vector<std::int32_t> out;
+  for (std::size_t r = 0; r < alive_.size(); ++r)
+    if (alive_[r] == 0) out.push_back(static_cast<std::int32_t>(r));
+  return out;
+}
+
+bool Membership::mark_failed(int rank) {
+  core::MutexLock lock(mu_);
+  if (rank < 0 || rank >= static_cast<int>(alive_.size())) return false;
+  auto& a = alive_[static_cast<std::size_t>(rank)];
+  if (a == 0) return false;
+  a = 0;
+  any_failed_.store(true, std::memory_order_release);
+  // Release-publish after the bitmap write: pollers that see the new epoch
+  // and snapshot afterwards observe at least this death.
+  epoch_.fetch_add(1, std::memory_order_release);
+  return true;
+}
+
+}  // namespace stfw::runtime

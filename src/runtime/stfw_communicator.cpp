@@ -5,6 +5,7 @@
 #include <cstring>
 #include <map>
 #include <optional>
+#include <random>
 #include <set>
 #include <unordered_map>
 #include <utility>
@@ -280,6 +281,12 @@ void StfwCommunicator::plan_cache_erase(const core::PatternSignature& sig) {
 }
 
 std::vector<InboundMessage> StfwCommunicator::exchange(std::span<const OutboundMessage> sends) {
+  // Plain exchange() assumes a reliable transport *and* full membership: its
+  // barriers and frozen neighbor roster cannot route around a dead rank, so
+  // a degraded cluster must use exchange_resilient() (docs/fault_model.md).
+  core::require(!comm_->membership().any_failed(),
+                "exchange: cluster is degraded (a rank died); plain exchange() cannot "
+                "survive rank failure — use exchange_resilient()");
   if (plan_cache_capacity() > 0) {
     const auto pattern = pattern_of(sends);
     const auto sig = core::PatternSignature::of(pattern);
@@ -621,6 +628,9 @@ std::vector<InboundMessage> StfwCommunicator::exchange_planned_cached(
 
 std::shared_ptr<runtime::ExchangePlan> StfwCommunicator::plan(
     std::span<const OutboundMessage> sends) {
+  core::require(!comm_->membership().any_failed(),
+                "plan: cluster is degraded (a rank died); the planning collective "
+                "cannot survive rank failure — use exchange_resilient()");
   const auto me = static_cast<core::Rank>(comm_->rank());
   const auto pattern = pattern_of(sends);
   core::PlanRecorder recorder(vpt_, me, pattern);
@@ -674,6 +684,9 @@ std::shared_ptr<runtime::ExchangePlan> StfwCommunicator::plan(
 
 std::vector<InboundMessage> StfwCommunicator::exchange(
     runtime::ExchangePlan& plan, std::span<const std::span<const std::byte>> payloads) {
+  core::require(!comm_->membership().any_failed(),
+                "exchange(plan): cluster is degraded (a rank died); planned replay "
+                "cannot survive rank failure — use exchange_resilient()");
   const auto me = static_cast<core::Rank>(comm_->rank());
   const core::ExchangePlanLayout& layout = plan.layout();
   core::require(layout.rank == me, "exchange(plan): plan belongs to another rank");
@@ -813,15 +826,38 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
 
   const auto me = static_cast<core::Rank>(comm_->rank());
   const int n = vpt_.dim();
+  const int world = comm_->size();
   StfwRankState state(vpt_, me);
   PayloadArena arena;
   stats_ = LocalExchangeStats{};
   ResilientExchangeResult result;
+
+  // The membership view this exchange acts on. The epoch is polled every
+  // event-loop iteration (one relaxed atomic load); a change re-snapshots
+  // the bitmap and re-homes in-flight traffic (on_membership_change below).
+  runtime::MembershipSnapshot mem = comm_->membership().snapshot();
+  bool degraded = mem.alive_count < world;
+  std::uint32_t announced_epoch = mem.epoch;  // deaths known at entry need no notice
+  stats_.membership_epoch = mem.epoch;
+
+  // Decorrelation jitter on the retransmit backoff. STFW_RETRY_JITTER
+  // overrides the option (strict parse: a typo throws instead of silently
+  // disabling jitter).
+  double jitter = opt.retry_jitter;
+  if (core::env_present("STFW_RETRY_JITTER"))
+    jitter = core::env_double("STFW_RETRY_JITTER", jitter);
+  core::require(jitter >= 0.0 && jitter <= 1.0,
+                "exchange_resilient: retry jitter must be in [0, 1]");
+
   // Claim the epoch up front so a thrown exchange cannot leave stale frames
   // that a retry under the same epoch would mistake for its own.
   const auto epoch = static_cast<std::uint32_t>(epoch_);
   ++epoch_;
   fault::FaultInjector* injector = comm_->fault_injector();
+  // Jitter draws are seeded per (rank, exchange): reproducible run to run,
+  // and deterministic under the STFW_VERIFY schedule explorer.
+  std::mt19937_64 jitter_rng((static_cast<std::uint64_t>(me) << 32) ^ epoch ^
+                             0x9e3779b97f4a7c15ull);
 
 #if STFW_VALIDATE_ENABLED
   std::optional<validate::ExchangeValidator> validator;
@@ -831,11 +867,33 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
   // A cached plan for this pattern supplies frozen seed routing dimensions
   // (the full frame layout cannot be replayed here: injected faults make the
   // inbound schedule non-deterministic, so only the seeding scan is reused).
+  // In degraded mode the frozen layout is *incrementally repaired* for the
+  // current membership — diffed, not re-recorded — and its seed-route
+  // overrides steer each send onto a surviving canonical hop, the relay
+  // lane, or a dead-destination drop.
   std::shared_ptr<runtime::ExchangePlan> seed_plan;
   if (plan_cache_capacity_ > 0)
     seed_plan = plan_cache_find(core::PatternSignature::of(pattern_of(sends)));
   if (seed_plan) stats_.plan_hits = 1;
+  std::shared_ptr<const core::RepairedPlan> repaired;
+  if (seed_plan && degraded) {
+    const std::uint64_t sig_key = seed_plan->layout().signature.key;
+    if (repaired_plan_ != nullptr && repaired_sig_key_ == sig_key &&
+        repaired_epoch_ == mem.epoch) {
+      repaired = repaired_plan_;  // same pattern, same membership: reuse the diff
+    } else {
+      repaired = std::make_shared<const core::RepairedPlan>(
+          core::repair_plan(seed_plan->layout(), vpt_, mem.alive));
+      repaired_plan_ = repaired;
+      repaired_sig_key_ = sig_key;
+      repaired_epoch_ = mem.epoch;
+      ++stats_.plan_repairs;
+    }
+  }
 
+  // Seeds whose canonical first hop is dead leave the static plan entirely;
+  // they are injected into the relay lane once its machinery exists below.
+  std::vector<Submessage> relay_seeds;
   std::uint64_t seed_bytes = 0;
   std::uint32_t next_sub_id = 0;
   for (const OutboundMessage& s : sends) {
@@ -843,11 +901,48 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
     if (validator) validator->on_seed(s.dest, s.bytes);
 #endif
     const std::uint64_t off = arena.add(s.bytes);
-    if (seed_plan)
+    const auto size = static_cast<std::uint32_t>(s.bytes.size());
+    Submessage sub;
+    sub.source = me;
+    sub.dest = s.dest;
+    sub.offset = off;
+    sub.size_bytes = size;
+    sub.id = next_sub_id;
+    if (repaired != nullptr) {
+      const core::SeedRoute& sr = repaired->seed_routes[next_sub_id];
+      switch (sr.kind) {
+        case core::SeedRoute::Kind::kSelf:
+          state.add_send_routed(s.dest, -1, off, size, next_sub_id);
+          break;
+        case core::SeedRoute::Kind::kPlanned:
+          state.add_send_routed(s.dest, sr.first_dim, off, size, next_sub_id);
+          break;
+        case core::SeedRoute::Kind::kRelay:
+          relay_seeds.push_back(sub);
+          break;
+        case core::SeedRoute::Kind::kDeadDest:
+          ++stats_.dead_dest_submessages_dropped;
+          result.failure.lost.push_back({me, s.dest, size, -1});
+          break;
+      }
+    } else if (degraded && s.dest != me) {
+      if (!mem.is_alive(s.dest)) {
+        ++stats_.dead_dest_submessages_dropped;
+        result.failure.lost.push_back({me, s.dest, size, -1});
+      } else {
+        const int d0 = vpt_.first_diff_dim(me, s.dest);
+        const core::Rank hop = vpt_.with_coord(me, d0, vpt_.coord(s.dest, d0));
+        if (mem.is_alive(hop))
+          state.add_send(s.dest, off, size, next_sub_id);
+        else
+          relay_seeds.push_back(sub);
+      }
+    } else if (seed_plan) {
       state.add_send_routed(s.dest, seed_plan->layout().seed_first_dim[next_sub_id], off,
-                            static_cast<std::uint32_t>(s.bytes.size()), next_sub_id);
-    else
-      state.add_send(s.dest, off, static_cast<std::uint32_t>(s.bytes.size()), next_sub_id);
+                            size, next_sub_id);
+    } else {
+      state.add_send(s.dest, off, size, next_sub_id);
+    }
     ++next_sub_id;
     seed_bytes += s.bytes.size();
   }
@@ -875,6 +970,7 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
     h.kind = kind;
     h.stage = static_cast<std::uint16_t>(stage < 0 ? 0 : stage);
     h.epoch = epoch;
+    h.member_epoch = mem.epoch;  // the view this frame's routing was decided under
     h.seq = next_seq;
     h.sender = me;
     OutFrame f;
@@ -895,7 +991,16 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
     ++f.attempts;
     stats_.wire_bytes_sent += f.wire.size();
     comm_->send(static_cast<int>(f.dest), kResilientDataTag, std::vector<std::byte>(f.wire));
-    f.next_retry = now + f.backoff;
+    auto delay = f.backoff;
+    if (jitter > 0.0 && delay > opt.retransmit_timeout) {
+      // Pull the retry earlier by a random fraction of the grown part of the
+      // backoff, so ranks that collided once don't retry in lockstep forever.
+      const double u = std::uniform_real_distribution<double>(0.0, 1.0)(jitter_rng);
+      const auto span = static_cast<double>((delay - opt.retransmit_timeout).count());
+      delay -= std::chrono::milliseconds{
+          static_cast<std::chrono::milliseconds::rep>(u * jitter * span)};
+    }
+    f.next_retry = now + delay;
     // Cap the backoff well below the stage deadline: the settlement loop's
     // wall budget is max_settle_rounds * retransmit_timeout, and a retry
     // scheduled beyond it would be force-failed even though the peer was
@@ -916,9 +1021,24 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
     const core::FrameKind kind = frames[i].kind;
     const int fstage = frames[i].stage;
     std::vector<Submessage> subs = std::move(frames[i].subs);
-    if (kind == core::FrameKind::kData && opt.direct_fallback && !subs.empty()) {
+    // kRelay carries final-destination submessages just like kData, so a
+    // relay hop that stops answering (slow, nacking, or newly dead) degrades
+    // the same way: straight to per-destination kDirect frames. Without this
+    // a survivable crash could turn into reported loss between live ranks
+    // purely because the detour's first hop was congested.
+    if ((kind == core::FrameKind::kData || kind == core::FrameKind::kRelay) &&
+        opt.direct_fallback && !subs.empty()) {
       std::map<core::Rank, std::vector<Submessage>> groups;
-      for (const Submessage& s : subs) groups[s.dest].push_back(s);
+      for (const Submessage& s : subs) {
+        // A direct frame to a dead destination would never be acked and —
+        // being budget-exempt — would pin the settlement loop to its valve.
+        if (!mem.is_alive(s.dest)) {
+          ++stats_.dead_dest_submessages_dropped;
+          result.failure.lost.push_back({s.source, s.dest, s.size_bytes, fstage});
+          continue;
+        }
+        groups[s.dest].push_back(s);
+      }
       for (auto& [gdest, gsubs] : groups) {
         stats_.direct_fallback_submessages += static_cast<std::int64_t>(gsubs.size());
         make_frame(core::FrameKind::kDirect, -1, gdest,
@@ -944,6 +1064,104 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
   };
   auto send_ack = [&](core::Rank to, const core::FrameHeader& of) {
     send_control(core::FrameKind::kAck, to, of);
+  };
+
+  // Out-of-band deliveries: submessages for this rank that arrived via
+  // kDirect or kRelay frames instead of the stage machinery. Merged with the
+  // staged deliveries at the end under (source, id) dedup.
+  std::vector<Submessage> direct_delivered;
+  std::uint64_t direct_bytes = 0;
+
+  // --- the relay lane ------------------------------------------------------
+  // Detoured traffic cannot re-enter the stage machinery: store-and-forward
+  // fixes dimensions in ascending order and a detour around a dead rank
+  // breaks that order, so the stages downstream would never fix the skipped
+  // dimensions. Relay frames are instead event-driven — each receiver
+  // delivers its own submessages and forwards the rest one greedy-alive hop
+  // closer (strictly decreasing Hamming distance, so no cycles even under
+  // stale membership views).
+  auto route_relayed = [&](std::vector<Submessage> subs, bool count_as_relay) {
+    std::map<core::Rank, std::vector<Submessage>> groups;
+    for (const Submessage& s : subs) {
+      if (s.dest == me) {
+        direct_delivered.push_back(s);
+        direct_bytes += s.size_bytes;
+        continue;
+      }
+      if (!mem.is_alive(s.dest)) {
+        ++stats_.dead_dest_submessages_dropped;
+        result.failure.lost.push_back({s.source, s.dest, s.size_bytes, -1});
+        continue;
+      }
+      groups[core::greedy_next_hop(vpt_, mem.alive, me, s.dest)].push_back(s);
+    }
+    for (auto& [hop, gsubs] : groups) {
+      (count_as_relay ? stats_.relay_submessages : stats_.reinjected_submessages) +=
+          static_cast<std::int64_t>(gsubs.size());
+      make_frame(core::FrameKind::kRelay, -1, hop, StageMessage{me, hop, std::move(gsubs)});
+    }
+  };
+
+  // Membership transition: re-snapshot, announce the deaths to survivors,
+  // pull every tracked frame off dead destinations (re-homing its payload
+  // over the relay lane), and restamp the surviving in-flight frames with
+  // the new epoch so receivers don't refuse them as stale.
+  auto on_membership_change = [&] {
+    const runtime::MembershipSnapshot ns = comm_->membership().snapshot();
+    if (ns.epoch == mem.epoch) return;
+    mem = ns;
+    degraded = mem.alive_count < world;
+    ++stats_.epoch_transitions;
+    if (announced_epoch < mem.epoch) {
+      // One kFailureNotice per epoch per peer, fire-and-forget on the control
+      // tag. In-process the shared Membership is the detection authority and
+      // every rank's poll already sees the bump; the notice is the portable
+      // wire signal a distributed transport would rely on (and what the
+      // fuzz/replay tests exercise).
+      announced_epoch = mem.epoch;
+      std::vector<std::int32_t> dead;
+      for (int r = 0; r < world; ++r)
+        if (!mem.is_alive(r)) dead.push_back(r);
+      core::FrameHeader nh;
+      nh.kind = core::FrameKind::kFailureNotice;
+      nh.epoch = epoch;
+      nh.member_epoch = mem.epoch;
+      nh.seq = next_seq++;
+      nh.sender = me;
+      const auto body = core::encode_failure_notice(mem.epoch, dead);
+      for (int r = 0; r < world; ++r) {
+        if (r == static_cast<int>(me) || !mem.is_alive(r)) continue;
+        auto w = core::encode_frame(nh, body);
+        stats_.wire_bytes_sent += w.size();
+        comm_->send(r, kResilientAckTag, std::move(w));
+        ++stats_.failure_notices_sent;
+      }
+    }
+    const std::size_t tracked = frames.size();  // route_relayed appends; don't revisit
+    for (std::size_t i = 0; i < tracked; ++i) {
+      if (frames[i].failed || mem.is_alive(frames[i].dest)) continue;
+      const bool was_acked = frames[i].acked;
+      const core::FrameKind kind = frames[i].kind;
+      frames[i].failed = true;  // its receiver no longer exists; stop the pump
+      std::vector<Submessage> subs = std::move(frames[i].subs);
+      if (kind == core::FrameKind::kDirect) {
+        // An acked direct frame was delivered before the death — the copy
+        // died with its owner, nothing to re-home. An unacked one is lost.
+        if (!was_acked) {
+          for (const Submessage& s : subs) {
+            ++stats_.dead_dest_submessages_dropped;
+            result.failure.lost.push_back({s.source, s.dest, s.size_bytes, -1});
+          }
+        }
+        continue;
+      }
+      // kData / kRelay: the dead rank's forward obligations die with it even
+      // when it acked. Reinject everything bound elsewhere; end-to-end
+      // (source, id) dedup absorbs whatever it managed to forward first.
+      route_relayed(std::move(subs), /*count_as_relay=*/false);
+    }
+    for (OutFrame& f : frames)
+      if (!f.acked && !f.failed) core::restamp_member_epoch(f.wire, mem.epoch);
   };
 
   // Retransmit / give-up pass. Returns the earliest pending retry time (or
@@ -991,8 +1209,6 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
     std::vector<std::byte> body;
   };
   std::vector<EarlyFrame> early;  // frames from neighbors already past us
-  std::vector<Submessage> direct_delivered;
-  std::uint64_t direct_bytes = 0;
 
   auto accept_stage_subs = [&](int stage, core::Rank sender, std::span<const std::byte> body) {
     const std::vector<Submessage> subs = core::deserialize_tracked(body, arena);
@@ -1008,11 +1224,27 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
     for (runtime::Message& m : comm_->drain(kResilientAckTag)) {
       const auto dec = core::decode_frame(m.data);
       if (!dec || (dec->header.kind != core::FrameKind::kAck &&
-                   dec->header.kind != core::FrameKind::kNack)) {
+                   dec->header.kind != core::FrameKind::kNack &&
+                   dec->header.kind != core::FrameKind::kFailureNotice)) {
         ++stats_.corrupt_frames_discarded;
         continue;
       }
       if (dec->header.epoch != epoch) continue;  // stale, not corrupt
+      if (dec->header.kind == core::FrameKind::kFailureNotice) {
+        const auto notice = core::decode_failure_notice(dec->body);
+        if (!notice) {
+          ++stats_.corrupt_frames_discarded;  // mutated body: reject outright
+          continue;
+        }
+        ++stats_.failure_notices_received;
+        // Epoch gate: compare the announced epoch against our current
+        // membership before acting. The shared Membership is the in-process
+        // authority on *who* died, so a newer notice triggers a re-snapshot
+        // rather than trusting the announced dead list — a corrupt or forged
+        // notice can therefore never kill a healthy rank.
+        if (notice->membership_epoch > mem.epoch) on_membership_change();
+        continue;
+      }
       const auto it = frame_by_seq.find(dec->header.seq);
       if (it == frame_by_seq.end()) continue;
       const std::size_t idx = it->second;
@@ -1032,7 +1264,8 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
     for (runtime::Message& m : comm_->drain(kResilientDataTag)) {
       const auto dec = core::decode_frame(m.data);
       if (!dec || (dec->header.kind != core::FrameKind::kData &&
-                   dec->header.kind != core::FrameKind::kDirect)) {
+                   dec->header.kind != core::FrameKind::kDirect &&
+                   dec->header.kind != core::FrameKind::kRelay)) {
         ++stats_.corrupt_frames_discarded;  // truncated / bit-rotted / mis-tagged
         continue;
       }
@@ -1062,6 +1295,19 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
         ++stats_.messages_received;
         continue;
       }
+      if (h.kind == core::FrameKind::kRelay) {
+        send_ack(sender, h);  // re-ack duplicates: our earlier ack may have died
+        if (!seen.insert(key).second) {
+          ++stats_.duplicate_frames_discarded;
+          continue;
+        }
+        std::vector<Submessage> subs = core::deserialize_tracked(dec->body, arena);
+        ++stats_.messages_received;
+        // Deliver our own submessages; forward the rest one greedy-alive hop
+        // closer to their destinations under our *current* membership view.
+        route_relayed(std::move(subs), /*count_as_relay=*/true);
+        continue;
+      }
       // kData
       const int fstage = static_cast<int>(h.stage);
       if (fstage >= n ||
@@ -1072,6 +1318,16 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
       if (seen.count(key) != 0) {
         send_ack(sender, h);
         ++stats_.duplicate_frames_discarded;
+        continue;
+      }
+      if (h.member_epoch < mem.epoch) {
+        // The sender routed this frame under a membership view that predates
+        // a death we already observed; its forwarding decisions are suspect.
+        // Nack so the sender re-decides now rather than after its retry
+        // budget (its own epoch poll restamps in-flight frames, so only the
+        // race window is refused).
+        ++stats_.stale_epoch_frames_refused;
+        send_control(core::FrameKind::kNack, sender, h);
         continue;
       }
       if (fstage < cur_stage) {
@@ -1094,9 +1350,31 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
   };
 
   // --- the staged exchange -------------------------------------------------
+  // Seeds whose canonical first hop died enter the relay lane now; the first
+  // pump_sends transmits them alongside the stage frames.
+  if (!relay_seeds.empty()) route_relayed(std::move(relay_seeds), /*count_as_relay=*/true);
   std::vector<core::Rank> nbrs;
   std::vector<StageMessage> outbox;
   std::uint64_t transit_peak = 0;
+
+  // Settlement traffic (reliable control tags) can arrive before this rank
+  // is ready to act on it: a peer that finished all its stages reports
+  // settled while we are still mid-stage, and after a root re-election a
+  // report can reach a rank that has not yet observed it became root. Both
+  // wait loops below block on "any message arrived", so a message nobody
+  // drains would make wait_message return immediately forever — a busy spin
+  // against the stage deadline. Absorb the control tags into buffers on
+  // every iteration instead; the settlement phase consumes the buffers.
+  constexpr int kSettleReportTag = -1002;
+  constexpr int kSettleDoneTag = -1003;
+  std::vector<runtime::Message> settle_reports;
+  std::vector<runtime::Message> settle_dones;
+  auto absorb_settle_traffic = [&] {
+    for (runtime::Message& m : comm_->drain(kSettleReportTag))
+      settle_reports.push_back(std::move(m));
+    for (runtime::Message& m : comm_->drain(kSettleDoneTag))
+      settle_dones.push_back(std::move(m));
+  };
   for (cur_stage = 0; cur_stage < n; ++cur_stage) {
     verify_stage_tag(static_cast<int>(me), cur_stage);
     if (injector != nullptr) injector->at_stage(static_cast<int>(me), cur_stage);
@@ -1114,6 +1392,14 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
       StageMessage msg{me, nbr, {}};
       if (const auto it = outbox_by_dest.find(nbr); it != outbox_by_dest.end())
         msg.subs = std::move(outbox[it->second].subs);
+      if (!mem.is_alive(nbr)) {
+        // Dead neighbor: this rank is the pivot for whatever the stage would
+        // have funneled through it — the dynamic counterpart of the repaired
+        // plan's PivotSend set. No empty frame either; receivers only count
+        // alive senders.
+        route_relayed(std::move(msg.subs), /*count_as_relay=*/false);
+        continue;
+      }
 #if STFW_VALIDATE_ENABLED
       if (validator) validator->on_stage_send(cur_stage, msg);
 #endif
@@ -1133,18 +1419,27 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
     }
 
     const auto stage_end = verify::verify_now() + opt.stage_deadline;
-    const auto want = static_cast<std::size_t>(vpt_.dim_size(cur_stage) - 1);
     for (;;) {
+      if (comm_->membership().epoch() != mem.epoch) on_membership_change();
       process_incoming();
+      absorb_settle_traffic();
       const auto now = verify::verify_now();
       const auto next_event = pump_sends(now);
+      // Recomputed every iteration: a neighbor dying mid-stage shrinks the
+      // expected sender count, so the stage completes among survivors
+      // instead of waiting out the full deadline for a frame that can never
+      // arrive.
+      std::size_t want = 0;
+      for (const core::Rank nbr : nbrs)
+        if (mem.is_alive(nbr)) ++want;
       if (stage_got[static_cast<std::size_t>(cur_stage)].size() >= want) break;
       if (now >= stage_end) {
         // Note the gap and move on: the silent senders will fail their
         // retries and re-route directly, or report the loss themselves.
         ++stats_.timeouts;
         for (const core::Rank nbr : nbrs)
-          if (stage_got[static_cast<std::size_t>(cur_stage)].count(nbr) == 0)
+          if (mem.is_alive(nbr) &&
+              stage_got[static_cast<std::size_t>(cur_stage)].count(nbr) == 0)
             result.failure.missing.push_back({cur_stage, nbr});
         break;
       }
@@ -1159,27 +1454,33 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
 #endif
   }
 
-  // --- settlement: serve acks/retransmits until every rank is done ---------
+  // --- settlement: serve acks/retransmits until every survivor is done -----
   // Event-driven termination instead of a blocking collective: a rank stuck
   // inside an allgather cannot retransmit or ack, which starves peers into
-  // full stage-deadline waits. Here every rank keeps pumping until the whole
-  // cluster is settled; "settled" reports flow to rank 0 over the reliable
-  // control tags (negative tags; the injector leaves them alone by default —
-  // the "reliable side channel" of the fault model) and rank 0 broadcasts
-  // completion. A safety valve bounds the wait: past it, outstanding frames
-  // are declared lost so the exchange always terminates.
+  // full stage-deadline waits — and a rank-0-rooted allgather would hang
+  // forever if rank 0 died. Here every rank keeps pumping until the
+  // *surviving* cluster is settled: "settled" reports flow to the lowest
+  // alive rank (the root, re-elected on every epoch change) over the
+  // reliable control tags (negative tags; the injector leaves them alone by
+  // default — the "reliable side channel" of the fault model), and the root
+  // broadcasts a verdict-carrying completion — whether anything was lost
+  // anywhere, and the final membership — so all survivors agree on
+  // fully_recovered and degraded without a collective. Safety valves bound
+  // both phases: past the first, outstanding frames are declared lost; past
+  // the second, a rank stops waiting for the verdict and reports
+  // conservatively (fully_recovered = false) rather than hang.
   {
-    constexpr int kSettleReportTag = -1002;
-    constexpr int kSettleDoneTag = -1003;
     // Peers still mid-exchange may legitimately lag by up to one stage
     // deadline per remaining stage before they can start answering.
     const auto settle_valve = verify::verify_now() + opt.stage_deadline * n +
                               opt.retransmit_timeout * opt.max_settle_rounds;
-    const int world = comm_->size();
-    std::set<int> settled_ranks;  // rank 0 only
-    bool reported = false;
+    const auto verdict_valve = settle_valve + opt.stage_deadline;
+    std::set<int> settled_ranks;  // root only
+    bool peer_lost = false;       // root only
+    int reported_to = -1;         // last root we sent our settled report to
     bool done = false;
     while (!done) {
+      if (comm_->membership().epoch() != mem.epoch) on_membership_change();
       process_incoming();
       if (verify::verify_now() >= settle_valve) {
         // Whatever is still unacked is now a definite loss. No direct
@@ -1193,22 +1494,65 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
         }
       }
       const auto next_event = pump_sends(verify::verify_now());
-      if (!reported && all_settled_locally()) {
-        reported = true;
-        if (me == 0)
-          settled_ranks.insert(0);
-        else
-          comm_->send(0, kSettleReportTag, std::vector<std::byte>{std::byte{1}});
+      absorb_settle_traffic();
+      const int root = mem.lowest_alive;
+      if (all_settled_locally()) {
+        if (static_cast<int>(me) == root) {
+          settled_ranks.insert(root);
+        } else if (reported_to != root) {
+          // (Re-)report whenever the root changed: a newly elected root
+          // starts with an empty roster, so every survivor repeats its
+          // report to it. Body: { settled = 1, lost-anything flag }.
+          std::vector<std::byte> rep(2);
+          rep[0] = std::byte{1};
+          rep[1] = static_cast<std::byte>(result.failure.lost.empty() ? 0 : 1);
+          comm_->send(root, kSettleReportTag, std::move(rep));
+          reported_to = root;
+        }
       }
-      if (me == 0) {
-        for (const runtime::Message& m : comm_->drain(kSettleReportTag))
+      if (static_cast<int>(me) == root) {
+        for (const runtime::Message& m : settle_reports) {
           settled_ranks.insert(m.source);
-        if (reported && static_cast<int>(settled_ranks.size()) == world) {
-          for (int r = 1; r < world; ++r)
-            comm_->send(r, kSettleDoneTag, std::vector<std::byte>{std::byte{1}});
+          if (m.data.size() >= 2 && m.data[1] != std::byte{0}) peer_lost = true;
+        }
+        settle_reports.clear();
+        bool all = all_settled_locally();
+        for (int r = 0; all && r < world; ++r)
+          if (mem.is_alive(r) && settled_ranks.count(r) == 0) all = false;
+        if (all) {
+          // Verdict body: { any_lost, i32 alive_count, u32 membership epoch }
+          // — enough for every survivor to set fully_recovered and degraded
+          // to the same values the root saw.
+          const bool any_lost = peer_lost || !result.failure.lost.empty();
+          std::vector<std::byte> verdict(9);
+          verdict[0] = static_cast<std::byte>(any_lost ? 1 : 0);
+          const std::int32_t ac = mem.alive_count;
+          std::memcpy(verdict.data() + 1, &ac, 4);
+          std::memcpy(verdict.data() + 5, &mem.epoch, 4);
+          for (int r = 0; r < world; ++r)
+            if (r != root && mem.is_alive(r))
+              comm_->send(r, kSettleDoneTag, std::vector<std::byte>(verdict));
+          result.fully_recovered = !any_lost;
+          result.degraded = mem.alive_count < world;
           done = true;
         }
-      } else if (!comm_->drain(kSettleDoneTag).empty()) {
+      } else {
+        for (const runtime::Message& m : settle_dones) {
+          if (m.data.size() < 9) continue;
+          std::int32_t ac = world;
+          std::memcpy(&ac, m.data.data() + 1, 4);
+          result.fully_recovered = m.data[0] == std::byte{0};
+          result.degraded = ac < world;
+          done = true;
+        }
+        settle_dones.clear();
+      }
+      if (!done && verify::verify_now() >= verdict_valve) {
+        // The verdict never arrived (e.g. the root died after a partial
+        // broadcast and the re-election raced our exit). Terminate with a
+        // conservative local verdict instead of hanging.
+        result.fully_recovered = false;
+        result.degraded = degraded;
         done = true;
       }
       if (!done) {
@@ -1218,22 +1562,15 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
     }
   }
 
-  // Global recovery verdict, so every rank can branch on it collectively.
-  std::vector<std::byte> lost_flag{
-      static_cast<std::byte>(result.failure.lost.empty() ? 0 : 1)};
-  const auto lost_flags =
-      comm_->allgather(std::move(lost_flag), runtime::Deadline::in(opt.stage_deadline));
-  result.fully_recovered = true;
-  for (const auto& fb : lost_flags)
-    if (!fb.empty() && fb[0] != std::byte{0}) result.fully_recovered = false;
-
   // Epilogue: no rank transmits protocol frames past this point. Flush any
   // injector-delayed stragglers into the mailboxes and discard everything
   // still addressed to this exchange, so the next one starts clean (the
   // cluster asserts empty mailboxes between runs). The barriers are
-  // deliberately deadline-free: every rank has already passed the bounded
-  // settlement loop above, so arrival is unconditional, and a timeout here
-  // could strand delayed frames for the next exchange to trip over.
+  // deliberately deadline-free: every *surviving* rank has already passed
+  // the bounded settlement loop above (and the barrier releases on the alive
+  // count, so the dead are not waited for), so arrival is unconditional, and
+  // a timeout here could strand delayed frames for the next exchange to trip
+  // over.
   comm_->barrier();  // stfw-lint: allow(l3-deadline) -- post-settlement; all ranks provably arrive
   comm_->flush_delayed();
   comm_->barrier();  // stfw-lint: allow(l3-deadline) -- post-settlement; all ranks provably arrive
@@ -1244,6 +1581,7 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
 
   stats_.peak_buffer_bytes =
       seed_bytes + state.delivered_payload_bytes() + direct_bytes + transit_peak;
+  stats_.membership_epoch = mem.epoch;  // final view this rank finished under
 
   // Merge store-and-forward and direct deliveries, deduplicating by
   // (source, id): when a sender exhausts its retries even though the
@@ -1260,12 +1598,14 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
   }
 
 #if STFW_VALIDATE_ENABLED
-  if (validator && result.fully_recovered) {
+  if (validator && result.fully_recovered && !result.degraded) {
     // The conservation check is collective and only meaningful when nothing
-    // was lost anywhere; fully_recovered is globally agreed, so all ranks
-    // take this branch together. Deadline-bounded (stfw-lint l3-deadline
-    // flagged the bare overload): a rank dying here must surface as a
-    // TimeoutError, not a hang.
+    // was lost anywhere *and* membership is full (its allgather is rank-0
+    // rooted and its seed-side claims include traffic to dead ranks);
+    // fully_recovered and degraded come from the settlement verdict, so all
+    // survivors take this branch together. Deadline-bounded (stfw-lint
+    // l3-deadline flagged the bare overload): a rank dying here must surface
+    // as a TimeoutError, not a hang.
     const auto summaries = comm_->allgather(validator->summary_blob(),
                                             runtime::Deadline::in(opt.stage_deadline));
     validator->finish(delivered, arena, stats_.messages_sent, summaries);

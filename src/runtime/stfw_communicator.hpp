@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/metrics.hpp"
+#include "core/plan_repair.hpp"
 #include "core/rank_state.hpp"
 #include "core/sync.hpp"
 #include "core/vpt.hpp"
@@ -75,6 +76,19 @@ struct LocalExchangeStats {
   std::int64_t acks_sent = 0;
   std::int64_t acks_received = 0;
   std::int64_t direct_fallback_submessages = 0;  // re-routed past a dead neighbor link
+
+  // Rank-failure survival (exchange_resilient only; docs/fault_model.md,
+  // "Membership epochs and degraded mode"). membership_epoch is the epoch
+  // this rank finished the exchange at; the counters are per-exchange.
+  std::uint32_t membership_epoch = 0;
+  std::int64_t epoch_transitions = 0;    // membership changes observed mid-exchange
+  std::int64_t failure_notices_sent = 0;
+  std::int64_t failure_notices_received = 0;
+  std::int64_t stale_epoch_frames_refused = 0;  // nacked: sender's view predates a death
+  std::int64_t relay_submessages = 0;      // subs carried over the relay lane
+  std::int64_t reinjected_submessages = 0;  // subs re-homed off frames to dead ranks
+  std::int64_t dead_dest_submessages_dropped = 0;  // traffic whose destination died
+  std::int64_t plan_repairs = 0;  // 1 when a degraded replay repaired a cached plan
 };
 
 /// Tuning knobs of exchange_resilient(). Defaults suit the in-process
@@ -102,6 +116,15 @@ struct ResilienceOptions {
   /// Re-route the submessages of a retry-exhausted frame straight to their
   /// final destinations instead of declaring them lost immediately.
   bool direct_fallback = true;
+  /// Decorrelation jitter on the retransmit backoff, in [0, 1]. Each retry
+  /// waits backoff - U[0,1) * retry_jitter * (backoff - retransmit_timeout):
+  /// 0 keeps the exact deterministic schedule, 1 spreads retries uniformly
+  /// between the base timeout and the full backoff so colliding ranks
+  /// decorrelate instead of thundering in lockstep. The STFW_RETRY_JITTER
+  /// environment variable overrides this field (strict parse). Draws come
+  /// from a per-(rank, exchange) seeded generator, so runs — including
+  /// schedule exploration under STFW_VERIFY — stay deterministic.
+  double retry_jitter = 0.0;
 };
 
 /// What one rank could not recover in a resilient exchange. empty() means
@@ -131,6 +154,9 @@ struct ResilientExchangeResult {
   /// False iff any rank of the cluster reported lost submessages this
   /// exchange (globally agreed, so all ranks can branch on it collectively).
   bool fully_recovered = true;
+  /// True iff the exchange finished with at least one rank dead (agreed via
+  /// the settlement verdict, so survivors can branch on it collectively).
+  bool degraded = false;
 };
 
 /// Collective store-and-forward exchange over a threaded-runtime Comm.
@@ -190,8 +216,18 @@ public:
   /// Executes Algorithm 1 over the resilient frame protocol: per-stage
   /// ack/retransmit with bounded exponential backoff, duplicate suppression,
   /// checksum rejection, direct-routing fallback and a per-rank failure
-  /// report. Collective; all ranks must pass equal options. No foreign
-  /// traffic may share the communicator's tags while it runs.
+  /// report. Collective among the *alive* ranks; all must pass equal
+  /// options. No foreign traffic may share the communicator's tags while it
+  /// runs.
+  ///
+  /// Unlike plain exchange(), this mode survives rank failure: when a rank
+  /// dies (fault::RankCrashedError) the membership epoch advances, survivors
+  /// announce the death with kFailureNotice frames, incrementally repair any
+  /// cached plan instead of re-recording it, re-home traffic stranded at the
+  /// dead rank over the relay lane (kRelay frames, greedy-alive next hops),
+  /// and complete the exchange among themselves with exactly-once delivery —
+  /// frames are epoch-stamped and stale-epoch stage traffic is nacked. See
+  /// docs/fault_model.md, "Membership epochs and degraded mode".
   [[nodiscard]] ResilientExchangeResult exchange_resilient(
       std::span<const OutboundMessage> sends, const ResilienceOptions& options = {});
 
@@ -237,6 +273,13 @@ private:
   int epoch_ = 0;  // distinguishes tags across repeated exchanges
   bool validate_;
   LocalExchangeStats stats_;
+  // Single-slot cache of the last incremental plan repair, keyed by pattern
+  // signature and membership epoch. Thread-confined to the owning rank's
+  // exchange thread (like stats_), so no lock: repeated degraded iterations
+  // replay the same repaired routing without re-diffing the layout.
+  std::shared_ptr<const core::RepairedPlan> repaired_plan_;
+  std::uint64_t repaired_sig_key_ = 0;
+  std::uint32_t repaired_epoch_ = 0;
   mutable core::Mutex plan_cache_mu_;
   std::vector<PlanCacheEntry> plan_cache_ STFW_GUARDED_BY(plan_cache_mu_);
   std::size_t plan_cache_capacity_ STFW_GUARDED_BY(plan_cache_mu_);

@@ -1,5 +1,6 @@
 #include "runner.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "core/error.hpp"
@@ -99,6 +100,104 @@ std::vector<double> run_distributed(runtime::Cluster& cluster, const SpmvProblem
       result[static_cast<std::size_t>(plan.owned_rows[i])] = y_local[i];
   });
 
+  return result;
+}
+
+std::vector<double> run_distributed_resilient(runtime::Cluster& cluster,
+                                              const SpmvProblem& problem, const core::Vpt& vpt,
+                                              std::span<const double> x0, int iterations,
+                                              ResilientRunReport* report) {
+  require(problem.has_plans(), "run_distributed_resilient: problem built without numeric plans");
+  require(cluster.size() == problem.num_ranks(),
+          "run_distributed_resilient: cluster size mismatch");
+  require(x0.size() == static_cast<std::size_t>(problem.matrix().num_rows()),
+          "run_distributed_resilient: x size mismatch");
+  require(iterations >= 1, "run_distributed_resilient: need at least one iteration");
+
+  const auto num_ranks = static_cast<std::size_t>(problem.num_ranks());
+  std::vector<double> result(x0.size(), 0.0);
+  // Per-rank slots so the rank threads never share a counter; reduced into
+  // the report after the run.
+  std::vector<ExchangeStatsTotals> totals(num_ranks);
+  std::vector<std::int64_t> degraded_iters(num_ranks, 0);
+  std::vector<std::int64_t> transitions(num_ranks, 0);
+  std::vector<std::int64_t> repairs(num_ranks, 0);
+  std::vector<std::uint32_t> final_epoch(num_ranks, 0);
+
+  cluster.run([&](runtime::Comm& comm) {
+    const auto me = static_cast<Rank>(comm.rank());
+    const RankPlan& plan = problem.plan(me);
+    StfwCommunicator communicator(comm, vpt);
+
+    std::vector<double> x_local(plan.x_slot_global.size(), 0.0);
+    const std::size_t num_owned = plan.owned_rows.size();
+    for (std::size_t i = 0; i < num_owned; ++i)
+      x_local[i] = x0[static_cast<std::size_t>(plan.owned_rows[i])];
+    std::vector<double> y_local(num_owned, 0.0);
+    std::vector<double> scratch;
+
+    std::vector<OutboundMessage> sends(plan.sends.size());
+    for (std::size_t i = 0; i < plan.sends.size(); ++i) {
+      sends[i].dest = plan.sends[i].dest;
+      sends[i].bytes.resize(plan.sends[i].x_slots.size() * sizeof(double));
+    }
+
+    for (int it = 0; it < iterations; ++it) {
+      for (std::size_t si = 0; si < plan.sends.size(); ++si) {
+        const RankPlan::SendTo& s = plan.sends[si];
+        scratch.resize(s.x_slots.size());
+        for (std::size_t i = 0; i < s.x_slots.size(); ++i)
+          scratch[i] = x_local[static_cast<std::size_t>(s.x_slots[i])];
+        std::memcpy(sends[si].bytes.data(), scratch.data(), sends[si].bytes.size());
+      }
+      const ResilientExchangeResult ex = communicator.exchange_resilient(sends);
+      const LocalExchangeStats& s = communicator.last_stats();
+      const std::size_t slot = static_cast<std::size_t>(me);
+      absorb_stats(totals[slot], s);
+      transitions[slot] += s.epoch_transitions;
+      repairs[slot] += s.plan_repairs;
+      final_epoch[slot] = s.membership_epoch;
+      if (ex.degraded) ++degraded_iters[slot];
+
+      // Tolerant inbound matching: a source that died simply stops sending,
+      // so its ghost entries freeze at the last received values instead of
+      // failing the run. Both lists are sorted by source rank.
+      std::size_t di = 0;
+      for (const RankPlan::RecvFrom& r : plan.recvs) {
+        while (di < ex.delivered.size() && ex.delivered[di].source < r.source) ++di;
+        if (di >= ex.delivered.size() || ex.delivered[di].source != r.source) continue;
+        if (ex.delivered[di].bytes.size() != r.ghost_slots.size() * sizeof(double)) continue;
+        scratch.resize(r.ghost_slots.size());
+        unpack_doubles(ex.delivered[di].bytes, scratch);
+        for (std::size_t j = 0; j < r.ghost_slots.size(); ++j)
+          x_local[static_cast<std::size_t>(r.ghost_slots[j])] = scratch[j];
+      }
+
+      plan.local.spmv(x_local, y_local);
+      if (it + 1 < iterations)
+        std::copy(y_local.begin(), y_local.end(), x_local.begin());  // x <- y
+    }
+
+    // Threads share the result buffer; owned rows are disjoint across ranks,
+    // and a dead rank never reaches this write.
+    for (std::size_t i = 0; i < num_owned; ++i)
+      result[static_cast<std::size_t>(plan.owned_rows[i])] = y_local[i];
+  });
+
+  if (report != nullptr) {
+    report->totals = std::move(totals);
+    report->failed_ranks = cluster.membership().failed();
+    report->membership_epoch = 0;
+    report->degraded_iterations = 0;
+    report->epoch_transitions = 0;
+    report->plan_repairs = 0;
+    for (std::size_t r = 0; r < num_ranks; ++r) {
+      report->membership_epoch = std::max(report->membership_epoch, final_epoch[r]);
+      report->degraded_iterations = std::max(report->degraded_iterations, degraded_iters[r]);
+      report->epoch_transitions += transitions[r];
+      report->plan_repairs += repairs[r];
+    }
+  }
   return result;
 }
 

@@ -42,6 +42,29 @@ std::vector<double> run_distributed(runtime::Cluster& cluster, const SpmvProblem
                                     int iterations = 1,
                                     std::vector<ExchangeStatsTotals>* totals = nullptr);
 
+/// What a resilient distributed run observed (see run_distributed_resilient).
+struct ResilientRunReport {
+  std::vector<ExchangeStatsTotals> totals;  // per rank, like run_distributed
+  std::vector<std::int32_t> failed_ranks;   // ranks dead when the run ended
+  std::uint32_t membership_epoch = 0;       // highest epoch any rank finished under
+  std::int64_t degraded_iterations = 0;     // max per-rank iterations run degraded
+  std::int64_t epoch_transitions = 0;       // summed over ranks
+  std::int64_t plan_repairs = 0;            // summed over ranks
+};
+
+/// Rank-failure-surviving variant of run_distributed: exchanges run over
+/// exchange_resilient, and when a rank dies mid-run (a survivable injected
+/// crash) the survivors keep iterating on their own partitions — ghost
+/// entries whose source died freeze at their last received value, and the
+/// dead rank's owned rows keep whatever the result buffer last held (zero if
+/// it never finished). On a healthy cluster the result is bit-identical to
+/// run_distributed. See docs/fault_model.md, "Membership epochs and degraded
+/// mode".
+std::vector<double> run_distributed_resilient(runtime::Cluster& cluster,
+                                              const SpmvProblem& problem, const core::Vpt& vpt,
+                                              std::span<const double> x0, int iterations = 1,
+                                              ResilientRunReport* report = nullptr);
+
 /// SpMM variant: X0 is row-major with num_vectors columns; `iterations` of
 /// X <- A X. Each communicated x entry carries num_vectors doubles, so the
 /// exchange sits num_vectors times deeper in the bandwidth regime — the

@@ -69,4 +69,68 @@ std::string check_exchange_delivery(const ExchangeObservation& obs) {
   return {};
 }
 
+std::string check_exchange_delivery_survivors(const ExchangeObservation& obs,
+                                              const std::vector<std::uint8_t>& alive) {
+  if (obs.sends.size() != obs.delivered.size())
+    return "observation is lopsided: " + std::to_string(obs.sends.size()) +
+           " send slots vs " + std::to_string(obs.delivered.size()) +
+           " delivery slots";
+  const int n = static_cast<int>(obs.sends.size());
+  if (alive.size() != static_cast<std::size_t>(n))
+    return "alive bitmap size (" + std::to_string(alive.size()) +
+           ") does not match the observation (" + std::to_string(n) + " ranks)";
+  const auto is_alive = [&](int r) { return alive[static_cast<std::size_t>(r)] != 0; };
+
+  std::map<PairKey, PayloadMultiset> posted;
+  for (int src = 0; src < n; ++src) {
+    for (const OutboundMessage& m : obs.sends[static_cast<std::size_t>(src)]) {
+      if (m.dest < 0 || m.dest >= n)
+        return "rank " + std::to_string(src) + " posted to out-of-range dest " +
+               std::to_string(m.dest);
+      ++posted[{src, static_cast<int>(m.dest)}][m.bytes];
+    }
+  }
+
+  for (int dst = 0; dst < n; ++dst) {
+    if (!is_alive(dst)) continue;  // a dead rank never returned its inbox
+    const auto& inbox = obs.delivered[static_cast<std::size_t>(dst)];
+    for (std::size_t i = 1; i < inbox.size(); ++i)
+      if (inbox[i - 1].source > inbox[i].source)
+        return "rank " + std::to_string(dst) +
+               " deliveries not sorted by source (…" +
+               std::to_string(inbox[i - 1].source) + ", " +
+               std::to_string(inbox[i].source) + "…)";
+    for (const InboundMessage& m : inbox) {
+      // Conservation and no-duplication hold for every delivery, dead or
+      // alive source: consuming from the posted multiset rejects both
+      // fabricated payloads and second copies.
+      const PairKey key{static_cast<int>(m.source), dst};
+      auto it = posted.find(key);
+      if (it == posted.end())
+        return "conservation violated: rank " + std::to_string(dst) +
+               " received a message from " + std::to_string(m.source) +
+               " with no outstanding post (fabricated or duplicated)";
+      auto pit = it->second.find(m.bytes);
+      if (pit == it->second.end())
+        return "conservation violated: " + pair_name(key) + " delivered a " +
+               std::to_string(m.bytes.size()) +
+               "-byte payload that does not match any outstanding post";
+      if (--pit->second == 0) it->second.erase(pit);
+      if (it->second.empty()) posted.erase(it);
+    }
+  }
+
+  // Leftover posts between two survivors are real losses; leftovers with a
+  // dead endpoint are the expected cost of the crash.
+  for (const auto& [key, payloads] : posted) {
+    if (!is_alive(key.first) || !is_alive(key.second)) continue;
+    int lost = 0;
+    for (const auto& [bytes, count] : payloads) lost += count;
+    return "survivor exactly-once violated: " + std::to_string(lost) +
+           " message(s) " + pair_name(key) +
+           " posted between live ranks but never delivered";
+  }
+  return {};
+}
+
 }  // namespace stfw::verify

@@ -46,4 +46,15 @@ struct ExchangeObservation {
 /// a description of the first violation found.
 std::string check_exchange_delivery(const ExchangeObservation& obs);
 
+/// Degraded-mode oracle: the exchange contract restricted to the ranks that
+/// survived. `alive` is indexed by rank (nonzero = alive). Traffic between
+/// two alive ranks must satisfy the full contract — exactly-once delivery,
+/// payload conservation, per-rank source order. Traffic with a dead endpoint
+/// may be lost (the rank died mid-exchange) but can never be fabricated or
+/// duplicated: everything delivered must still match a posted payload.
+/// Observations recorded for dead ranks' own inboxes are ignored (a dead
+/// rank never returned from the exchange). Empty string when satisfied.
+std::string check_exchange_delivery_survivors(const ExchangeObservation& obs,
+                                              const std::vector<std::uint8_t>& alive);
+
 }  // namespace stfw::verify

@@ -1,0 +1,66 @@
+// Corpus: l7-epoch-check — frame handlers on recovery paths must gate on the
+// membership epoch before acting on a decoded frame.
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+struct FrameHeader {
+  std::uint16_t kind = 0;
+  std::uint32_t epoch = 0;
+  std::uint32_t member_epoch = 0;
+  std::int32_t sender = -1;
+};
+
+struct DecodedFrame {
+  FrameHeader header;
+  std::span<const std::byte> body;
+};
+
+std::optional<DecodedFrame> decode_frame(std::span<const std::byte> wire) noexcept;
+
+struct Membership {
+  std::uint32_t epoch = 0;
+};
+
+struct Inbox {
+  std::vector<std::vector<std::byte>> messages;
+};
+
+void deliver(const DecodedFrame& frame);
+void nack(std::int32_t sender);
+
+void process_incoming_notices(Inbox& inbox, const Membership& mem) {
+  for (const auto& wire : inbox.messages) {
+    const auto dec = decode_frame(wire);  // lint-expect: l7-epoch-check
+    if (!dec) continue;
+    // Acting on the frame with no epoch gate: a sender that routed this
+    // before a death we already observed gets its stale decisions applied.
+    deliver(*dec);
+  }
+  (void)mem;
+}
+
+// Near-miss: the same handler with the gate is correct — the frame's
+// membership claim is compared against the current epoch before delivery.
+void process_incoming_gated(Inbox& inbox, const Membership& mem) {
+  for (const auto& wire : inbox.messages) {
+    const auto dec = decode_frame(wire);
+    if (!dec) continue;
+    if (dec->header.member_epoch < mem.epoch) {
+      nack(dec->header.sender);
+      continue;
+    }
+    deliver(*dec);
+  }
+}
+
+// Near-miss: decoding outside a recovery/membership path is not this rule's
+// business (the plain exchange has no epochs to compare).
+void drain_plain_frames(Inbox& inbox) {
+  for (const auto& wire : inbox.messages) {
+    const auto dec = decode_frame(wire);
+    if (dec) deliver(*dec);
+  }
+}

@@ -612,6 +612,76 @@ TEST(ResilientExchange, DirectFallbackCanBeDisabled) {
   cluster.set_fault_injector(nullptr);
 }
 
+// ---------------------------------------------------------------------------
+// Retry-jitter decorrelation (rides along with the rank-failure work)
+
+TEST(RetryJitter, RejectsOutOfRangeValues) {
+  Cluster cluster(4);
+  EXPECT_THROW(cluster.run([](Comm& comm) {
+                 StfwCommunicator stfw(comm, core::Vpt({2, 2}));
+                 ResilienceOptions opt;
+                 opt.retry_jitter = 1.5;
+                 (void)stfw.exchange_resilient({}, opt);
+               }),
+               core::Error);
+  cluster.run([](Comm& comm) { comm.barrier(); });  // cluster stays usable
+}
+
+TEST(RetryJitter, MalformedEnvOverrideThrows) {
+  ::setenv("STFW_RETRY_JITTER", "plenty", 1);
+  Cluster cluster(2);
+  EXPECT_THROW(cluster.run([](Comm& comm) {
+                 StfwCommunicator stfw(comm, core::Vpt({2}));
+                 (void)stfw.exchange_resilient({});
+               }),
+               core::Error);
+  ::unsetenv("STFW_RETRY_JITTER");
+  cluster.run([](Comm& comm) { comm.barrier(); });
+}
+
+TEST(RetryJitter, FullJitterStillRecoversByteIdentical) {
+  // Maximum decorrelation must only reshuffle retry instants, never the
+  // recovered payloads. Driven through the environment override, the same
+  // path the benchmark and CI knobs use.
+  const auto vpt = core::Vpt({2, 2, 2});
+  const Rank K = vpt.size();
+  const auto baseline = fault_free_baseline(vpt);
+  auto injector = std::make_shared<FaultInjector>([] {
+    FaultConfig cfg;
+    cfg.seed = 11;
+    cfg.drop_prob = 0.08;
+    return cfg;
+  }());
+  ::setenv("STFW_RETRY_JITTER", "1.0", 1);
+  std::vector<ResilientExchangeResult> results(static_cast<std::size_t>(K));
+  std::vector<LocalExchangeStats> stats(static_cast<std::size_t>(K));
+  Cluster cluster(K);
+  cluster.set_fault_injector(injector);
+  cluster.run([&](Comm& comm) {
+    StfwCommunicator stfw(comm, vpt);
+    const auto me = static_cast<std::size_t>(comm.rank());
+    ResilienceOptions opt;
+    opt.retransmit_timeout = 3ms;
+    opt.max_attempts = 10;
+    opt.retry_jitter = 0.0;  // the env variable must override this
+    results[me] = stfw.exchange_resilient(all_to_all_sends(K, comm.rank()), opt);
+    stats[me] = stfw.last_stats();
+  });
+  cluster.set_fault_injector(nullptr);
+  ::unsetenv("STFW_RETRY_JITTER");
+
+  ASSERT_GT(injector->counters().drops, 0);
+  std::int64_t total_retransmits = 0;
+  for (Rank r = 0; r < K; ++r) {
+    auto& res = results[static_cast<std::size_t>(r)];
+    EXPECT_TRUE(res.fully_recovered) << "rank " << r << ": " << res.failure.to_string();
+    sort_by_source(res.delivered);
+    EXPECT_EQ(res.delivered, baseline[static_cast<std::size_t>(r)]) << "rank " << r;
+    total_retransmits += stats[static_cast<std::size_t>(r)].retransmits;
+  }
+  EXPECT_GT(total_retransmits, 0) << "drops were injected but nothing was retransmitted";
+}
+
 TEST(ResilientExchange, EnvironmentDrivenFaultMatrixEntry) {
   // The CI fault-matrix job drives this test through STFW_FAULT_* variables;
   // without them it runs one representative mid-rate configuration.

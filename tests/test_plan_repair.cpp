@@ -1,0 +1,392 @@
+#include "core/plan_repair.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "core/error.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/exchange_plan.hpp"
+#include "runtime/stfw_communicator.hpp"
+
+/// \file test_plan_repair.cpp
+/// Incremental plan repair after rank failure (core/plan_repair.hpp): the
+/// routing helpers, and repair_plan() diffing dead ranks out of real frozen
+/// layouts — checked rank-pairwise for frame consistency and end to end for
+/// exactly-once accounting of every surviving submessage.
+
+namespace stfw {
+namespace {
+
+using core::Rank;
+using core::Vpt;
+
+std::vector<std::uint8_t> all_alive(Rank K) {
+  return std::vector<std::uint8_t>(static_cast<std::size_t>(K), 1);
+}
+
+// ---------------------------------------------------------------------------
+// route_hops
+
+TEST(RouteHops, SelfRouteIsEmpty) {
+  const Vpt vpt({2, 2, 2});
+  for (Rank r = 0; r < vpt.size(); ++r) EXPECT_TRUE(core::route_hops(vpt, r, r).empty());
+}
+
+TEST(RouteHops, FollowsAscendingDimensionOrder) {
+  for (const Vpt& vpt : {Vpt({4, 2}), Vpt({2, 2, 2}), Vpt({3, 3}), Vpt({4, 2, 2})}) {
+    for (Rank src = 0; src < vpt.size(); ++src)
+      for (Rank dst = 0; dst < vpt.size(); ++dst) {
+        const auto hops = core::route_hops(vpt, src, dst);
+        ASSERT_EQ(static_cast<int>(hops.size()), vpt.hamming(src, dst))
+            << vpt.to_string() << " " << src << "->" << dst;
+        Rank cur = src;
+        int last_dim = -1;
+        for (const Rank hop : hops) {
+          const int d = vpt.first_diff_dim(cur, hop);
+          ASSERT_NE(d, -1);
+          EXPECT_GT(d, last_dim) << "route must fix dimensions in ascending order";
+          EXPECT_EQ(vpt.first_diff_dim_after(cur, hop, d), -1)
+              << "each hop must change exactly one coordinate";
+          EXPECT_EQ(vpt.coord(hop, d), vpt.coord(dst, d))
+              << "each hop must land on the destination's digit";
+          last_dim = d;
+          cur = hop;
+        }
+        if (src != dst) {
+          EXPECT_EQ(hops.back(), dst);
+        }
+      }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// greedy_next_hop
+
+TEST(GreedyNextHop, FullyAliveMatchesCanonicalRoute) {
+  const Vpt vpt({4, 2, 2});
+  const auto alive = all_alive(vpt.size());
+  for (Rank src = 0; src < vpt.size(); ++src)
+    for (Rank dst = 0; dst < vpt.size(); ++dst) {
+      if (src == dst) continue;
+      const auto hops = core::route_hops(vpt, src, dst);
+      EXPECT_EQ(core::greedy_next_hop(vpt, alive, src, dst), hops.front());
+    }
+}
+
+TEST(GreedyNextHop, FallsBackToDirectWhenEveryIntermediateIsDead) {
+  const Vpt vpt({2, 2, 2});
+  // Only src and dst survive: no aligned intermediate can be alive, so the
+  // relay must jump straight to the destination.
+  const Rank src = 0, dst = 7;
+  std::vector<std::uint8_t> alive(static_cast<std::size_t>(vpt.size()), 0);
+  alive[static_cast<std::size_t>(src)] = 1;
+  alive[static_cast<std::size_t>(dst)] = 1;
+  EXPECT_EQ(core::greedy_next_hop(vpt, alive, src, dst), dst);
+}
+
+TEST(GreedyNextHop, ChainsTerminateAndOnlyVisitSurvivors) {
+  // Random dead sets (destination kept alive): following greedy hops from
+  // any survivor must reach the destination within dim() steps and never
+  // step onto a dead rank — each hop fixes one more coordinate, so chains
+  // cannot cycle even though every hop re-evaluates liveness.
+  const Vpt vpt({4, 2, 2});
+  const Rank K = vpt.size();
+  std::mt19937_64 rng(2026);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> alive = all_alive(K);
+    const int deaths = static_cast<int>(rng() % static_cast<std::uint64_t>(K / 2));
+    for (int i = 0; i < deaths; ++i) alive[rng() % static_cast<std::uint64_t>(K)] = 0;
+    for (Rank src = 0; src < K; ++src) {
+      if (!alive[static_cast<std::size_t>(src)]) continue;
+      for (Rank dst = 0; dst < K; ++dst) {
+        if (dst == src || !alive[static_cast<std::size_t>(dst)]) continue;
+        Rank cur = src;
+        int steps = 0;
+        while (cur != dst) {
+          cur = core::greedy_next_hop(vpt, alive, cur, dst);
+          ASSERT_TRUE(alive[static_cast<std::size_t>(cur)])
+              << "greedy hop landed on dead rank " << cur;
+          ASSERT_LE(++steps, vpt.dim()) << src << "->" << dst << " did not converge";
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// repair_plan on real frozen layouts
+
+std::vector<std::byte> payload_for(Rank src, Rank dst, std::uint32_t salt) {
+  const std::size_t len =
+      static_cast<std::size_t>((src * 7 + dst * 13 + static_cast<Rank>(salt)) % 40) + 1;
+  std::vector<std::byte> b(len);
+  for (std::size_t i = 0; i < len; ++i)
+    b[i] = static_cast<std::byte>((static_cast<std::size_t>(src) * 31 + i + salt) & 0xff);
+  return b;
+}
+
+/// Deterministic dense-ish pattern with a self-send per rank, so layouts
+/// exercise kSelf seed routes alongside multi-hop forwarding.
+std::vector<std::vector<OutboundMessage>> repair_sendsets(Rank K) {
+  std::vector<std::vector<OutboundMessage>> sets(static_cast<std::size_t>(K));
+  std::mt19937_64 rng(99);
+  for (Rank i = 0; i < K; ++i) {
+    sets[static_cast<std::size_t>(i)].push_back({i, payload_for(i, i, 0)});
+    for (Rank j = 0; j < K; ++j) {
+      if (j == i || rng() % 100 >= 60) continue;
+      sets[static_cast<std::size_t>(i)].push_back({j, payload_for(i, j, 1)});
+    }
+  }
+  return sets;
+}
+
+/// Collectively builds every rank's frozen layout for `sets` over `vpt`.
+std::vector<core::ExchangePlanLayout> build_layouts(
+    const Vpt& vpt, const std::vector<std::vector<OutboundMessage>>& sets) {
+  const Rank K = vpt.size();
+  std::vector<core::ExchangePlanLayout> layouts(static_cast<std::size_t>(K));
+  runtime::Cluster cluster(K);
+  cluster.run([&](runtime::Comm& comm) {
+    StfwCommunicator stfw(comm, vpt);
+    const auto me = static_cast<std::size_t>(comm.rank());
+    layouts[me] = stfw.plan(sets[me])->layout();
+  });
+  return layouts;
+}
+
+/// Key of one expected submessage: (source, dest, id).
+using SubKey = std::tuple<Rank, Rank, std::uint32_t>;
+
+void check_repair(const Vpt& vpt, const std::vector<std::vector<OutboundMessage>>& sets,
+                  const std::vector<core::ExchangePlanLayout>& layouts, Rank dead) {
+  const Rank K = vpt.size();
+  std::vector<std::uint8_t> alive = all_alive(K);
+  alive[static_cast<std::size_t>(dead)] = 0;
+  const auto is_alive = [&](Rank r) { return alive[static_cast<std::size_t>(r)] != 0; };
+
+  std::vector<core::RepairedPlan> repaired(static_cast<std::size_t>(K));
+  for (Rank r = 0; r < K; ++r) {
+    if (!is_alive(r)) continue;
+    repaired[static_cast<std::size_t>(r)] =
+        core::repair_plan(layouts[static_cast<std::size_t>(r)], vpt, alive);
+  }
+
+  // (c) No repaired structure may reference the dead rank.
+  for (Rank r = 0; r < K; ++r) {
+    if (!is_alive(r)) continue;
+    const auto& lay = repaired[static_cast<std::size_t>(r)].layout;
+    for (const auto& stage_out : lay.out_frames)
+      for (const auto& f : stage_out) {
+        EXPECT_NE(f.to, dead) << "rank " << r << " still sends to the dead rank";
+        for (const auto& sub : f.subs) {
+          EXPECT_NE(sub.source, dead);
+          EXPECT_NE(sub.dest, dead);
+        }
+      }
+    for (const auto& stage_in : lay.in_frames)
+      for (const auto& f : stage_in) {
+        EXPECT_NE(f.source, dead) << "rank " << r << " still expects a dead sender";
+        for (const auto& sub : f.subs) {
+          EXPECT_NE(sub.source, dead);
+          EXPECT_NE(sub.dest, dead);
+        }
+      }
+    for (const auto& d : lay.deliveries) EXPECT_NE(d.source, dead);
+    for (const auto& p : repaired[static_cast<std::size_t>(r)].pivot_sends) {
+      EXPECT_NE(p.sub.source, dead);
+      EXPECT_NE(p.sub.dest, dead);
+      EXPECT_EQ(p.dead_hop, dead);
+    }
+  }
+
+  // (a) Pairwise frame consistency: for every alive (sender, receiver) pair
+  // and stage, the sender's repaired out-frame must agree with the
+  // receiver's repaired in-frame on wire size and submessage multiset.
+  for (Rank a = 0; a < K; ++a) {
+    if (!is_alive(a)) continue;
+    const auto& la = repaired[static_cast<std::size_t>(a)].layout;
+    for (int s = 0; s < static_cast<int>(la.out_frames.size()); ++s) {
+      for (const auto& out : la.out_frames[static_cast<std::size_t>(s)]) {
+        const auto& lb = repaired[static_cast<std::size_t>(out.to)].layout;
+        const core::PlanInFrame* match = nullptr;
+        for (const auto& in : lb.in_frames[static_cast<std::size_t>(s)])
+          if (in.source == a) {
+            ASSERT_EQ(match, nullptr) << "duplicate in-frame " << a << "->" << out.to;
+            match = &in;
+          }
+        ASSERT_NE(match, nullptr)
+            << "rank " << out.to << " lost the stage-" << s << " frame from " << a;
+        EXPECT_EQ(match->wire_size, out.image.size());
+        std::multiset<SubKey> sent, expected;
+        for (const auto& sub : out.subs) sent.insert({sub.source, sub.dest, sub.id});
+        for (const auto& sub : match->subs) {
+          expected.insert({sub.source, sub.dest, sub.id});
+          EXPECT_LE(static_cast<std::uint64_t>(sub.offset) + sub.size_bytes,
+                    match->wire_size)
+              << "in-frame offset table points past the repaired frame";
+        }
+        EXPECT_EQ(sent, expected) << "frame contents diverged " << a << "->" << out.to
+                                  << " at stage " << s;
+      }
+      // Symmetric direction: every expected in-frame must have a sender.
+      for (const auto& in : la.in_frames[static_cast<std::size_t>(s)]) {
+        const auto& lb = repaired[static_cast<std::size_t>(in.source)].layout;
+        int senders = 0;
+        for (const auto& out : lb.out_frames[static_cast<std::size_t>(s)])
+          if (out.to == a) ++senders;
+        EXPECT_EQ(senders, 1) << "rank " << a << " expects a stage-" << s
+                              << " frame from " << in.source << " that nobody sends";
+      }
+    }
+  }
+
+  // (b) Exactly-once accounting: every send of an alive source is handled by
+  // exactly one mechanism — a surviving static delivery, a seed relay at the
+  // origin, a pivot re-home at exactly one survivor, or (dead destination) a
+  // counted drop at the origin.
+  for (Rank src = 0; src < K; ++src) {
+    if (!is_alive(src)) continue;
+    const auto& rp = repaired[static_cast<std::size_t>(src)];
+    const auto& sends = sets[static_cast<std::size_t>(src)];
+    ASSERT_EQ(rp.seed_routes.size(), sends.size());
+    int dead_dest_drops = 0;
+    for (std::size_t i = 0; i < sends.size(); ++i) {
+      const Rank dst = sends[i].dest;
+      const auto& route = rp.seed_routes[i];
+      if (!is_alive(dst)) {
+        EXPECT_EQ(route.kind, core::SeedRoute::Kind::kDeadDest);
+        ++dead_dest_drops;
+        continue;
+      }
+      if (dst == src) {
+        EXPECT_EQ(route.kind, core::SeedRoute::Kind::kSelf);
+      }
+      // Routes of a send whose canonical path survives must stay kPlanned;
+      // kRelay only when the first hop died. Either way the aggregate check
+      // below pins each send to exactly one delivery mechanism.
+      if (route.kind == core::SeedRoute::Kind::kPlanned) {
+        const auto hops = core::route_hops(vpt, src, dst);
+        EXPECT_TRUE(is_alive(hops.front()))
+            << src << "->" << dst << " kept a planned route through a dead first hop";
+      }
+      if (route.kind == core::SeedRoute::Kind::kRelay) {
+        const auto hops = core::route_hops(vpt, src, dst);
+        EXPECT_FALSE(is_alive(hops.front()))
+            << src << "->" << dst << " was relayed although its first hop is alive";
+      }
+    }
+    EXPECT_EQ(rp.stats.subs_dropped_dead_dest, dead_dest_drops);
+
+    // Aggregate per destination: static deliveries + dynamic re-homes cover
+    // every alive-pair send exactly once.
+    std::map<Rank, int> sent_to, statically_delivered, dynamically_routed;
+    for (std::size_t i = 0; i < sends.size(); ++i) {
+      const Rank dst = sends[i].dest;
+      if (!is_alive(dst)) continue;
+      ++sent_to[dst];
+      if (rp.seed_routes[i].kind == core::SeedRoute::Kind::kRelay)
+        ++dynamically_routed[dst];
+    }
+    for (Rank h = 0; h < K; ++h) {
+      if (!is_alive(h)) continue;
+      for (const auto& p : repaired[static_cast<std::size_t>(h)].pivot_sends)
+        if (p.sub.source == src) ++dynamically_routed[p.sub.dest];
+    }
+    for (Rank dst = 0; dst < K; ++dst) {
+      if (!is_alive(dst)) continue;
+      for (const auto& d : repaired[static_cast<std::size_t>(dst)].layout.deliveries)
+        if (d.source == src) ++statically_delivered[dst];
+      EXPECT_EQ(statically_delivered[dst] + dynamically_routed[dst], sent_to[dst])
+          << "traffic " << src << "->" << dst << " (dead " << dead
+          << ") not covered exactly once";
+    }
+  }
+
+  // Frozen stats stay consistent with the repaired frames.
+  for (Rank r = 0; r < K; ++r) {
+    if (!is_alive(r)) continue;
+    const auto& lay = repaired[static_cast<std::size_t>(r)].layout;
+    std::int64_t frames = 0;
+    std::uint64_t wire = 0;
+    for (const auto& stage_out : lay.out_frames)
+      for (const auto& f : stage_out) {
+        ++frames;
+        wire += f.image.size();
+      }
+    EXPECT_EQ(lay.messages_sent, frames);
+    EXPECT_EQ(lay.wire_bytes_sent, wire);
+    std::uint64_t delivered = 0;
+    for (const auto& d : lay.deliveries) delivered += d.src.bytes;
+    EXPECT_EQ(lay.delivered_payload_bytes, delivered);
+  }
+}
+
+class PlanRepair : public ::testing::TestWithParam<std::vector<int>> {};
+
+TEST_P(PlanRepair, EverySingleFailureRepairsConsistently) {
+  const Vpt vpt(GetParam());
+  const auto sets = repair_sendsets(vpt.size());
+  const auto layouts = build_layouts(vpt, sets);
+  for (Rank dead = 0; dead < vpt.size(); ++dead)
+    check_repair(vpt, sets, layouts, dead);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PlanRepair,
+                         ::testing::Values(std::vector<int>{4, 2},
+                                           std::vector<int>{2, 2, 2},
+                                           std::vector<int>{4, 4},
+                                           std::vector<int>{2, 4, 2}));
+
+TEST(PlanRepairEdge, FullyAliveBitmapIsAnUntouchedCopy) {
+  const Vpt vpt({4, 2});
+  const auto sets = repair_sendsets(vpt.size());
+  const auto layouts = build_layouts(vpt, sets);
+  for (Rank r = 0; r < vpt.size(); ++r) {
+    const auto& pristine = layouts[static_cast<std::size_t>(r)];
+    const auto rp = core::repair_plan(pristine, vpt, all_alive(vpt.size()));
+    EXPECT_TRUE(rp.pivot_sends.empty());
+    EXPECT_EQ(rp.stats.out_frames_removed, 0);
+    EXPECT_EQ(rp.stats.in_frames_removed, 0);
+    EXPECT_EQ(rp.stats.subs_excised, 0);
+    EXPECT_EQ(rp.stats.pivot_reroutes, 0);
+    EXPECT_EQ(rp.stats.seed_reroutes, 0);
+    EXPECT_EQ(rp.stats.subs_dropped_dead_dest, 0);
+    EXPECT_EQ(rp.stats.deliveries_removed, 0);
+    for (std::size_t i = 0; i < rp.seed_routes.size(); ++i) {
+      const auto& route = rp.seed_routes[i];
+      if (pristine.seed_first_dim[i] < 0)
+        EXPECT_EQ(route.kind, core::SeedRoute::Kind::kSelf);
+      else {
+        EXPECT_EQ(route.kind, core::SeedRoute::Kind::kPlanned);
+        EXPECT_EQ(route.first_dim, pristine.seed_first_dim[i]);
+      }
+    }
+    EXPECT_EQ(rp.layout.messages_sent, pristine.messages_sent);
+    EXPECT_EQ(rp.layout.wire_bytes_sent, pristine.wire_bytes_sent);
+    EXPECT_EQ(rp.layout.transit_peak_bytes, pristine.transit_peak_bytes);
+    ASSERT_EQ(rp.layout.out_frames.size(), pristine.out_frames.size());
+    for (std::size_t s = 0; s < pristine.out_frames.size(); ++s) {
+      ASSERT_EQ(rp.layout.out_frames[s].size(), pristine.out_frames[s].size());
+      for (std::size_t f = 0; f < pristine.out_frames[s].size(); ++f)
+        EXPECT_EQ(rp.layout.out_frames[s][f].image, pristine.out_frames[s][f].image);
+    }
+  }
+}
+
+TEST(PlanRepairEdge, RepairingForOwnDeathIsRejected) {
+  const Vpt vpt({2, 2});
+  const auto sets = repair_sendsets(vpt.size());
+  const auto layouts = build_layouts(vpt, sets);
+  auto alive = all_alive(vpt.size());
+  alive[0] = 0;  // layout 0 belongs to rank 0
+  EXPECT_THROW((void)core::repair_plan(layouts[0], vpt, alive), core::Error);
+}
+
+}  // namespace
+}  // namespace stfw

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <random>
+#include <span>
+#include <vector>
 
 #include "core/error.hpp"
 
@@ -231,9 +234,98 @@ TEST(Frame, ChecksumCoversHeaderNotJustBody) {
   b.seq = 2;
   const auto wa = encode_frame(a, body);
   const auto wb = encode_frame(b, body);
-  const std::span<const std::byte> ca(wa.data() + 24, 8);
-  const std::span<const std::byte> cb(wb.data() + 24, 8);
+  const std::span<const std::byte> ca(wa.data() + 28, 8);
+  const std::span<const std::byte> cb(wb.data() + 28, 8);
   EXPECT_FALSE(std::equal(ca.begin(), ca.end(), cb.begin(), cb.end()));
+}
+
+TEST(Frame, MemberEpochRoundTripsAndIsChecksummed) {
+  const auto body = bytes_of({9, 8, 7});
+  FrameHeader h;
+  h.kind = FrameKind::kRelay;
+  h.stage = 1;
+  h.epoch = 4;
+  h.member_epoch = 6;
+  h.seq = 11;
+  h.sender = 2;
+  const auto wire = encode_frame(h, body);
+  const auto dec = decode_frame(wire);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->header.kind, FrameKind::kRelay);
+  EXPECT_EQ(dec->header.member_epoch, 6u);
+
+  // Two frames differing only in membership claim must differ in checksum:
+  // a stale frame cannot be patched into a fresh one without re-signing.
+  FrameHeader h2 = h;
+  h2.member_epoch = 7;
+  const auto wire2 = encode_frame(h2, body);
+  const std::span<const std::byte> ca(wire.data() + 28, 8);
+  const std::span<const std::byte> cb(wire2.data() + 28, 8);
+  EXPECT_FALSE(std::equal(ca.begin(), ca.end(), cb.begin(), cb.end()));
+}
+
+TEST(Frame, RestampMemberEpochKeepsFrameDecodable) {
+  const auto body = bytes_of({1, 2, 3, 4});
+  FrameHeader h;
+  h.kind = FrameKind::kData;
+  h.stage = 2;
+  h.epoch = 5;
+  h.member_epoch = 1;
+  h.seq = 33;
+  h.sender = 6;
+  auto wire = encode_frame(h, body);
+  restamp_member_epoch(wire, 9);
+  const auto dec = decode_frame(wire);
+  ASSERT_TRUE(dec.has_value()) << "restamp must recompute the checksum";
+  EXPECT_EQ(dec->header.member_epoch, 9u);
+  EXPECT_EQ(dec->header.kind, FrameKind::kData);
+  EXPECT_EQ(dec->header.stage, 2);
+  EXPECT_EQ(dec->header.epoch, 5u);
+  EXPECT_EQ(dec->header.seq, 33u);
+  EXPECT_EQ(dec->header.sender, 6);
+  EXPECT_TRUE(std::equal(dec->body.begin(), dec->body.end(), body.begin(), body.end()));
+  EXPECT_EQ(wire, encode_frame([&] {
+              FrameHeader fresh = h;
+              fresh.member_epoch = 9;
+              return fresh;
+            }(), body))
+      << "restamping must be byte-identical to encoding with the new epoch";
+}
+
+TEST(FailureNoticeCodec, RoundTripsDeadList) {
+  const std::vector<std::int32_t> dead{3, 7, 11};
+  const auto body = encode_failure_notice(42, dead);
+  const auto notice = decode_failure_notice(body);
+  ASSERT_TRUE(notice.has_value());
+  EXPECT_EQ(notice->membership_epoch, 42u);
+  EXPECT_EQ(notice->dead, dead);
+
+  const auto empty = decode_failure_notice(encode_failure_notice(1, {}));
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_EQ(empty->membership_epoch, 1u);
+  EXPECT_TRUE(empty->dead.empty());
+}
+
+TEST(FailureNoticeCodec, RejectsTruncationAndTrailingGarbage) {
+  const std::vector<std::int32_t> dead{0, 2};
+  const auto body = encode_failure_notice(5, dead);
+  for (std::size_t len = 0; len < body.size(); ++len) {
+    const std::span<const std::byte> prefix(body.data(), len);
+    EXPECT_FALSE(decode_failure_notice(prefix).has_value())
+        << "accepted a " << len << "-byte prefix";
+  }
+  auto padded = body;
+  padded.push_back(std::byte{0});
+  EXPECT_FALSE(decode_failure_notice(padded).has_value());
+}
+
+TEST(FailureNoticeCodec, RejectsOverstatedDeadCount) {
+  // A notice claiming more dead ranks than the bytes it carries must be
+  // dropped, not read past the end.
+  auto body = encode_failure_notice(3, std::vector<std::int32_t>{1});
+  body[4] = std::byte{0xff};  // dead_count lives at offset 4
+  body[5] = std::byte{0xff};
+  EXPECT_FALSE(decode_failure_notice(body).has_value());
 }
 
 TEST(Frame, FnvDigestIsStable) {

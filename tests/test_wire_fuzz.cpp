@@ -26,12 +26,13 @@ std::vector<std::byte> random_body(std::mt19937_64& rng, std::size_t max_len) {
 }
 
 FrameHeader random_header(std::mt19937_64& rng) {
-  std::uniform_int_distribution<int> kind_dist(1, 4);
+  std::uniform_int_distribution<int> kind_dist(1, 6);  // kData..kFailureNotice
   std::uniform_int_distribution<std::uint32_t> u32_dist;
   FrameHeader h;
   h.kind = static_cast<FrameKind>(kind_dist(rng));
   h.stage = static_cast<std::uint16_t>(u32_dist(rng) & 0xffff);
   h.epoch = u32_dist(rng);
+  h.member_epoch = u32_dist(rng);
   h.seq = u32_dist(rng);
   h.sender = static_cast<std::int32_t>(u32_dist(rng) & 0x7fffffff);
   return h;
@@ -50,6 +51,7 @@ TEST(WireFuzz, RandomFramesRoundTripLosslessly) {
     EXPECT_EQ(decoded->header.kind, h.kind);
     EXPECT_EQ(decoded->header.stage, h.stage);
     EXPECT_EQ(decoded->header.epoch, h.epoch);
+    EXPECT_EQ(decoded->header.member_epoch, h.member_epoch);
     EXPECT_EQ(decoded->header.seq, h.seq);
     EXPECT_EQ(decoded->header.sender, h.sender);
     EXPECT_EQ(decoded->header.body_len, body.size());
@@ -157,6 +159,111 @@ TEST(WireFuzz, MutatedStageMessagesDecodeSafelyOrThrow) {
         }
       }
     }
+  }
+}
+
+/// A random failure-notice body (the kFailureNotice payload). Dead ranks are
+/// arbitrary ints — the codec promises bounds safety, not semantic checks.
+std::vector<std::byte> random_notice(std::mt19937_64& rng) {
+  std::uniform_int_distribution<std::uint32_t> u32_dist;
+  std::uniform_int_distribution<int> count_dist(0, 16);
+  std::uniform_int_distribution<int> rank_dist(0, 1 << 24);
+  std::vector<std::int32_t> dead(static_cast<std::size_t>(count_dist(rng)));
+  for (std::int32_t& r : dead) r = rank_dist(rng);
+  return encode_failure_notice(u32_dist(rng), dead);
+}
+
+TEST(WireFuzz, FailureNoticesRoundTripLosslessly) {
+  std::mt19937_64 rng(20260808);
+  std::uniform_int_distribution<std::uint32_t> u32_dist;
+  std::uniform_int_distribution<int> count_dist(0, 16);
+  std::uniform_int_distribution<int> rank_dist(0, 1 << 24);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint32_t epoch = u32_dist(rng);
+    std::vector<std::int32_t> dead(static_cast<std::size_t>(count_dist(rng)));
+    for (std::int32_t& r : dead) r = rank_dist(rng);
+    const auto notice = decode_failure_notice(encode_failure_notice(epoch, dead));
+    ASSERT_TRUE(notice.has_value()) << "trial " << trial;
+    EXPECT_EQ(notice->membership_epoch, epoch);
+    EXPECT_EQ(notice->dead, dead);
+  }
+}
+
+/// The notice body rides inside a checksummed frame, but a survivor must not
+/// depend on that: a corrupt notice reaching the codec is dropped, never a
+/// crash or an out-of-bounds read (ISSUE 7 satellite — asan/ubsan presets
+/// turn any violation into a hard failure).
+TEST(WireFuzz, MutatedFailureNoticesNeverCrash) {
+  std::mt19937_64 rng(23);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto body = random_notice(rng);
+    for (std::size_t pos = 0; pos < body.size(); ++pos) {
+      for (int delta = 1; delta < 256; delta += 17) {
+        auto mutated = body;
+        mutated[pos] = static_cast<std::byte>(static_cast<int>(mutated[pos]) ^ delta);
+        const auto notice = decode_failure_notice(mutated);
+        // A mutation inside the dead-rank list legitimately decodes (to a
+        // different list); a mutated count must be rejected, not chased.
+        if (notice.has_value()) {
+          EXPECT_LE(notice->dead.size() * 4 + 8, mutated.size());
+        }
+      }
+    }
+  }
+}
+
+TEST(WireFuzz, TruncatedFailureNoticesAreRejected) {
+  std::mt19937_64 rng(29);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto body = random_notice(rng);
+    for (std::size_t len = 0; len < body.size(); ++len) {
+      const std::vector<std::byte> prefix(body.begin(),
+                                          body.begin() + static_cast<std::ptrdiff_t>(len));
+      EXPECT_FALSE(decode_failure_notice(prefix).has_value())
+          << "accepted a " << len << "-byte prefix in trial " << trial;
+    }
+  }
+}
+
+TEST(WireFuzz, RandomGarbageNeverCrashesNoticeDecode) {
+  std::mt19937_64 rng(31);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto garbage = random_body(rng, 96);
+    const auto notice = decode_failure_notice(garbage);
+    if (notice.has_value()) {
+      EXPECT_LE(notice->dead.size() * 4 + 8, garbage.size());
+    }
+  }
+}
+
+/// Stale-epoch replay: an attacker (or a delayed network) re-delivering an
+/// old frame can never make it claim a newer membership than it was signed
+/// with — flipping the member_epoch bytes breaks the checksum, and the only
+/// legitimate path, restamp_member_epoch, re-signs the frame.
+TEST(WireFuzz, StaleEpochReplayRequiresRestamp) {
+  std::mt19937_64 rng(37);
+  for (int trial = 0; trial < 50; ++trial) {
+    FrameHeader h = random_header(rng);
+    h.member_epoch = 3;
+    const auto body = random_body(rng, 64);
+    auto wire = encode_frame(h, body);
+
+    // Patching the member_epoch field (offset 12) without re-signing must
+    // read as corruption.
+    auto patched = wire;
+    patched[12] = static_cast<std::byte>(9);
+    EXPECT_FALSE(decode_frame(patched).has_value());
+
+    // Restamping is the sanctioned path: decodable, new epoch, same body.
+    std::uniform_int_distribution<std::uint32_t> u32_dist;
+    const std::uint32_t fresh = u32_dist(rng);
+    restamp_member_epoch(wire, fresh);
+    const auto dec = decode_frame(wire);
+    ASSERT_TRUE(dec.has_value()) << "trial " << trial;
+    EXPECT_EQ(dec->header.member_epoch, fresh);
+    EXPECT_EQ(dec->header.kind, h.kind);
+    EXPECT_EQ(dec->header.seq, h.seq);
+    EXPECT_TRUE(std::equal(dec->body.begin(), dec->body.end(), body.begin(), body.end()));
   }
 }
 

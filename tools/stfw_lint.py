@@ -27,6 +27,11 @@ directly above it — the reason is mandatory):
                    src/verify/. The core wrappers carry the thread-safety
                    annotations and the stfw-verify event hooks; a raw
                    primitive is invisible to both TSA and the race detector.
+  l7-epoch-check   a decode_frame() call on a recovery/membership path must
+                   be followed by an epoch comparison before the frame is
+                   acted on — a handler that trusts a frame without checking
+                   it against the current membership epoch will happily apply
+                   stale routing decisions from before a rank died.
 
 Engines: the default `text` engine is a dependency-free tokenizer (comments
 and strings stripped, clang-format-shaped function tracking) so the tool runs
@@ -81,6 +86,12 @@ RULES = {
         "use core::Mutex/core::MutexLock/core::CondVar/core::Thread "
         "(core/sync.hpp): the wrappers carry the Clang thread-safety "
         "annotations and the STFW_VERIFY hook instrumentation",
+    ),
+    "l7-epoch-check": (
+        "decode_frame() on a recovery path with no epoch comparison",
+        "compare frame.header.member_epoch (or the notice's membership_epoch) "
+        "against the current membership epoch — nack or ignore stale frames — "
+        "before consuming the frame",
     ),
     "suppression": (
         "malformed suppression comment",
@@ -390,6 +401,38 @@ def check_l3(ft: FileText, spans: list[str | None]):
                     "Deadline argument and can block forever")
 
 
+L7_FUNCTION_RE = re.compile(
+    r"resilient|settle|recover|membership|epoch|notice|degraded|repair|incoming")
+L7_DECODE_RE = re.compile(r"\bdecode_frame\s*\(")
+# Any comparison that mentions an epoch within the window counts as the gate;
+# plain assignment (`h.epoch = epoch`) deliberately does not.
+L7_EPOCH_WORD_RE = re.compile(r"\bepoch\b|_epoch\b")
+L7_WINDOW_LINES = 20
+
+
+def check_l7(ft: FileText, spans: list[str | None]):
+    if not ft.path.startswith("src/") or not ft.path.endswith((".cpp", ".cc")):
+        return
+    for i, line in enumerate(ft.code):
+        fn = spans[i]
+        if fn is None or fn == "decode_frame" or not L7_FUNCTION_RE.search(fn.lower()):
+            continue
+        if not L7_DECODE_RE.search(line):
+            continue
+        gated = False
+        for j in range(i, min(i + L7_WINDOW_LINES, len(ft.code))):
+            if spans[j] != fn:
+                break
+            if L7_EPOCH_WORD_RE.search(ft.code[j]) and COMPARISON_RE.search(ft.code[j]):
+                gated = True
+                break
+        if not gated:
+            yield Finding(
+                "l7-epoch-check", ft.path, i + 1,
+                f"frame decoded inside recovery path '{fn}' is consumed without "
+                "comparing its epoch against the current membership")
+
+
 CATCH_ALL_RE = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
 
 
@@ -464,6 +507,7 @@ def lint_file(ft: FileText, repo_root: str, engine: str,
     raw.extend(check_l4(ft, spans))
     raw.extend(check_l5(ft))
     raw.extend(check_l6(ft))
+    raw.extend(check_l7(ft, spans))
     for bad in ft.bad_allows:
         raw.append(Finding("suppression", ft.path, bad + 1,
                            "stfw-lint: allow(...) without a `-- reason`"))
