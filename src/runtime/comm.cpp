@@ -38,6 +38,11 @@ Message Comm::recv(int source, int tag, Deadline deadline) {
 
 std::vector<Message> Comm::drain(int tag) { return cluster_->drain(rank_, tag); }
 
+std::vector<Message> Comm::recv_from_each(std::span<const int> sources, int tag,
+                                          Deadline deadline) {
+  return cluster_->recv_from_each(rank_, sources, tag, deadline);
+}
+
 bool Comm::probe(int source, int tag) { return cluster_->probe(rank_, source, tag); }
 
 bool Comm::wait_message(Deadline deadline) { return cluster_->wait_message(rank_, deadline); }
@@ -405,6 +410,92 @@ Message Cluster::blocking_recv(int me, int source, int tag, Deadline deadline) {
     }
     if (!registered) {
       set_block_state(me, BlockInfo::Kind::kRecv, source, tag);
+      registered = true;
+    }
+    if (deadline.is_never())
+      mb.cv.wait(lock);
+    else
+      mb.cv.wait_until(lock, deadline.at);
+  }
+}
+
+std::vector<Message> Cluster::recv_from_each(int me, std::span<const int> sources, int tag,
+                                             Deadline deadline) {
+  std::vector<int> want(sources.begin(), sources.end());
+  std::sort(want.begin(), want.end());
+  require(std::adjacent_find(want.begin(), want.end()) == want.end(),
+          "Comm::recv_from_each: duplicate source");
+  std::vector<Message> out(want.size());
+  std::vector<bool> have(want.size(), false);
+  std::size_t remaining = want.size();
+  if (remaining == 0) return out;
+
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(me)];
+  const auto entered = verify::verify_now();
+  bool registered = false;
+  MutexLock lock(mb.mu);
+  for (;;) {
+    STFW_VERIFY_READ(&mb.queue, "Cluster::recv_from_each scan");
+    auto it = mb.queue.begin();
+    while (it != mb.queue.end() && remaining > 0) {
+      bool take = false;
+      std::size_t idx = 0;
+      if (it->tag == tag) {
+        const auto w = std::lower_bound(want.begin(), want.end(), it->source);
+        if (w != want.end() && *w == it->source) {
+          idx = static_cast<std::size_t>(w - want.begin());
+          // Only the first queued match per source: a second same-tag
+          // message from it belongs to a later wait and keeps its order.
+          take = !have[idx];
+        }
+      }
+      if (!take) {
+        ++it;
+        continue;
+      }
+      STFW_VERIFY_WRITE(&mb.queue, "Cluster::recv_from_each dequeue");
+      STFW_VERIFY_HOOK(mailbox_recv(me, it->source, it->tag, it->verify_id));
+      out[idx] = std::move(*it);
+      have[idx] = true;
+      --remaining;
+      it = mb.queue.erase(it);
+      progress_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (remaining == 0) {
+      if (registered) set_block_state(me, BlockInfo::Kind::kRunning);
+      return out;
+    }
+    throw_if_torn_down(me, "recv_from_each");
+    if (membership_.any_failed()) {
+      // A dead awaited source can never satisfy the dependency; fail fast
+      // with a named error instead of sleeping out the full deadline.
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        if (have[i] || membership_.alive(want[i])) continue;
+        if (registered) set_block_state(me, BlockInfo::Kind::kRunning);
+        throw core::TimeoutError("recv_from_each", me, want[i], tag, ms_since(entered),
+                                 "awaited source died before sending its frame");
+      }
+    }
+    if (deadline.expired()) {
+      if (registered) set_block_state(me, BlockInfo::Kind::kRunning);
+      std::string missing;
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        if (have[i]) continue;
+        if (!missing.empty()) missing += ", ";
+        missing += std::to_string(want[i]);
+      }
+      int first_missing = kAnySource;
+      for (std::size_t i = 0; i < want.size(); ++i)
+        if (!have[i]) {
+          first_missing = want[i];
+          break;
+        }
+      throw core::TimeoutError("recv_from_each", me, first_missing, tag, ms_since(entered),
+                               "no frame arrived from source(s) " + missing +
+                                   " before the deadline");
+    }
+    if (!registered) {
+      set_block_state(me, BlockInfo::Kind::kRecv, kAnySource, tag);
       registered = true;
     }
     if (deadline.is_never())

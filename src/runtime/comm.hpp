@@ -7,6 +7,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -103,6 +104,18 @@ public:
   /// (then arrival order). Non-blocking; complete after a barrier that
   /// orders it after the sends of interest.
   std::vector<Message> drain(int tag);
+
+  /// Blocks until one message with `tag` from *every* rank in `sources` is
+  /// queued, then returns them in ascending-source order (the first queued
+  /// match per source; later same-tag messages stay queued in send order).
+  /// This is the stage-aware demultiplexer of the dependency-driven
+  /// exchange: a rank advances the moment its per-stage inbound dependency
+  /// set is satisfied, while frames tagged for later stages wait in the
+  /// mailbox untouched. Throws core::TimeoutError naming a missing source
+  /// when the deadline expires first, or as soon as an awaited source is
+  /// dead (it can never satisfy the dependency).
+  std::vector<Message> recv_from_each(std::span<const int> sources, int tag,
+                                      Deadline deadline = Deadline::never());
 
   /// True iff a message matching (source, tag) is queued.
   bool probe(int source, int tag);
@@ -218,6 +231,8 @@ private:
   void post(int dest, Message msg);
   void post_raw(int dest, Message msg, bool to_front = false);
   Message blocking_recv(int me, int source, int tag, Deadline deadline);
+  std::vector<Message> recv_from_each(int me, std::span<const int> sources, int tag,
+                                      Deadline deadline);
   std::vector<Message> drain(int me, int tag);
   bool probe(int me, int source, int tag);
   bool wait_message(int me, Deadline deadline);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <optional>
 #include <random>
@@ -36,6 +37,22 @@ constexpr int kResilientDataTag = 1 << 28;
 constexpr int kResilientAckTag = (1 << 28) + 1;
 
 constexpr std::size_t kDefaultPlanCacheCapacity = 4;
+
+// Hang guard of the plain exchange's dependency waits: generous against real
+// schedules (stages complete in microseconds) yet finite, so a lost rank
+// surfaces as core::TimeoutError instead of an untimed hang.
+constexpr std::uint64_t kDefaultExchangeDeadlineMs = 30000;
+
+// Regularized stage traffic: every (stage, dimension-d neighbor) pair
+// carries exactly one frame. Neighbors the outbox leaves empty still get a
+// 4-byte empty StageMessage (submessage count 0) so each receiver can block
+// on per-neighbor frame counters — dependency-driven progress — instead of
+// a global barrier. A real frame always carries >= 1 submessage header, so
+// on the wire empty <=> filler, on both the payload format (core::serialize)
+// and the header-only planning format (serialize_headers).
+std::vector<std::byte> filler_frame() { return std::vector<std::byte>(4); }
+
+bool is_filler_frame(std::span<const std::byte> raw) noexcept { return raw.size() == 4; }
 
 // Stage boundary annotation for stfw-verify schedule traces; pairs with the
 // fault injector's at_stage sites so a race/oracle report can name the
@@ -201,14 +218,70 @@ bool StfwCommunicator::validation_available() noexcept {
 #endif
 }
 
+std::chrono::milliseconds next_backoff(std::chrono::milliseconds current, double factor,
+                                       std::chrono::milliseconds retransmit_timeout,
+                                       std::chrono::milliseconds stage_deadline) noexcept {
+  using rep = std::chrono::milliseconds::rep;
+  // Cap the backoff well below the stage deadline: the settlement loop's
+  // wall budget is max_settle_rounds * retransmit_timeout, and a retry
+  // scheduled beyond it would be force-failed even though the peer was
+  // about to accept it. The 8x term is skipped when the multiply would
+  // overflow rep; the cap itself never goes negative.
+  rep cap = std::max<rep>(stage_deadline.count(), 0);
+  const rep rt = retransmit_timeout.count();
+  if (rt >= 0 && rt < std::numeric_limits<rep>::max() / 8) cap = std::min(cap, 8 * rt);
+  // Clamp BEFORE the double -> rep cast: current * factor can exceed what
+  // rep holds (large factor, or backoff grown near rep's max), and casting
+  // an out-of-range double is undefined — observed as a negative delay that
+  // turns the retry loop into a hot spin. NaN and negative products floor
+  // at zero.
+  const double scaled = static_cast<double>(current.count()) * factor;
+  if (!(scaled >= 0.0)) return std::chrono::milliseconds{0};
+  if (scaled >= static_cast<double>(cap)) return std::chrono::milliseconds{cap};
+  return std::chrono::milliseconds{static_cast<rep>(scaled)};
+}
+
 StfwCommunicator::StfwCommunicator(runtime::Comm& comm, core::Vpt vpt)
     : comm_(&comm),
       vpt_(std::move(vpt)),
       validate_(validation_default()),
+      exchange_deadline_(std::chrono::milliseconds(
+          core::env_u64("STFW_EXCHANGE_DEADLINE_MS", kDefaultExchangeDeadlineMs))),
+      barrier_sync_(core::env_flag("STFW_BARRIER_SYNC", false)),
       plan_cache_capacity_(static_cast<std::size_t>(
           core::env_u64("STFW_PLAN_CACHE", kDefaultPlanCacheCapacity))) {
   core::require(vpt_.size() == comm.size(),
                 "StfwCommunicator: VPT size must equal communicator size");
+}
+
+runtime::Deadline StfwCommunicator::stage_deadline() const {
+  return exchange_deadline_.count() == 0 ? runtime::Deadline::never()
+                                         : runtime::Deadline::in(exchange_deadline_);
+}
+
+void StfwCommunicator::stage_neighbor_ranks(int stage, std::vector<int>& out) const {
+  out.clear();
+  const auto me = static_cast<core::Rank>(comm_->rank());
+  const int k = vpt_.dim_size(stage);
+  // with_coord over ascending digit values yields ascending ranks, matching
+  // the drain() sort order the plan's in_frame indices were frozen under.
+  for (int v = 0; v < k; ++v) {
+    const core::Rank r = vpt_.with_coord(me, stage, v);
+    if (r != me) out.push_back(static_cast<int>(r));
+  }
+}
+
+void StfwCommunicator::send_stage_fillers(int stage, int tag, std::span<const int> neighbors,
+                                          const std::vector<bool>& covered, bool count_stats) {
+  (void)stage;
+  for (std::size_t i = 0; i < neighbors.size(); ++i) {
+    if (covered[i]) continue;
+    if (count_stats) {
+      ++stats_.filler_frames_sent;
+      stats_.wire_bytes_sent += 4;
+    }
+    comm_->send(neighbors[i], tag, filler_frame());
+  }
 }
 
 std::size_t StfwCommunicator::plan_cache_capacity() const {
@@ -281,9 +354,14 @@ void StfwCommunicator::plan_cache_erase(const core::PatternSignature& sig) {
 }
 
 std::vector<InboundMessage> StfwCommunicator::exchange(std::span<const OutboundMessage> sends) {
+  return exchange(sends, OverlapHook{});
+}
+
+std::vector<InboundMessage> StfwCommunicator::exchange(std::span<const OutboundMessage> sends,
+                                                       const OverlapHook& overlap) {
   // Plain exchange() assumes a reliable transport *and* full membership: its
-  // barriers and frozen neighbor roster cannot route around a dead rank, so
-  // a degraded cluster must use exchange_resilient() (docs/fault_model.md).
+  // frozen neighbor roster cannot route around a dead rank, so a degraded
+  // cluster must use exchange_resilient() (docs/fault_model.md).
   core::require(!comm_->membership().any_failed(),
                 "exchange: cluster is degraded (a rank died); plain exchange() cannot "
                 "survive rank failure — use exchange_resilient()");
@@ -293,14 +371,15 @@ std::vector<InboundMessage> StfwCommunicator::exchange(std::span<const OutboundM
     // The shared_ptr pins the plan for the call: a mid-flight fallback
     // erases the cache entry while the plan's scratch is still in use.
     if (const std::shared_ptr<runtime::ExchangePlan> hit = plan_cache_find(sig))
-      return exchange_planned_cached(*hit, sends);
-    return exchange_unplanned(sends, &sig);
+      return exchange_planned_cached(*hit, sends, overlap);
+    return exchange_unplanned(sends, &sig, overlap);
   }
-  return exchange_unplanned(sends, nullptr);
+  return exchange_unplanned(sends, nullptr, overlap);
 }
 
 std::vector<InboundMessage> StfwCommunicator::exchange_unplanned(
-    std::span<const OutboundMessage> sends, const core::PatternSignature* record_as) {
+    std::span<const OutboundMessage> sends, const core::PatternSignature* record_as,
+    const OverlapHook& overlap) {
   const auto me = static_cast<core::Rank>(comm_->rank());
   StfwRankState state(vpt_, me);
   PayloadArena arena;
@@ -340,6 +419,8 @@ std::vector<InboundMessage> StfwCommunicator::exchange_unplanned(
 
   std::vector<StageMessage> outbox;
   std::vector<core::PayloadSrc> srcs;
+  std::vector<int> nbrs;
+  std::vector<bool> covered;
   std::uint64_t transit_peak = 0;
   const int tag_base = epoch_ * vpt_.dim();
   fault::FaultInjector* injector = comm_->fault_injector();
@@ -347,6 +428,8 @@ std::vector<InboundMessage> StfwCommunicator::exchange_unplanned(
     verify_stage_tag(static_cast<int>(me), stage);
     if (injector != nullptr) injector->at_stage(static_cast<int>(me), stage);
     const int tag = tag_base + stage;
+    stage_neighbor_ranks(stage, nbrs);
+    covered.assign(nbrs.size(), false);
     outbox.clear();
     state.make_stage_outbox(stage, outbox);
     for (const StageMessage& m : outbox) {
@@ -363,13 +446,25 @@ std::vector<InboundMessage> StfwCommunicator::exchange_unplanned(
       ++stats_.messages_sent;
       stats_.payload_bytes_sent += m.payload_bytes();
       stats_.wire_bytes_sent += wire.size();
+      const auto ni = std::lower_bound(nbrs.begin(), nbrs.end(), static_cast<int>(m.to));
+      if (ni != nbrs.end() && *ni == static_cast<int>(m.to))
+        covered[static_cast<std::size_t>(ni - nbrs.begin())] = true;
       comm_->send(static_cast<int>(m.to), tag, std::move(wire));
     }
-    // All sends of this stage happen-before the barrier, so drain() below
-    // sees the complete set of stage messages addressed to us.
-    comm_->barrier();
+    send_stage_fillers(stage, tag, nbrs, covered, /*count_stats=*/true);
+    if (stage == 0 && overlap) overlap();
+    // Dependency-driven progress: this rank's stage completes as soon as one
+    // frame — real or filler — has arrived from each dimension-`stage`
+    // neighbor; frames of later stages and exchanges wait in the mailbox
+    // under their own tags. barrier_sync() re-inserts the bulk-synchronous
+    // seed schedule for A/B measurement.
+    if (barrier_sync_) comm_->barrier(stage_deadline());
     std::size_t frame_index = 0;
-    for (runtime::Message& m : comm_->drain(tag)) {
+    for (runtime::Message& m : comm_->recv_from_each(nbrs, tag, stage_deadline())) {
+      if (is_filler_frame(m.data)) {
+        ++stats_.filler_frames_received;
+        continue;
+      }
       ++stats_.messages_received;
       const std::vector<Submessage> subs = core::deserialize(m.data, arena);
 #if STFW_VALIDATE_ENABLED
@@ -415,7 +510,7 @@ std::vector<InboundMessage> StfwCommunicator::exchange_unplanned(
   if (validator) {
     // Collective conservation + buffer-bound verdict: every rank shares its
     // seed-side claims and checks its deliveries against them.
-    const auto summaries = comm_->allgather(validator->summary_blob());
+    const auto summaries = comm_->allgather(validator->summary_blob(), stage_deadline());
     validator->finish(delivered, arena, stats_.messages_sent, summaries);
   }
 #endif
@@ -440,7 +535,8 @@ std::vector<InboundMessage> StfwCommunicator::exchange_unplanned(
 }
 
 std::vector<InboundMessage> StfwCommunicator::exchange_planned_cached(
-    runtime::ExchangePlan& plan, std::span<const OutboundMessage> sends) {
+    runtime::ExchangePlan& plan, std::span<const OutboundMessage> sends,
+    const OverlapHook& overlap) {
   const auto me = static_cast<core::Rank>(comm_->rank());
   const core::ExchangePlanLayout& layout = plan.layout();
   const int n = vpt_.dim();
@@ -449,6 +545,9 @@ std::vector<InboundMessage> StfwCommunicator::exchange_planned_cached(
   const int tag_base = epoch_ * n;
   fault::FaultInjector* injector = comm_->fault_injector();
   const std::vector<std::span<const std::byte>> seeds = seed_views_of(sends);
+  std::vector<int> nbrs;
+  std::vector<bool> covered;
+  std::vector<std::size_t> real_idx;
 
 #if STFW_VALIDATE_ENABLED
   std::optional<validate::ExchangeValidator> validator;
@@ -462,6 +561,8 @@ std::vector<InboundMessage> StfwCommunicator::exchange_planned_cached(
     verify_stage_tag(static_cast<int>(me), stage);
     if (injector != nullptr) injector->at_stage(static_cast<int>(me), stage);
     const int tag = tag_base + stage;
+    stage_neighbor_ranks(stage, nbrs);
+    covered.assign(nbrs.size(), false);
     for (const core::PlanOutFrame& f : layout.out_frames[static_cast<std::size_t>(stage)]) {
 #if STFW_VALIDATE_ENABLED
       if (validator) {
@@ -476,18 +577,36 @@ std::vector<InboundMessage> StfwCommunicator::exchange_planned_cached(
       ++stats_.messages_sent;
       stats_.payload_bytes_sent += f.payload_bytes;
       stats_.wire_bytes_sent += wire.size();
+      const auto ni = std::lower_bound(nbrs.begin(), nbrs.end(), static_cast<int>(f.to));
+      if (ni != nbrs.end() && *ni == static_cast<int>(f.to))
+        covered[static_cast<std::size_t>(ni - nbrs.begin())] = true;
       comm_->send(static_cast<int>(f.to), tag, std::move(wire));
     }
-    // Same synchronization structure as the unplanned path, so a cluster in
-    // which some ranks hit the cache and others miss stays deadlock-free.
-    comm_->barrier();
-    std::vector<runtime::Message> msgs = comm_->drain(tag);
+    // Same regularized one-frame-per-neighbor traffic as the unplanned path,
+    // so a cluster in which some ranks hit the cache and others miss (or
+    // fall back mid-exchange) stays deadlock-free without a barrier.
+    send_stage_fillers(stage, tag, nbrs, covered, /*count_stats=*/true);
+    if (stage == 0 && overlap) overlap();
+    if (barrier_sync_) comm_->barrier(stage_deadline());
+    std::vector<runtime::Message> msgs = comm_->recv_from_each(nbrs, tag, stage_deadline());
 
+    // Matching against the frozen roster: expected (real) frames must appear
+    // with their planned headers in ascending-source order, and every other
+    // neighbor's frame must be a filler. Any deviation means a peer's pattern
+    // drifted since the plan was recorded.
     const auto& expected = layout.in_frames[static_cast<std::size_t>(stage)];
-    bool match = msgs.size() == expected.size();
-    for (std::size_t i = 0; match && i < msgs.size(); ++i)
-      match = msgs[i].source == expected[i].source &&
-              frame_headers_match(msgs[i].data, expected[i]);
+    real_idx.clear();
+    bool match = true;
+    for (std::size_t i = 0; match && i < msgs.size(); ++i) {
+      const std::size_t ei = real_idx.size();
+      if (ei < expected.size() && msgs[i].source == static_cast<int>(expected[ei].source)) {
+        match = frame_headers_match(msgs[i].data, expected[ei]);
+        real_idx.push_back(i);
+      } else {
+        match = is_filler_frame(msgs[i].data);
+      }
+    }
+    match = match && real_idx.size() == expected.size();
 
     if (!match) {
       // A peer's pattern drifted since the plan was recorded: the inbound
@@ -519,6 +638,10 @@ std::vector<InboundMessage> StfwCommunicator::exchange_planned_cached(
       outbox.clear();
       state.make_stage_outbox(stage, outbox);  // already on the wire; discard
       for (runtime::Message& m : msgs) {
+        if (is_filler_frame(m.data)) {
+          ++stats_.filler_frames_received;
+          continue;
+        }
         ++stats_.messages_received;
         const std::vector<Submessage> subs = core::deserialize(m.data, arena);
 #if STFW_VALIDATE_ENABLED
@@ -537,6 +660,8 @@ std::vector<InboundMessage> StfwCommunicator::exchange_planned_cached(
         verify_stage_tag(static_cast<int>(me), s);
         if (injector != nullptr) injector->at_stage(static_cast<int>(me), s);
         const int t = tag_base + s;
+        stage_neighbor_ranks(s, nbrs);
+        covered.assign(nbrs.size(), false);
         outbox.clear();
         state.make_stage_outbox(s, outbox);
         for (const StageMessage& m : outbox) {
@@ -547,10 +672,18 @@ std::vector<InboundMessage> StfwCommunicator::exchange_planned_cached(
           ++stats_.messages_sent;
           stats_.payload_bytes_sent += m.payload_bytes();
           stats_.wire_bytes_sent += wire.size();
+          const auto ni = std::lower_bound(nbrs.begin(), nbrs.end(), static_cast<int>(m.to));
+          if (ni != nbrs.end() && *ni == static_cast<int>(m.to))
+            covered[static_cast<std::size_t>(ni - nbrs.begin())] = true;
           comm_->send(static_cast<int>(m.to), t, std::move(wire));
         }
-        comm_->barrier();
-        for (runtime::Message& m : comm_->drain(t)) {
+        send_stage_fillers(s, t, nbrs, covered, /*count_stats=*/true);
+        if (barrier_sync_) comm_->barrier(stage_deadline());
+        for (runtime::Message& m : comm_->recv_from_each(nbrs, t, stage_deadline())) {
+          if (is_filler_frame(m.data)) {
+            ++stats_.filler_frames_received;
+            continue;
+          }
           ++stats_.messages_received;
           const std::vector<Submessage> subs = core::deserialize(m.data, arena);
 #if STFW_VALIDATE_ENABLED
@@ -571,7 +704,7 @@ std::vector<InboundMessage> StfwCommunicator::exchange_planned_cached(
       std::vector<Submessage> delivered = state.take_delivered();
 #if STFW_VALIDATE_ENABLED
       if (validator) {
-        const auto summaries = comm_->allgather(validator->summary_blob());
+        const auto summaries = comm_->allgather(validator->summary_blob(), stage_deadline());
         validator->finish(delivered, arena, stats_.messages_sent, summaries);
       }
 #endif
@@ -587,12 +720,14 @@ std::vector<InboundMessage> StfwCommunicator::exchange_planned_cached(
       return result;
     }
 
-    for (std::size_t i = 0; i < msgs.size(); ++i) {
+    stats_.filler_frames_received +=
+        static_cast<std::int64_t>(msgs.size() - expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
       ++stats_.messages_received;
 #if STFW_VALIDATE_ENABLED
       if (validator) validator->on_stage_recv(stage, expected[i].source, expected[i].subs);
 #endif
-      plan.in_raw_[static_cast<std::size_t>(stage)][i] = std::move(msgs[i].data);
+      plan.in_raw_[static_cast<std::size_t>(stage)][i] = std::move(msgs[real_idx[i]].data);
     }
 #if STFW_VALIDATE_ENABLED
     if (validator)
@@ -619,7 +754,7 @@ std::vector<InboundMessage> StfwCommunicator::exchange_planned_cached(
       s.offset = varena.add(r.bytes);
       vdelivered.push_back(s);
     }
-    const auto summaries = comm_->allgather(validator->summary_blob());
+    const auto summaries = comm_->allgather(validator->summary_blob(), stage_deadline());
     validator->finish(vdelivered, varena, stats_.messages_sent, summaries);
   }
 #endif
@@ -644,23 +779,33 @@ std::shared_ptr<runtime::ExchangePlan> StfwCommunicator::plan(
 
   std::vector<StageMessage> outbox;
   std::vector<core::PayloadSrc> srcs;
+  std::vector<int> nbrs;
+  std::vector<bool> covered;
   const int tag_base = epoch_ * vpt_.dim();
   fault::FaultInjector* injector = comm_->fault_injector();
   for (int stage = 0; stage < vpt_.dim(); ++stage) {
     verify_stage_tag(static_cast<int>(me), stage);
     if (injector != nullptr) injector->at_stage(static_cast<int>(me), stage);
     const int tag = tag_base + stage;
+    stage_neighbor_ranks(stage, nbrs);
+    covered.assign(nbrs.size(), false);
     outbox.clear();
     state.make_stage_outbox(stage, outbox);
     for (const StageMessage& m : outbox) {
       srcs.clear();
       for (const Submessage& s : m.subs) srcs.push_back(decode_prov(s.offset, s.size_bytes));
       recorder.on_stage_send(stage, m.to, m.subs, srcs);
+      const auto ni = std::lower_bound(nbrs.begin(), nbrs.end(), static_cast<int>(m.to));
+      if (ni != nbrs.end() && *ni == static_cast<int>(m.to))
+        covered[static_cast<std::size_t>(ni - nbrs.begin())] = true;
       comm_->send(static_cast<int>(m.to), tag, serialize_headers(m));
     }
-    comm_->barrier();
+    // Planning traffic is regularized too (an empty header frame is the same
+    // 4 bytes as a payload-format filler), but frozen stats stay filler-free.
+    send_stage_fillers(stage, tag, nbrs, covered, /*count_stats=*/false);
     std::size_t frame_index = 0;
-    for (runtime::Message& m : comm_->drain(tag)) {
+    for (runtime::Message& m : comm_->recv_from_each(nbrs, tag, stage_deadline())) {
+      if (is_filler_frame(m.data)) continue;
       std::vector<Submessage> subs = deserialize_headers(m.data);
       const core::PlanInFrame& frame =
           recorder.on_stage_recv(stage, static_cast<core::Rank>(m.source), subs);
@@ -704,6 +849,8 @@ std::vector<InboundMessage> StfwCommunicator::exchange(
   stats_.plan_hits = 1;
   const int tag_base = epoch_ * n;
   fault::FaultInjector* injector = comm_->fault_injector();
+  std::vector<int> nbrs;
+  std::vector<bool> covered;
 
 #if STFW_VALIDATE_ENABLED
   std::optional<validate::ExchangeValidator> validator;
@@ -718,6 +865,8 @@ std::vector<InboundMessage> StfwCommunicator::exchange(
     verify_stage_tag(static_cast<int>(me), stage);
     if (injector != nullptr) injector->at_stage(static_cast<int>(me), stage);
     const int tag = tag_base + stage;
+    stage_neighbor_ranks(stage, nbrs);
+    covered.assign(nbrs.size(), false);
     for (const core::PlanOutFrame& f : layout.out_frames[static_cast<std::size_t>(stage)]) {
 #if STFW_VALIDATE_ENABLED
       if (validator) {
@@ -732,25 +881,43 @@ std::vector<InboundMessage> StfwCommunicator::exchange(
       ++stats_.messages_sent;
       stats_.payload_bytes_sent += f.payload_bytes;
       stats_.wire_bytes_sent += wire.size();
+      const auto ni = std::lower_bound(nbrs.begin(), nbrs.end(), static_cast<int>(f.to));
+      if (ni != nbrs.end() && *ni == static_cast<int>(f.to))
+        covered[static_cast<std::size_t>(ni - nbrs.begin())] = true;
       comm_->send(static_cast<int>(f.to), tag, std::move(wire));
     }
-    // Barrier-free: the plan froze exactly which frames arrive, so each is
-    // awaited directly by (source, tag). All ranks must replay plans of the
+    send_stage_fillers(stage, tag, nbrs, covered, /*count_stats=*/true);
+    // Barrier-free: the plan froze exactly which frames arrive, so the stage
+    // blocks on one frame per dimension-`stage` neighbor and merges the real
+    // frames against the frozen roster. All ranks must replay plans of the
     // same collective plan() — drift here is a contract violation.
     auto& raw_stage = plan.in_raw_[static_cast<std::size_t>(stage)];
     const auto& expected = layout.in_frames[static_cast<std::size_t>(stage)];
-    for (std::size_t i = 0; i < expected.size(); ++i) {
-      runtime::Message m = comm_->recv(static_cast<int>(expected[i].source), tag);
-      core::require(frame_headers_match(m.data, expected[i]),
-                    "exchange(plan): inbound frame deviates from the plan; the send "
-                    "pattern changed since plan() (use plain exchange() for "
-                    "iteration-varying patterns)");
-      ++stats_.messages_received;
+    std::size_t ei = 0;
+    for (runtime::Message& m : comm_->recv_from_each(nbrs, tag, stage_deadline())) {
+      if (ei < expected.size() && m.source == static_cast<int>(expected[ei].source)) {
+        core::require(frame_headers_match(m.data, expected[ei]),
+                      "exchange(plan): inbound frame deviates from the plan; the send "
+                      "pattern changed since plan() (use plain exchange() for "
+                      "iteration-varying patterns)");
+        ++stats_.messages_received;
 #if STFW_VALIDATE_ENABLED
-      if (validator) validator->on_stage_recv(stage, expected[i].source, expected[i].subs);
+        if (validator) validator->on_stage_recv(stage, expected[ei].source, expected[ei].subs);
 #endif
-      raw_stage[i] = std::move(m.data);
+        raw_stage[ei] = std::move(m.data);
+        ++ei;
+      } else {
+        core::require(is_filler_frame(m.data),
+                      "exchange(plan): inbound frame deviates from the plan; the send "
+                      "pattern changed since plan() (use plain exchange() for "
+                      "iteration-varying patterns)");
+        ++stats_.filler_frames_received;
+      }
     }
+    core::require(ei == expected.size(),
+                  "exchange(plan): a planned inbound frame never arrived; the send "
+                  "pattern changed since plan() (use plain exchange() for "
+                  "iteration-varying patterns)");
 #if STFW_VALIDATE_ENABLED
     if (validator)
       validator->on_stage_complete(stage,
@@ -776,7 +943,7 @@ std::vector<InboundMessage> StfwCommunicator::exchange(
       s.offset = varena.add(r.bytes);
       vdelivered.push_back(s);
     }
-    const auto summaries = comm_->allgather(validator->summary_blob());
+    const auto summaries = comm_->allgather(validator->summary_blob(), stage_deadline());
     validator->finish(vdelivered, varena, stats_.messages_sent, summaries);
   }
 #endif
@@ -1001,15 +1168,8 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
           static_cast<std::chrono::milliseconds::rep>(u * jitter * span)};
     }
     f.next_retry = now + delay;
-    // Cap the backoff well below the stage deadline: the settlement loop's
-    // wall budget is max_settle_rounds * retransmit_timeout, and a retry
-    // scheduled beyond it would be force-failed even though the peer was
-    // about to accept it.
-    const double scaled = static_cast<double>(f.backoff.count()) * opt.backoff_factor;
-    const double cap = static_cast<double>(
-        std::min(opt.stage_deadline.count(), 8 * opt.retransmit_timeout.count()));
-    f.backoff = std::chrono::milliseconds{
-        static_cast<std::chrono::milliseconds::rep>(std::min(scaled, cap))};
+    f.backoff = next_backoff(f.backoff, opt.backoff_factor, opt.retransmit_timeout,
+                             opt.stage_deadline);
   };
 
   // Give up on frame `i`: a dead kData frame degrades into kDirect frames
@@ -1565,15 +1725,21 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
   // Epilogue: no rank transmits protocol frames past this point. Flush any
   // injector-delayed stragglers into the mailboxes and discard everything
   // still addressed to this exchange, so the next one starts clean (the
-  // cluster asserts empty mailboxes between runs). The barriers are
-  // deliberately deadline-free: every *surviving* rank has already passed
-  // the bounded settlement loop above (and the barrier releases on the alive
-  // count, so the dead are not waited for), so arrival is unconditional, and
-  // a timeout here could strand delayed frames for the next exchange to trip
-  // over.
-  comm_->barrier();  // stfw-lint: allow(l3-deadline) -- post-settlement; all ranks provably arrive
+  // cluster asserts empty mailboxes between runs). Every *surviving* rank
+  // has already passed the bounded settlement loop above (and the barrier
+  // releases on the alive count, so the dead are not waited for), so arrival
+  // is expected within one more settlement budget — the generous deadline
+  // below only fires on a genuinely wedged peer, surfacing a TimeoutError
+  // instead of an untimed hang.
+  const auto epilogue_deadline = [&] {
+    using rep = std::chrono::milliseconds::rep;
+    const rep sd = std::max<rep>(opt.stage_deadline.count(), 1);
+    const rep budget = sd < std::numeric_limits<rep>::max() / 4 ? 4 * sd : sd;
+    return runtime::Deadline::in(std::chrono::milliseconds{budget});
+  };
+  comm_->barrier(epilogue_deadline());
   comm_->flush_delayed();
-  comm_->barrier();  // stfw-lint: allow(l3-deadline) -- post-settlement; all ranks provably arrive
+  comm_->barrier(epilogue_deadline());
   (void)comm_->drain(kResilientDataTag);
   (void)comm_->drain(kResilientAckTag);
   (void)comm_->drain(-1002);  // settle reports/done: should already be empty

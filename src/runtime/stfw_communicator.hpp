@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -65,6 +66,16 @@ struct LocalExchangeStats {
   std::int64_t plan_hits = 0;       // 1 when this exchange replayed a plan
   std::int64_t plan_fallbacks = 0;  // 1 when a replay detected pattern drift
                                     // mid-flight and fell back to Algorithm 1
+
+  // Dependency-driven stage progress (plain exchange; docs/performance.md).
+  // Fillers are the 4-byte empty stage frames that regularize the exchange
+  // to exactly one frame per (stage, dimension-d neighbor) so receivers can
+  // await per-neighbor counters instead of a global barrier. They carry no
+  // submessages and are excluded from messages_sent / messages_received
+  // (which keep counting real protocol messages only); their wire bytes do
+  // appear in wire_bytes_sent, like acks.
+  std::int64_t filler_frames_sent = 0;
+  std::int64_t filler_frames_received = 0;
 
   // Resilient mode only (all zero for plain exchange()).
   std::int64_t retransmits = 0;            // transmissions beyond each frame's first
@@ -148,6 +159,24 @@ struct ExchangeFailure {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// Communication/computation overlap callback of exchange(): invoked exactly
+/// once per exchange, on the calling rank's thread, after the stage-0 frames
+/// have been posted and before the rank blocks on its stage-0 receives. The
+/// caller runs communication-independent work (e.g. the interior rows of an
+/// SpMV) inside it, hiding peer skew behind local compute. An empty hook is
+/// equivalent to the plain overload.
+using OverlapHook = std::function<void()>;
+
+/// Overflow-safe retransmit backoff step: the next backoff after `current`
+/// grown by `factor`, clamped into [0, min(stage_deadline, 8 *
+/// retransmit_timeout)]. The clamp is computed without the signed overflow
+/// that 8 * a-huge-timeout invites, and the double -> milliseconds cast only
+/// happens on an in-range value, so no combination of large backoff_factor
+/// and accumulated backoff can wrap into a negative or absurd delay.
+std::chrono::milliseconds next_backoff(std::chrono::milliseconds current, double factor,
+                                       std::chrono::milliseconds retransmit_timeout,
+                                       std::chrono::milliseconds stage_deadline) noexcept;
+
 struct ResilientExchangeResult {
   std::vector<InboundMessage> delivered;
   ExchangeFailure failure;
@@ -182,6 +211,13 @@ public:
   /// results. LocalExchangeStats.plan_{builds,hits,fallbacks} report what
   /// happened.
   std::vector<InboundMessage> exchange(std::span<const OutboundMessage> sends);
+
+  /// Overlap variant: identical exchange, but `overlap` runs once between
+  /// posting the stage-0 frames and blocking on the stage-0 receives — the
+  /// window where communication-independent compute hides peer skew. The
+  /// result is byte-identical to the plain overload.
+  std::vector<InboundMessage> exchange(std::span<const OutboundMessage> sends,
+                                       const OverlapHook& overlap);
 
   /// Builds an ExchangePlan for `sends`' pattern with a header-only
   /// collective planning pass (payload bytes in `sends` are ignored; only
@@ -248,6 +284,24 @@ public:
   bool validation_enabled() const noexcept { return validate_; }
   void set_validation(bool on) noexcept { validate_ = on; }
 
+  /// Hang guard of the plain exchange's dependency waits: each per-stage
+  /// wait (and the validator's collectives) gets this budget before throwing
+  /// core::TimeoutError naming the missing neighbor. Defaults to the
+  /// STFW_EXCHANGE_DEADLINE_MS environment variable (strict parse), falling
+  /// back to 30 s; 0 waits forever (the pre-deadline behaviour).
+  [[nodiscard]] std::chrono::milliseconds exchange_deadline() const noexcept {
+    return exchange_deadline_;
+  }
+  void set_exchange_deadline(std::chrono::milliseconds d) noexcept { exchange_deadline_ = d; }
+
+  /// A/B switch for the bulk-synchronous seed schedule: when on, exchange()
+  /// re-inserts a global barrier between posting a stage's sends and
+  /// receiving — the pre-dependency-driven structure, kept for honest
+  /// overlap benchmarking (bench_overlap) and differential tests. Defaults
+  /// to the STFW_BARRIER_SYNC environment variable (strict parse, off).
+  [[nodiscard]] bool barrier_sync() const noexcept { return barrier_sync_; }
+  void set_barrier_sync(bool on) noexcept { barrier_sync_ = on; }
+
 private:
   struct PlanCacheEntry {
     std::shared_ptr<runtime::ExchangePlan> plan;
@@ -255,9 +309,20 @@ private:
   };
 
   std::vector<InboundMessage> exchange_unplanned(std::span<const OutboundMessage> sends,
-                                                 const core::PatternSignature* record_as);
+                                                 const core::PatternSignature* record_as,
+                                                 const OverlapHook& overlap);
   std::vector<InboundMessage> exchange_planned_cached(runtime::ExchangePlan& plan,
-                                                      std::span<const OutboundMessage> sends);
+                                                      std::span<const OutboundMessage> sends,
+                                                      const OverlapHook& overlap);
+  /// Fresh per-stage deadline from exchange_deadline_ (never() when 0).
+  runtime::Deadline stage_deadline() const;
+  /// This rank's dimension-`stage` neighbors, ascending — the inbound
+  /// dependency set of one dependency-driven stage.
+  void stage_neighbor_ranks(int stage, std::vector<int>& out) const;
+  /// Posts one 4-byte empty filler frame to every dimension-`stage` neighbor
+  /// not in `covered`, so each receiver's per-stage frame count is met.
+  void send_stage_fillers(int stage, int tag, std::span<const int> neighbors,
+                          const std::vector<bool>& covered, bool count_stats);
   // Self-locking cache helpers: each takes plan_cache_mu_ only for its own
   // body, so the mutex is never held across Comm calls (no ordering edge
   // between the cache mutex and any mailbox/barrier mutex can form).
@@ -272,6 +337,8 @@ private:
   core::Vpt vpt_;
   int epoch_ = 0;  // distinguishes tags across repeated exchanges
   bool validate_;
+  std::chrono::milliseconds exchange_deadline_;
+  bool barrier_sync_;
   LocalExchangeStats stats_;
   // Single-slot cache of the last incremental plan repair, keyed by pattern
   // signature and membership epoch. Thread-confined to the owning rank's

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "core/env.hpp"
 #include "core/error.hpp"
 #include "runtime/stfw_communicator.hpp"
 
@@ -18,6 +19,60 @@ void unpack_doubles(std::span<const std::byte> bytes, std::span<double> out) {
   std::memcpy(out.data(), bytes.data(), bytes.size());
 }
 
+// Partition local rows by whether every column reads an owned x slot (the
+// local x layout keeps slots [0, num_owned) owned and the rest ghosts).
+// Interior rows depend on no inbound data, so the overlap hook can multiply
+// them while the exchange is still in flight; boundary rows wait for the
+// ghost scatter.
+void split_rows(const sparse::Csr& a, std::size_t num_owned,
+                std::vector<std::int32_t>& interior, std::vector<std::int32_t>& boundary) {
+  interior.clear();
+  boundary.clear();
+  for (std::int32_t r = 0; r < a.num_rows(); ++r) {
+    bool in = true;
+    for (const std::int32_t c : a.row_cols(r)) {
+      if (static_cast<std::size_t>(c) >= num_owned) {
+        in = false;
+        break;
+      }
+    }
+    (in ? interior : boundary).push_back(r);
+  }
+}
+
+// Row-subset SpMV with exactly Csr::spmv's per-row accumulation order, so an
+// interior/boundary split computes y bit-identical to one full sweep.
+void spmv_rows(const sparse::Csr& a, std::span<const std::int32_t> rows,
+               std::span<const double> x, std::span<double> y) {
+  const auto col_idx = a.col_idx();
+  const auto values = a.values();
+  for (const std::int32_t r : rows) {
+    double acc = 0.0;
+    for (std::int64_t i = a.row_begin(r); i < a.row_end(r); ++i)
+      acc += values[static_cast<std::size_t>(i)] *
+             x[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(i)])];
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+}
+
+// Row-subset SpMM mirroring Csr::spmm, same bit-identity guarantee.
+void spmm_rows(const sparse::Csr& a, std::span<const std::int32_t> rows,
+               std::span<const double> x, std::span<double> y, std::int32_t num_vectors) {
+  const auto nv = static_cast<std::size_t>(num_vectors);
+  const auto col_idx = a.col_idx();
+  const auto values = a.values();
+  for (const std::int32_t r : rows) {
+    double* yr = y.data() + static_cast<std::size_t>(r) * nv;
+    std::fill(yr, yr + nv, 0.0);
+    for (std::int64_t i = a.row_begin(r); i < a.row_end(r); ++i) {
+      const double v = values[static_cast<std::size_t>(i)];
+      const double* xc =
+          x.data() + static_cast<std::size_t>(col_idx[static_cast<std::size_t>(i)]) * nv;
+      for (std::size_t k = 0; k < nv; ++k) yr[k] += v * xc[k];
+    }
+  }
+}
+
 void absorb_stats(ExchangeStatsTotals& t, const LocalExchangeStats& s) {
   t.exchanges += 1;
   t.plan_builds += s.plan_builds;
@@ -30,9 +85,12 @@ void absorb_stats(ExchangeStatsTotals& t, const LocalExchangeStats& s) {
 
 }  // namespace
 
+bool overlap_default() { return core::env_flag("STFW_OVERLAP", true); }
+
 std::vector<double> run_distributed(runtime::Cluster& cluster, const SpmvProblem& problem,
                                     const core::Vpt& vpt, std::span<const double> x0,
-                                    int iterations, std::vector<ExchangeStatsTotals>* totals) {
+                                    int iterations, std::vector<ExchangeStatsTotals>* totals,
+                                    bool overlap) {
   require(problem.has_plans(), "run_distributed: problem built without numeric plans");
   require(cluster.size() == problem.num_ranks(), "run_distributed: cluster size mismatch");
   require(x0.size() == static_cast<std::size_t>(problem.matrix().num_rows()),
@@ -64,6 +122,14 @@ std::vector<double> run_distributed(runtime::Cluster& cluster, const SpmvProblem
       sends[i].bytes.resize(plan.sends[i].x_slots.size() * sizeof(double));
     }
 
+    // Overlap split: the packed send buffers snapshot the owned x entries
+    // before the exchange starts, so the hook may multiply interior rows
+    // concurrently with the stage traffic.
+    std::vector<std::int32_t> interior;
+    std::vector<std::int32_t> boundary;
+    if (overlap) split_rows(plan.local, num_owned, interior, boundary);
+    const OverlapHook hook = [&] { spmv_rows(plan.local, interior, x_local, y_local); };
+
     for (int it = 0; it < iterations; ++it) {
       // Communication phase: ship owned x entries to their consumers.
       for (std::size_t si = 0; si < plan.sends.size(); ++si) {
@@ -73,7 +139,8 @@ std::vector<double> run_distributed(runtime::Cluster& cluster, const SpmvProblem
           scratch[i] = x_local[static_cast<std::size_t>(s.x_slots[i])];
         std::memcpy(sends[si].bytes.data(), scratch.data(), sends[si].bytes.size());
       }
-      const std::vector<InboundMessage> received = communicator.exchange(sends);
+      const std::vector<InboundMessage> received =
+          overlap ? communicator.exchange(sends, hook) : communicator.exchange(sends);
       if (totals != nullptr)
         absorb_stats((*totals)[static_cast<std::size_t>(me)], communicator.last_stats());
 
@@ -89,8 +156,12 @@ std::vector<double> run_distributed(runtime::Cluster& cluster, const SpmvProblem
           x_local[static_cast<std::size_t>(r.ghost_slots[j])] = scratch[j];
       }
 
-      // Compute phase.
-      plan.local.spmv(x_local, y_local);
+      // Compute phase (interior rows already done by the hook when
+      // overlapping).
+      if (overlap)
+        spmv_rows(plan.local, boundary, x_local, y_local);
+      else
+        plan.local.spmv(x_local, y_local);
       if (it + 1 < iterations)
         std::copy(y_local.begin(), y_local.end(), x_local.begin());  // x <- y
     }
@@ -204,7 +275,8 @@ std::vector<double> run_distributed_resilient(runtime::Cluster& cluster,
 std::vector<double> run_distributed_spmm(runtime::Cluster& cluster, const SpmvProblem& problem,
                                          const core::Vpt& vpt, std::span<const double> x0,
                                          std::int32_t num_vectors, int iterations,
-                                         std::vector<ExchangeStatsTotals>* totals) {
+                                         std::vector<ExchangeStatsTotals>* totals,
+                                         bool overlap) {
   require(problem.has_plans(), "run_distributed_spmm: problem built without numeric plans");
   require(cluster.size() == problem.num_ranks(), "run_distributed_spmm: cluster size mismatch");
   require(num_vectors >= 1, "run_distributed_spmm: need at least one vector");
@@ -236,6 +308,13 @@ std::vector<double> run_distributed_spmm(runtime::Cluster& cluster, const SpmvPr
       sends[i].bytes.resize(plan.sends[i].x_slots.size() * nv * sizeof(double));
     }
 
+    std::vector<std::int32_t> interior;
+    std::vector<std::int32_t> boundary;
+    if (overlap) split_rows(plan.local, num_owned, interior, boundary);
+    const OverlapHook hook = [&] {
+      spmm_rows(plan.local, interior, x_local, y_local, num_vectors);
+    };
+
     for (int it = 0; it < iterations; ++it) {
       for (std::size_t si = 0; si < plan.sends.size(); ++si) {
         const RankPlan::SendTo& s = plan.sends[si];
@@ -245,7 +324,8 @@ std::vector<double> run_distributed_spmm(runtime::Cluster& cluster, const SpmvPr
                       scratch.data() + i * nv);
         std::memcpy(sends[si].bytes.data(), scratch.data(), sends[si].bytes.size());
       }
-      const std::vector<InboundMessage> received = communicator.exchange(sends);
+      const std::vector<InboundMessage> received =
+          overlap ? communicator.exchange(sends, hook) : communicator.exchange(sends);
       if (totals != nullptr)
         absorb_stats((*totals)[static_cast<std::size_t>(me)], communicator.last_stats());
 
@@ -261,7 +341,10 @@ std::vector<double> run_distributed_spmm(runtime::Cluster& cluster, const SpmvPr
                       x_local.data() + static_cast<std::size_t>(r.ghost_slots[j]) * nv);
       }
 
-      plan.local.spmm(x_local, y_local, num_vectors);
+      if (overlap)
+        spmm_rows(plan.local, boundary, x_local, y_local, num_vectors);
+      else
+        plan.local.spmm(x_local, y_local, num_vectors);
       if (it + 1 < iterations)
         std::copy(y_local.begin(), y_local.end(), x_local.begin());
     }

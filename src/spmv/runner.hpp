@@ -33,6 +33,14 @@ struct ExchangeStatsTotals {
   std::uint64_t wire_bytes_sent = 0;
 };
 
+/// Default of the runners' `overlap` parameter: the STFW_OVERLAP environment
+/// flag (strict parse, default on). With overlap on, each rank multiplies its
+/// interior rows — rows reading only owned x slots — inside the exchange's
+/// OverlapHook while stage frames are still in flight, and only the boundary
+/// rows wait for the ghost scatter. Results are bit-identical either way
+/// (the split kernels accumulate in the same per-row order as Csr::spmv).
+bool overlap_default();
+
 /// Run `iterations` of x <- A x on `cluster` and return the final global
 /// vector (row i's value at index i). The problem must have numeric plans.
 /// When `totals` is non-null it is resized to one entry per rank and filled
@@ -40,7 +48,8 @@ struct ExchangeStatsTotals {
 std::vector<double> run_distributed(runtime::Cluster& cluster, const SpmvProblem& problem,
                                     const core::Vpt& vpt, std::span<const double> x0,
                                     int iterations = 1,
-                                    std::vector<ExchangeStatsTotals>* totals = nullptr);
+                                    std::vector<ExchangeStatsTotals>* totals = nullptr,
+                                    bool overlap = overlap_default());
 
 /// What a resilient distributed run observed (see run_distributed_resilient).
 struct ResilientRunReport {
@@ -72,7 +81,8 @@ std::vector<double> run_distributed_resilient(runtime::Cluster& cluster,
 std::vector<double> run_distributed_spmm(runtime::Cluster& cluster, const SpmvProblem& problem,
                                          const core::Vpt& vpt, std::span<const double> x0,
                                          std::int32_t num_vectors, int iterations = 1,
-                                         std::vector<ExchangeStatsTotals>* totals = nullptr);
+                                         std::vector<ExchangeStatsTotals>* totals = nullptr,
+                                         bool overlap = overlap_default());
 
 /// Serial reference: `iterations` of x <- A x.
 std::vector<double> run_serial(const sparse::Csr& a, std::span<const double> x0,

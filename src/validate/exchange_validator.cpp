@@ -176,6 +176,20 @@ void ExchangeValidator::on_stage_recv(int stage, Rank source,
                   ", not a dimension-" + std::to_string(stage) + " neighbor of " +
                   std::to_string(me_) + " in " + vpt_->to_string());
 
+  // Per-edge receive discipline: at most one stage frame per dimension-
+  // `stage` neighbor. With dependency-driven progress there is no global
+  // barrier delimiting the stage, so this local counter is what rules out a
+  // demultiplexing bug feeding one edge's frame to a stage twice.
+  if (stage != last_recv_stage_) {
+    last_recv_stage_ = stage;
+    recv_seen_.assign(static_cast<std::size_t>(vpt_->dim_size(stage)), false);
+  }
+  const auto src_digit = static_cast<std::size_t>(vpt_->coord(source, stage));
+  if (recv_seen_[src_digit])
+    violation("duplicate-stage-frame", stage,
+              "second stage frame received from neighbor " + std::to_string(source));
+  recv_seen_[src_digit] = true;
+
   for (const Submessage& s : subs) {
     check_rank("header-rank", stage, s.source, "submessage source");
     check_rank("header-rank", stage, s.dest, "submessage destination");

@@ -62,8 +62,10 @@ public:
   void on_stage_send(int stage, const core::StageMessage& msg);
 
   /// Hook: submessages received from `source` in `stage` (lines 14-17).
-  /// Checks that the sender is a dimension-`stage` neighbor and that each
-  /// header respects dimension-order routing up to and including `stage`.
+  /// Checks that the sender is a dimension-`stage` neighbor, that at most
+  /// one frame arrives from each neighbor per stage (the per-edge ordering
+  /// invariant of the barrier-free exchange), and that each header respects
+  /// dimension-order routing up to and including `stage`.
   void on_stage_recv(int stage, core::Rank source, std::span<const core::Submessage> subs);
 
   /// Hook: submessages received in a resilient-mode kDirect frame — the
@@ -119,6 +121,10 @@ private:
   std::vector<bool> neighbor_seen_;  // dests already used in last_send_stage_
   std::int64_t stage_messages_ = 0;  // messages sent in last_send_stage_
   std::int64_t messages_sent_ = 0;
+
+  // Per-stage receive discipline (per-edge: one frame per neighbor).
+  int last_recv_stage_ = -1;
+  std::vector<bool> recv_seen_;  // sources already seen in last_recv_stage_
 
   // Forward-buffer high water (sampled after seeding and per stage).
   std::uint64_t peak_resident_bytes_ = 0;

@@ -122,6 +122,49 @@ class CompareBenchTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 1)
         self.assertIn("missing from", proc.stderr)
 
+    def overlap_doc(self, sync_ns, overlap_ns, ranks=256):
+        return {
+            "bench": "overlap",
+            "schema_version": 1,
+            "config": {"kmax": ranks},
+            "results": [
+                {"name": f"K{ranks}/barrier", "mode": "barrier", "ranks": ranks,
+                 "wall_ns_per_iter": sync_ns * 1.5},
+                {"name": f"K{ranks}/sync", "mode": "sync", "ranks": ranks,
+                 "wall_ns_per_iter": sync_ns},
+                {"name": f"K{ranks}/overlap", "mode": "overlap", "ranks": ranks,
+                 "wall_ns_per_iter": overlap_ns},
+            ],
+        }
+
+    def test_overlap_gate_passes_when_overlap_is_faster(self):
+        path = self.write("BENCH_overlap.json", self.overlap_doc(100.0, 80.0))
+        proc = run_tool("--overlap-gate", path, "--tolerance", "0.05")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("overlap gate at K=256", proc.stdout)
+
+    def test_overlap_gate_fails_when_overlap_is_slower(self):
+        path = self.write("BENCH_overlap.json", self.overlap_doc(100.0, 120.0))
+        proc = run_tool("--overlap-gate", path, "--tolerance", "0.05")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("overlap slower than sync at K=256", proc.stderr)
+
+    def test_overlap_gate_uses_largest_k_only(self):
+        doc = self.overlap_doc(100.0, 80.0, ranks=256)
+        # A slower overlap at a smaller K must not trip the gate.
+        doc["results"] += self.overlap_doc(100.0, 500.0, ranks=32)["results"]
+        path = self.write("BENCH_overlap.json", doc)
+        proc = run_tool("--overlap-gate", path, "--tolerance", "0.05")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_overlap_gate_missing_rows_fails(self):
+        doc = self.overlap_doc(100.0, 80.0)
+        doc["results"] = [r for r in doc["results"] if r["mode"] != "overlap"]
+        path = self.write("BENCH_overlap.json", doc)
+        proc = run_tool("--overlap-gate", path)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("no 'overlap' row", proc.stderr)
+
     def test_diff_against_empty_candidate_is_schema_error(self):
         # The key hardening case: an empty candidate must not "pass" the diff.
         base = self.write("base.json", bench_doc([{"name": "k4", "mean_us": 1.0}]))

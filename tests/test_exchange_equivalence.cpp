@@ -198,6 +198,52 @@ TEST(ExchangeEquivalence, MixedPatternDriftFallsBackCorrectly) {
   expect_same_inboxes(reference, got, "drift-fallback");
 }
 
+/// Tentpole differential (dependency-driven progress): the overlap hook and
+/// the STFW_BARRIER_SYNC bulk-synchronous emulation must not change what is
+/// delivered. Runs each variant over both the recording and the cached-replay
+/// path and compares against the BL/direct baseline byte-for-byte; also
+/// checks the hook fires exactly once per exchange.
+TEST(ExchangeEquivalence, OverlapAndBarrierSyncDeliverIdenticalMultisets) {
+  constexpr Rank kRanks = 16;
+  const Vpt vpt({4, 4});
+  const SendSets sets = skewed_sendsets(kRanks, 777, 2048);
+  runtime::Cluster cluster(kRanks);
+
+  auto run_with = [&](bool use_hook, bool barrier_sync, const char* label) {
+    Inboxes received(kRanks);
+    std::vector<std::int64_t> hook_calls(kRanks, 0);
+    cluster.run([&](runtime::Comm& comm) {
+      const auto me = static_cast<std::size_t>(comm.rank());
+      StfwCommunicator communicator(comm, vpt);
+      communicator.set_barrier_sync(barrier_sync);
+      std::vector<InboundMessage> inbox;
+      if (use_hook) {
+        const OverlapHook hook = [&] { ++hook_calls[me]; };
+        (void)communicator.exchange(sets[me], hook);    // records the plan
+        inbox = communicator.exchange(sets[me], hook);  // cached replay
+      } else {
+        (void)communicator.exchange(sets[me]);
+        inbox = communicator.exchange(sets[me]);
+      }
+      EXPECT_EQ(communicator.last_stats().plan_hits, 1) << label;
+      sort_inbox(inbox);
+      received[me] = std::move(inbox);
+    });
+    if (use_hook)
+      for (Rank r = 0; r < kRanks; ++r)
+        EXPECT_EQ(hook_calls[static_cast<std::size_t>(r)], 2)
+            << label << ": hook must fire once per exchange, rank " << r;
+    return received;
+  };
+
+  const Inboxes reference = run_mode(cluster, Vpt::direct(kRanks), sets, Mode::kUnplanned);
+  expect_same_inboxes(reference, run_with(false, false, "overlap-off"), "overlap-off");
+  expect_same_inboxes(reference, run_with(true, false, "overlap-on"), "overlap-on");
+  expect_same_inboxes(reference, run_with(false, true, "barrier-sync"), "barrier-sync");
+  expect_same_inboxes(reference, run_with(true, true, "overlap+barrier-sync"),
+                      "overlap+barrier-sync");
+}
+
 /// Plans survive interleaving with other traffic: planned replays, resilient
 /// exchanges and unplanned exchanges on the same communicator stay in
 /// epoch lockstep.

@@ -103,6 +103,75 @@ TEST_P(ExchangeStatsBounds, CompleteExchangeRespectsPaperBounds) {
   EXPECT_EQ(mmax, mbound);
 }
 
+/// Satellite (barrier-free stats audit): three back-to-back exchanges on one
+/// communicator — a sparse ring (recording), the same ring again (cached
+/// replay), then a complete exchange (different pattern, recording again).
+/// Counters must reset per exchange, filler frames must never be counted as
+/// real messages, and real + filler frames must add up to the regularized
+/// per-rank total sum_d (k_d - 1) on every path.
+TEST(ExchangeStatsReset, BackToBackExchangesResetCountersAndSplitFillers) {
+  constexpr Rank K = 8;
+  const Vpt vpt({4, 2});
+  runtime::Cluster cluster(K);
+  std::vector<LocalExchangeStats> ring_first(K), ring_replay(K), complete(K);
+  cluster.run([&](runtime::Comm& comm) {
+    const auto me = static_cast<Rank>(comm.rank());
+    StfwCommunicator communicator(comm, vpt);
+    std::vector<OutboundMessage> ring;
+    ring.push_back(OutboundMessage{(me + 1) % K, std::vector<std::byte>(16, std::byte{0xaa})});
+    communicator.exchange(ring);
+    ring_first[static_cast<std::size_t>(me)] = communicator.last_stats();
+    communicator.exchange(ring);
+    ring_replay[static_cast<std::size_t>(me)] = communicator.last_stats();
+    std::vector<OutboundMessage> all;
+    for (Rank j = 0; j < K; ++j) {
+      if (j == me) continue;
+      all.push_back(OutboundMessage{j, std::vector<std::byte>(kPayload, std::byte{0x2b})});
+    }
+    communicator.exchange(all);
+    complete[static_cast<std::size_t>(me)] = communicator.last_stats();
+  });
+
+  const std::int64_t frames = vpt.max_message_count_bound();  // sum_d (k_d - 1) = 4
+  std::int64_t sent = 0, received = 0, filler_sent = 0, filler_received = 0;
+  for (Rank r = 0; r < K; ++r) {
+    const LocalExchangeStats& f = ring_first[static_cast<std::size_t>(r)];
+    const LocalExchangeStats& p = ring_replay[static_cast<std::size_t>(r)];
+    const LocalExchangeStats& c = complete[static_cast<std::size_t>(r)];
+    // Regularization: every (stage, neighbor) slot carries exactly one
+    // frame, real or filler, on both the recording and the replay path.
+    EXPECT_EQ(f.messages_sent + f.filler_frames_sent, frames) << "rank " << r;
+    EXPECT_EQ(f.messages_received + f.filler_frames_received, frames) << "rank " << r;
+    EXPECT_EQ(p.messages_sent + p.filler_frames_sent, frames) << "rank " << r;
+    EXPECT_EQ(p.messages_received + p.filler_frames_received, frames) << "rank " << r;
+    EXPECT_EQ(c.messages_sent + c.filler_frames_sent, frames) << "rank " << r;
+    EXPECT_EQ(c.messages_received + c.filler_frames_received, frames) << "rank " << r;
+    // The ring is sparse, so some slots must be fillers cluster-wide; the
+    // complete exchange saturates every slot with a real frame.
+    EXPECT_EQ(c.messages_sent, frames) << "rank " << r;
+    EXPECT_EQ(c.filler_frames_sent, 0) << "rank " << r;
+    EXPECT_EQ(c.filler_frames_received, 0) << "rank " << r;
+    // Replay reproduces the recorded exchange's counters exactly — a
+    // counter that survived the first exchange would break these.
+    EXPECT_EQ(p.messages_sent, f.messages_sent) << "rank " << r;
+    EXPECT_EQ(p.messages_received, f.messages_received) << "rank " << r;
+    EXPECT_EQ(p.filler_frames_sent, f.filler_frames_sent) << "rank " << r;
+    EXPECT_EQ(p.filler_frames_received, f.filler_frames_received) << "rank " << r;
+    EXPECT_EQ(f.plan_builds, 1) << "rank " << r;
+    EXPECT_EQ(p.plan_hits, 1) << "rank " << r;
+    EXPECT_EQ(c.plan_builds, 1) << "rank " << r;
+    sent += f.messages_sent;
+    received += f.messages_received;
+    filler_sent += f.filler_frames_sent;
+    filler_received += f.filler_frames_received;
+  }
+  // Cluster-wide conservation: every frame sent is received exactly once and
+  // demuxed into exactly one bucket (no double count of fillers as recvs).
+  EXPECT_EQ(sent, received);
+  EXPECT_EQ(filler_sent, filler_received);
+  EXPECT_GT(filler_sent, 0);
+}
+
 std::string shape_name(const ::testing::TestParamInfo<ShapeCase>& info) {
   std::string name = "K";
   name += std::to_string(info.param.K);

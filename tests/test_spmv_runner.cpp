@@ -109,6 +109,36 @@ TEST(DistributedSpmvEdge, ResultsIdenticalAcrossVpts) {
   }
 }
 
+TEST(DistributedSpmvEdge, OverlapIsBitIdenticalToSynchronous) {
+  // The overlapped schedule computes interior rows inside the exchange and
+  // boundary rows after the ghost scatter, with the exact per-row
+  // accumulation order of the monolithic kernel — so overlap on/off must be
+  // bit-identical, not merely near.
+  const sparse::Csr a = sparse::generate(
+      sparse::scaled_spec(sparse::find_paper_matrix("pattern1"), 0.05, 128), 13);
+  partition::PartitionOptions opts;
+  opts.num_parts = 16;
+  const auto parts = partition::partition_rows(a, opts);
+  const SpmvProblem problem(a, parts, 16);
+  runtime::Cluster cluster(16);
+  const auto x0 = random_vector(static_cast<std::size_t>(a.num_rows()), 5);
+
+  const core::Vpt vpt({4, 4});
+  const auto sync = run_distributed(cluster, problem, vpt, x0, 3, nullptr, /*overlap=*/false);
+  const auto over = run_distributed(cluster, problem, vpt, x0, 3, nullptr, /*overlap=*/true);
+  ASSERT_EQ(over.size(), sync.size());
+  for (std::size_t i = 0; i < sync.size(); ++i)
+    EXPECT_DOUBLE_EQ(over[i], sync[i]) << "index " << i;
+
+  const auto sync_mm =
+      run_distributed_spmm(cluster, problem, vpt, x0, 1, 2, nullptr, /*overlap=*/false);
+  const auto over_mm =
+      run_distributed_spmm(cluster, problem, vpt, x0, 1, 2, nullptr, /*overlap=*/true);
+  ASSERT_EQ(over_mm.size(), sync_mm.size());
+  for (std::size_t i = 0; i < sync_mm.size(); ++i)
+    EXPECT_DOUBLE_EQ(over_mm[i], sync_mm[i]) << "index " << i;
+}
+
 struct SpmmCase {
   std::int32_t num_vectors;
   std::vector<int> vpt_dims;

@@ -100,6 +100,40 @@ TEST(VerifyExplore, ExhaustiveSmallConfigIsCleanAndBranches) {
   EXPECT_GT(res.schedules_run, 1u) << "no branch points were enumerated";
 }
 
+TEST(VerifyExplore, BarrierFreeOverlapExhaustiveSweepIsClean) {
+  // Tentpole sweep: the dependency-driven (barrier-free) stage progression
+  // over a forwarding VPT with the overlap hook armed — no global barrier
+  // delimits the stages, so this exhaustively checks that per-neighbor frame
+  // counting alone keeps delivery exactly-once and payload-conserving on
+  // every preemption-bounded interleaving.
+  const Vpt vpt = Vpt::balanced(4, 2);
+  const auto sends = two_message_sendsets(4);
+  verify::ExchangeObservation obs;
+  std::atomic<std::int64_t> hook_calls{0};
+  const auto body = [&] {
+    obs.reset(4);
+    obs.sends = sends;
+    runtime::Cluster cluster(4);
+    cluster.run([&](runtime::Comm& comm) {
+      StfwCommunicator communicator(comm, vpt);
+      const OverlapHook hook = [&] { hook_calls.fetch_add(1); };
+      obs.delivered[static_cast<std::size_t>(comm.rank())] =
+          communicator.exchange(sends[static_cast<std::size_t>(comm.rank())], hook);
+    });
+  };
+  const auto oracle = [&] { return verify::check_exchange_delivery(obs); };
+  verify::ExploreConfig cfg;
+  cfg.mode = verify::ExploreConfig::Mode::kExhaustive;
+  cfg.max_preemptions = 2;
+  cfg.max_schedules = 20000;
+  cfg.label = "barrier-free-overlap-k4n2";
+  const verify::ExploreResult res = verify::explore(cfg, body, oracle);
+  EXPECT_TRUE(res.clean()) << res.summary();
+  EXPECT_GT(res.schedules_run, 1u) << "no branch points were enumerated";
+  EXPECT_GT(hook_calls.load(), 0);
+  EXPECT_EQ(hook_calls.load() % 4, 0) << "hook must fire exactly once per rank per schedule";
+}
+
 TEST(VerifyExplore, SeededRandomSchedulesOverForwardingVptAreClean) {
   // balanced(4, 2) routes through intermediate ranks — the store-and-forward
   // path proper, not just direct sends.

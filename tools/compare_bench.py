@@ -9,6 +9,14 @@ Regression diff between a baseline run and a candidate run:
 
     python3 tools/compare_bench.py baseline.json candidate.json [--tolerance 0.25]
 
+Overlap gate (CI's bench-smoke job, on BENCH_overlap.json):
+
+    python3 tools/compare_bench.py --overlap-gate BENCH_overlap.json [--tolerance 0.05]
+
+The gate picks the largest K present and fails if the "overlap" row's
+wall_ns_per_iter is slower than the "sync" (overlap-off) row's beyond the
+tolerance — communication/computation overlap must never cost time.
+
 Rows are matched by their "name" key. Time-like metrics (keys ending in _ns,
 _us or _ms, or named *time*) are regression-only: the candidate may be faster
 by any amount, but slower than baseline by more than the tolerance fails.
@@ -154,6 +162,40 @@ def compare(base_path, cand_path, base, cand, tolerance):
     return failures
 
 
+def overlap_gate(path, doc, tolerance):
+    """Return a list of failures (empty = overlap pays for itself).
+
+    Operates on one BENCH_overlap.json: at the largest K present, the
+    "overlap" schedule must not be slower than the "sync" (overlap-off)
+    schedule beyond the tolerance. Structural problems (no such rows, no
+    timing metric) are reported as failures too -- a gate that cannot find
+    its rows must not pass.
+    """
+    rows = [r for r in doc["results"] if isinstance(r.get("ranks"), int)
+            and not isinstance(r.get("ranks"), bool)]
+    if not rows:
+        return [f"{path}: no rows carry an integer 'ranks' metric"]
+    k = max(r["ranks"] for r in rows)
+    by_mode = {r.get("mode"): r for r in rows if r["ranks"] == k}
+    missing = [m for m in ("sync", "overlap") if m not in by_mode]
+    if missing:
+        return [f"{path}: no {m!r} row at K={k}" for m in missing]
+    times = {}
+    for mode in ("sync", "overlap"):
+        v = by_mode[mode].get("wall_ns_per_iter")
+        if isinstance(v, bool) or not isinstance(v, (int, float)) or v <= 0:
+            return [f"{path}: {mode!r} row at K={k} has no positive 'wall_ns_per_iter'"]
+        times[mode] = v
+    rel = times["overlap"] / times["sync"] - 1.0
+    if rel > tolerance:
+        return [f"{path}: overlap slower than sync at K={k}: "
+                f"{times['overlap']:g} ns vs {times['sync']:g} ns "
+                f"(+{rel * 100:.1f}% > {tolerance * 100:.0f}%)"]
+    print(f"ok: {path} overlap gate at K={k}: {times['overlap']:g} ns vs "
+          f"{times['sync']:g} ns sync ({-rel * 100:+.1f}% faster)")
+    return []
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -161,6 +203,9 @@ def main():
                     help="--schema: one or more files; diff: baseline then candidate")
     ap.add_argument("--schema", action="store_true",
                     help="only validate the files against the BENCH_*.json schema")
+    ap.add_argument("--overlap-gate", action="store_true",
+                    help="gate each file: 'overlap' must not be slower than "
+                         "'sync' at the largest K present")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="relative tolerance for the diff (default 0.25)")
     args = ap.parse_args()
@@ -177,6 +222,19 @@ def main():
     if args.schema:
         for path, doc in docs:
             print(f"ok: {path} ({doc['bench']}, {len(doc['results'])} rows)")
+        return
+
+    if args.overlap_gate:
+        if args.tolerance < 0:
+            print("error: tolerance must be >= 0", file=sys.stderr)
+            sys.exit(2)
+        failures = []
+        for path, doc in docs:
+            failures += overlap_gate(path, doc, args.tolerance)
+        if failures:
+            for f in failures:
+                print(f"FAIL: {f}", file=sys.stderr)
+            sys.exit(1)
         return
 
     if len(docs) != 2:
