@@ -1,0 +1,67 @@
+#include "buffer_pool.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace stfw::core {
+
+namespace {
+
+/// Class index of the smallest power-of-two capacity >= bytes (floored at
+/// kMinClassBytes): 64 -> 0, 128 -> 1, ...
+std::size_t class_index_for(std::size_t bytes) noexcept {
+  const std::size_t cls = std::bit_ceil(std::max(bytes, BufferPool::kMinClassBytes));
+  return static_cast<std::size_t>(std::bit_width(cls) -
+                                  std::bit_width(BufferPool::kMinClassBytes));
+}
+
+}  // namespace
+
+std::size_t BufferPool::class_bytes(std::size_t bytes) noexcept {
+  return std::bit_ceil(std::max(bytes, kMinClassBytes));
+}
+
+std::vector<std::byte> BufferPool::acquire(std::size_t bytes) {
+  const std::size_t idx = class_index_for(bytes);
+  if (idx < classes_.size() && !classes_[idx].empty()) {
+    std::vector<std::byte> buf = std::move(classes_[idx].back());
+    classes_[idx].pop_back();
+    // Steady-state replays request the same size every iteration, so this
+    // resize is a no-op; growth within the class only value-initializes the
+    // delta, never reallocates.
+    buf.resize(bytes);
+    ++stats_.hits;
+    stats_.reused_bytes += bytes;
+    return buf;
+  }
+  ++stats_.misses;
+  std::vector<std::byte> buf;
+  buf.reserve(class_bytes(bytes));
+  buf.resize(bytes);
+  return buf;
+}
+
+void BufferPool::release(std::vector<std::byte> buf) {
+  if (buf.capacity() < kMinClassBytes) {
+    ++stats_.dropped;
+    return;
+  }
+  // Bin by the largest class the capacity fully covers, so every future
+  // acquire from that class is guaranteed to fit without reallocation even
+  // for buffers the pool never allocated itself.
+  const std::size_t idx = static_cast<std::size_t>(
+      std::bit_width(std::bit_floor(buf.capacity())) - std::bit_width(kMinClassBytes));
+  if (idx >= classes_.size()) classes_.resize(idx + 1);
+  if (classes_[idx].size() >= kMaxCachedPerClass) {
+    ++stats_.dropped;
+    return;
+  }
+#if STFW_SANITIZE_ENABLED
+  // Poison, don't shrink: a stale span into this buffer now reads 0xA5
+  // instead of the previous exchange's payload (test_wire_fuzz pins this).
+  std::fill(buf.begin(), buf.end(), std::byte{0xA5});
+#endif
+  classes_[idx].push_back(std::move(buf));
+}
+
+}  // namespace stfw::core

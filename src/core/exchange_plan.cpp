@@ -144,4 +144,62 @@ ExchangePlanLayout PlanRecorder::finish(std::span<const Submessage> delivered,
   return std::move(layout_);
 }
 
+void validate_plan_layout(const ExchangePlanLayout& layout) {
+  const auto bad = [&](int stage, const std::string& detail) {
+    throw ValidationError("plan-layout", static_cast<int>(layout.rank), stage, detail);
+  };
+  const std::size_t nstages = layout.out_frames.size();
+  if (layout.in_frames.size() != nstages)
+    bad(-1, "in_frames/out_frames stage count mismatch");
+
+  // Provenance bounds shared by payload slots and deliveries: the gather
+  // path memcpys straight out of whatever this PayloadSrc names, so every
+  // reference must be provably inside its buffer before any byte moves.
+  const auto check_src = [&](int stage, const PayloadSrc& src, const char* where) {
+    // Zero-size sources are placeholders (recorded plans use a default
+    // PayloadSrc for empty submessages); no byte is ever read through them.
+    if (src.bytes == 0) return;
+    if (src.kind == PayloadSrc::Kind::kSeed) {
+      if (src.index >= layout.signature.sequence.size())
+        bad(stage, std::string(where) + ": seed index out of range");
+      if (src.bytes != layout.signature.sequence[src.index].second)
+        bad(stage, std::string(where) + ": seed slot size disagrees with the pattern");
+      return;
+    }
+    const auto rs = static_cast<std::size_t>(src.stage);
+    if (rs >= nstages) bad(stage, std::string(where) + ": recv stage out of range");
+    const auto& stage_in = layout.in_frames[rs];
+    if (src.frame >= stage_in.size())
+      bad(stage, std::string(where) + ": recv frame index out of range");
+    const std::uint64_t end =
+        static_cast<std::uint64_t>(src.offset) + static_cast<std::uint64_t>(src.bytes);
+    if (end > stage_in[src.frame].wire_size)
+      bad(stage, std::string(where) + ": recv slot reads past its inbound frame");
+  };
+
+  for (std::size_t s = 0; s < nstages; ++s) {
+    const int stage = static_cast<int>(s);
+    for (const PlanOutFrame& f : layout.out_frames[s]) {
+      if (f.slot_offsets.size() != f.slots.size())
+        bad(stage, "slot offset/source table size mismatch");
+      std::uint64_t prev_end = 0;
+      for (std::size_t k = 0; k < f.slots.size(); ++k) {
+        const std::uint64_t off = f.slot_offsets[k];
+        const std::uint64_t end = off + static_cast<std::uint64_t>(f.slots[k].bytes);
+        if (off < prev_end) bad(stage, "payload slots overlap or are out of order");
+        if (end > f.image.size()) bad(stage, "payload slot exceeds the frame image");
+        prev_end = end;
+        check_src(stage, f.slots[k], "out-frame slot");
+      }
+    }
+    for (const PlanInFrame& f : layout.in_frames[s]) {
+      for (const Submessage& sub : f.subs) {
+        const std::uint64_t end = sub.offset + static_cast<std::uint64_t>(sub.size_bytes);
+        if (end > f.wire_size) bad(stage, "inbound submessage exceeds its frame");
+      }
+    }
+  }
+  for (const PlanDelivery& d : layout.deliveries) check_src(-1, d.src, "delivery");
+}
+
 }  // namespace stfw::core

@@ -168,4 +168,16 @@ private:
   ExchangePlanLayout layout_;
 };
 
+/// Structural audit of a frozen layout, throwing core::ValidationError
+/// ("plan-layout") on the first inconsistency. The zero-copy gather path
+/// trusts the slot tables blindly on every replay — a mutated or corrupted
+/// layout must be rejected here, before a single byte is read from caller
+/// buffers, never discovered as an out-of-bounds memcpy. Checks: slot
+/// offset/source tables agree in size; payload slots are ordered,
+/// non-overlapping and inside their frame image; every seed reference is in
+/// pattern range with the pattern's size; every recv reference points at a
+/// recorded inbound frame and stays inside its wire size (deliveries
+/// included); inbound submessage offsets stay inside their frame.
+void validate_plan_layout(const ExchangePlanLayout& layout);
+
 }  // namespace stfw::core

@@ -4,6 +4,7 @@
 #include <exception>
 #include <thread>
 
+#include "core/env.hpp"
 #include "core/error.hpp"
 #include "fault/fault_injector.hpp"
 
@@ -23,9 +24,20 @@ long long ms_since(std::chrono::steady_clock::time_point t) {
 
 int Comm::size() const noexcept { return cluster_->size(); }
 
+Comm::Comm(Cluster& cluster, int rank)
+    : cluster_(&cluster),
+      rank_(rank),
+      seq_out_(static_cast<std::size_t>(cluster.size()), 0) {}
+
 void Comm::send(int dest, int tag, std::vector<std::byte> data) {
   require(dest >= 0 && dest < cluster_->size(), "Comm::send: destination out of range");
-  cluster_->post(dest, Message{rank_, tag, std::move(data)});
+  Message msg{rank_, tag, std::move(data)};
+  // Stamped unconditionally (one increment); only the lock-free mailbox's
+  // ticket gate reads it. Stamp and publication are separated by no
+  // blocking call, so a gap in a mailbox's ticket sequence is always
+  // transient: the stamping sender is mid-post and about to publish.
+  msg.ticket = seq_out_[static_cast<std::size_t>(dest)]++;
+  cluster_->post(dest, std::move(msg));
 }
 
 Message Comm::recv(int source, int tag) {
@@ -102,7 +114,10 @@ std::vector<std::vector<std::byte>> Comm::allgather(std::vector<std::byte> mine,
   return all;
 }
 
-Cluster::Cluster(int num_ranks) : num_ranks_(num_ranks) {
+Cluster::Cluster(int num_ranks)
+    : num_ranks_(num_ranks),
+      lockfree_enabled_(core::env_flag("STFW_LOCKFREE_MAILBOX", true)),
+      ring_capacity_(std::max<std::uint64_t>(core::env_u64("STFW_MAILBOX_RING", 256), 1)) {
   require(num_ranks >= 1, "Cluster: need at least one rank");
   mailboxes_.reserve(static_cast<std::size_t>(num_ranks));
   for (int i = 0; i < num_ranks; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
@@ -117,11 +132,26 @@ void Cluster::set_fault_injector(std::shared_ptr<fault::FaultInjector> injector)
 }
 
 void Cluster::run(const std::function<void(Comm&)>& fn) {
+  // Lock-free delivery is decided once per run, quiescently, before any
+  // rank thread exists: an injector needs the locked queue's semantics
+  // (reorder-to-front, the monitor's delayed pump, pristine duplicates), so
+  // its presence forces the locked path for the whole run.
+  lockfree_run_ = lockfree_enabled_ && injector_ == nullptr;
   for (int r = 0; r < num_ranks_; ++r) {
     const auto& mb = mailboxes_[static_cast<std::size_t>(r)];
     // No rank threads are alive here, but the previous run's monitor could
     // in principle have raced this check before TSA made the lock mandatory.
     MutexLock lock(mb->mu);
+    // Surface anything a previous run left in the lock-free channels so the
+    // emptiness precondition below judges the whole mailbox, then (re)arm
+    // the per-run lock-free state. Rings are rebuilt only when the capacity
+    // knob changed; ticket gates restart with the fresh Comm counters.
+    drain_lockfree_raw(*mb);
+    if (lockfree_run_ && (!mb->ring || mb->ring->capacity() != ring_capacity_))
+      mb->ring = std::make_unique<MpscRing<Message>>(ring_capacity_);
+    mb->next_ticket.assign(static_cast<std::size_t>(num_ranks_), 0);
+    mb->held.assign(static_cast<std::size_t>(num_ranks_), {});
+    mb->consumer_waiting.store(false, std::memory_order_relaxed);
     if (!membership_.alive(r)) {
       // A rank that died last run may have collected late retransmits after
       // its mailbox was discarded; they belong to the finished run.
@@ -196,10 +226,13 @@ void Cluster::run(const std::function<void(Comm&)>& fn) {
       std::any_of(errors.begin(), errors.end(), [](const std::exception_ptr& e) { return !!e; });
   if (!had_error) return;
 
-  // Discard messages stranded by the abort so the cluster stays reusable.
+  // Discard messages stranded by the abort so the cluster stays reusable
+  // (lock-free channels included — a producer may have published right up
+  // to the moment its rank unwound).
   for (const auto& mb : mailboxes_) {
     MutexLock lock(mb->mu);
     STFW_VERIFY_WRITE(&mb->queue, "Cluster::run stranded-mailbox clear");
+    drain_lockfree_raw(*mb);
     mb->queue.clear();
   }
   aborted_.store(false);
@@ -269,6 +302,10 @@ void Cluster::rank_died(int me) {
     Mailbox& mb = *mailboxes_[static_cast<std::size_t>(me)];
     MutexLock lock(mb.mu);
     STFW_VERIFY_WRITE(&mb.queue, "Cluster::rank_died mailbox clear");
+    // The dying rank is its own mailbox's single consumer, so draining the
+    // ring from here is safe; crashes only occur on injected (locked-mode)
+    // runs today, but the sweep keeps this path mode-agnostic.
+    drain_lockfree_raw(mb);
     mb.queue.clear();
   }
   {
@@ -322,6 +359,7 @@ void Cluster::throw_torn_down(int me, const char* op) {
 // --- fault-injected posting -------------------------------------------------
 
 void Cluster::post(int dest, Message msg) {
+  if (wire_tap_) wire_tap_(msg.source, dest, msg.tag, msg.data);
   if (injector_ != nullptr) {
     const fault::MessageDecision d =
         injector_->on_post(msg.source, dest, msg.tag, msg.data.size());
@@ -348,10 +386,35 @@ void Cluster::post_raw(int dest, Message msg, bool to_front) {
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dest)];
 #if STFW_VERIFY_ENABLED
   // Send edge: a scheduler branch point, and the id ties the matching recv's
-  // happens-before join back to this exact enqueue.
+  // happens-before join back to this exact enqueue. Fired before the ring
+  // publication too, so the race detector sees the same send->recv
+  // happens-before edge on both delivery channels.
   if (verify::Hooks* h = verify::hooks())
     msg.verify_id = h->mailbox_send(msg.source, dest, msg.tag);
 #endif
+  if (lockfree_run_) {
+    STFW_ASSERT(!to_front, "Cluster::post_raw: reorder on the lock-free path");
+    if (!mb.ring->try_push(std::move(msg))) {
+      // Ring full: locked overflow channel. Arrival order across the two
+      // channels is irrelevant — the consumer's ticket gate restores
+      // per-source order during harvest.
+      MutexLock lock(mb.mu);
+      STFW_VERIFY_WRITE(&mb.overflow, "Cluster::post_raw overflow enqueue");
+      mb.overflow.push_back(std::move(msg));
+    }
+    progress_.fetch_add(1, std::memory_order_relaxed);
+    // Dekker handshake with the consumer's harvest-then-wait step: the
+    // publication store and this load are both seq_cst, so either this
+    // producer sees the flag (and wakes the consumer under its mutex — the
+    // lock serializes against the consumer's flag-set/harvest critical
+    // section, so the notify cannot land in the gap before cv.wait), or
+    // the consumer's post-flag harvest sees the publication.
+    if (mb.consumer_waiting.load(std::memory_order_seq_cst)) {
+      MutexLock lock(mb.mu);
+      mb.cv.notify_all();
+    }
+    return;
+  }
   {
     MutexLock lock(mb.mu);
     STFW_VERIFY_WRITE(&mb.queue, "Cluster::post_raw enqueue");
@@ -362,6 +425,65 @@ void Cluster::post_raw(int dest, Message msg, bool to_front) {
   }
   progress_.fetch_add(1, std::memory_order_relaxed);
   mb.cv.notify_all();
+}
+
+// --- lock-free delivery: consumer-side harvest ------------------------------
+
+void Cluster::gate_deliver(Mailbox& mb, Message msg) {
+  STFW_ASSERT(msg.source >= 0 && msg.source < num_ranks_,
+              "Cluster::gate_deliver: message without a valid source");
+  const auto src = static_cast<std::size_t>(msg.source);
+  if (msg.ticket != mb.next_ticket[src]) {
+    // Out of order (it beat an earlier message still mid-publication or
+    // parked in the other channel); park until the gap closes. A stamped
+    // ticket is always published — Comm::send never blocks between stamping
+    // and posting — so the gap closes on a later harvest at the latest.
+    mb.held[src].push_back(std::move(msg));
+    return;
+  }
+  STFW_VERIFY_WRITE(&mb.queue, "Cluster::gate_deliver release");
+  ++mb.next_ticket[src];
+  mb.queue.push_back(std::move(msg));
+  auto& held = mb.held[src];
+  bool released = true;
+  while (released && !held.empty()) {
+    released = false;
+    for (auto it = held.begin(); it != held.end(); ++it) {
+      if (it->ticket == mb.next_ticket[src]) {
+        ++mb.next_ticket[src];
+        mb.queue.push_back(std::move(*it));
+        held.erase(it);
+        released = true;
+        break;
+      }
+    }
+  }
+}
+
+void Cluster::harvest(Mailbox& mb) {
+  if (!lockfree_run_ || mb.ring == nullptr) return;
+  Message m;
+  while (mb.ring->try_pop(m)) gate_deliver(mb, std::move(m));
+  while (!mb.overflow.empty()) {
+    Message o = std::move(mb.overflow.front());
+    mb.overflow.pop_front();
+    gate_deliver(mb, std::move(o));
+  }
+}
+
+void Cluster::drain_lockfree_raw(Mailbox& mb) {
+  if (mb.ring != nullptr) {
+    Message m;
+    while (mb.ring->try_pop(m)) mb.queue.push_back(std::move(m));
+  }
+  while (!mb.overflow.empty()) {
+    mb.queue.push_back(std::move(mb.overflow.front()));
+    mb.overflow.pop_front();
+  }
+  for (auto& from_src : mb.held) {
+    for (Message& m : from_src) mb.queue.push_back(std::move(m));
+    from_src.clear();
+  }
 }
 
 void Cluster::flush_delayed() {
@@ -390,6 +512,7 @@ Message Cluster::blocking_recv(int me, int source, int tag, Deadline deadline) {
   bool registered = false;
   MutexLock lock(mb.mu);
   for (;;) {
+    harvest(mb);
     STFW_VERIFY_READ(&mb.queue, "Cluster::blocking_recv scan");
     auto it = std::find_if(mb.queue.begin(), mb.queue.end(),
                            [&](const Message& m) { return matches(m, source, tag); });
@@ -412,10 +535,23 @@ Message Cluster::blocking_recv(int me, int source, int tag, Deadline deadline) {
       set_block_state(me, BlockInfo::Kind::kRecv, source, tag);
       registered = true;
     }
+    if (lockfree_run_) {
+      // Advertise, then take one last look (see post_raw's Dekker comment):
+      // a producer that published before seeing the flag is caught by this
+      // harvest; one that saw it notifies under mu.
+      mb.consumer_waiting.store(true, std::memory_order_seq_cst);
+      const std::size_t before = mb.queue.size();
+      harvest(mb);
+      if (mb.queue.size() != before) {
+        mb.consumer_waiting.store(false, std::memory_order_relaxed);
+        continue;
+      }
+    }
     if (deadline.is_never())
       mb.cv.wait(lock);
     else
       mb.cv.wait_until(lock, deadline.at);
+    if (lockfree_run_) mb.consumer_waiting.store(false, std::memory_order_relaxed);
   }
 }
 
@@ -435,6 +571,7 @@ std::vector<Message> Cluster::recv_from_each(int me, std::span<const int> source
   bool registered = false;
   MutexLock lock(mb.mu);
   for (;;) {
+    harvest(mb);
     STFW_VERIFY_READ(&mb.queue, "Cluster::recv_from_each scan");
     auto it = mb.queue.begin();
     while (it != mb.queue.end() && remaining > 0) {
@@ -498,10 +635,20 @@ std::vector<Message> Cluster::recv_from_each(int me, std::span<const int> source
       set_block_state(me, BlockInfo::Kind::kRecv, kAnySource, tag);
       registered = true;
     }
+    if (lockfree_run_) {
+      mb.consumer_waiting.store(true, std::memory_order_seq_cst);
+      const std::size_t before = mb.queue.size();
+      harvest(mb);
+      if (mb.queue.size() != before) {
+        mb.consumer_waiting.store(false, std::memory_order_relaxed);
+        continue;
+      }
+    }
     if (deadline.is_never())
       mb.cv.wait(lock);
     else
       mb.cv.wait_until(lock, deadline.at);
+    if (lockfree_run_) mb.consumer_waiting.store(false, std::memory_order_relaxed);
   }
 }
 
@@ -510,6 +657,7 @@ std::vector<Message> Cluster::drain(int me, int tag) {
   std::vector<Message> out;
   {
     MutexLock lock(mb.mu);
+    harvest(mb);
     STFW_VERIFY_WRITE(&mb.queue, "Cluster::drain sweep");
     auto it = mb.queue.begin();
     while (it != mb.queue.end()) {
@@ -530,6 +678,7 @@ std::vector<Message> Cluster::drain(int me, int tag) {
 bool Cluster::probe(int me, int source, int tag) {
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(me)];
   MutexLock lock(mb.mu);
+  harvest(mb);
   STFW_VERIFY_READ(&mb.queue, "Cluster::probe scan");
   return std::any_of(mb.queue.begin(), mb.queue.end(),
                      [&](const Message& m) { return matches(m, source, tag); });
@@ -540,6 +689,7 @@ bool Cluster::wait_message(int me, Deadline deadline) {
   bool registered = false;
   MutexLock lock(mb.mu);
   for (;;) {
+    harvest(mb);
     STFW_VERIFY_READ(&mb.queue, "Cluster::wait_message poll");
     if (!mb.queue.empty()) {
       if (registered) set_block_state(me, BlockInfo::Kind::kRunning);
@@ -554,10 +704,20 @@ bool Cluster::wait_message(int me, Deadline deadline) {
       set_block_state(me, BlockInfo::Kind::kWait, kAnySource, 0);
       registered = true;
     }
+    if (lockfree_run_) {
+      mb.consumer_waiting.store(true, std::memory_order_seq_cst);
+      const std::size_t before = mb.queue.size();
+      harvest(mb);
+      if (mb.queue.size() != before) {
+        mb.consumer_waiting.store(false, std::memory_order_relaxed);
+        continue;
+      }
+    }
     if (deadline.is_never())
       mb.cv.wait(lock);
     else
       mb.cv.wait_until(lock, deadline.at);
+    if (lockfree_run_) mb.consumer_waiting.store(false, std::memory_order_relaxed);
   }
 }
 

@@ -14,6 +14,7 @@
 #include "core/sync.hpp"
 #include "core/verify_hooks.hpp"
 #include "membership.hpp"
+#include "mpsc_ring.hpp"
 
 /// \file comm.hpp
 /// In-process message-passing runtime.
@@ -56,6 +57,11 @@ struct Message {
   int source = -1;
   int tag = 0;
   std::vector<std::byte> data;
+  /// Per-(source, dest) send sequence number, stamped by Comm::send. The
+  /// lock-free mailbox delivers ring and overflow arrivals through a
+  /// per-source ticket gate keyed on this, restoring the point-to-point
+  /// ordering guarantee no matter which channel a message raced through.
+  std::uint64_t ticket = 0;
 #if STFW_VERIFY_ENABLED
   std::uint64_t verify_id = 0;  // stfw-verify message identity (send edge id)
 #endif
@@ -155,10 +161,14 @@ public:
 
 private:
   friend class Cluster;
-  Comm(Cluster& cluster, int rank) : cluster_(&cluster), rank_(rank) {}
+  Comm(Cluster& cluster, int rank);
 
   Cluster* cluster_;
   int rank_;
+  /// Next ticket per destination (Message::ticket). A Comm lives on exactly
+  /// one rank thread, so plain counters suffice; they start at zero every
+  /// run because the Comm itself is constructed fresh inside run().
+  std::vector<std::uint64_t> seq_out_;
 };
 
 /// A fixed-size set of ranks executing a common function on private threads.
@@ -204,6 +214,33 @@ public:
   /// the caller who died.
   [[nodiscard]] const Membership& membership() const noexcept { return membership_; }
 
+  /// Enable/disable the lock-free MPSC mailbox fast path (default: the
+  /// STFW_LOCKFREE_MAILBOX flag, on when unset). Even when enabled it is
+  /// only used on runs without a fault injector — injected reorder/delay/
+  /// duplicate need the locked queue's semantics. Must not be called during
+  /// run().
+  void set_lockfree_mailbox(bool enabled) { lockfree_enabled_ = enabled; }
+  /// Ring capacity per mailbox for the lock-free path (default: the
+  /// STFW_MAILBOX_RING variable, 256 when unset; 0 is clamped to 1). Tiny
+  /// capacities are valid — overflow falls back to the locked channel — and
+  /// are how the tests force channel interleaving. Must not be called
+  /// during run().
+  void set_mailbox_ring_capacity(std::size_t slots) { ring_capacity_ = slots; }
+  /// Whether the current/last run() used the lock-free delivery path.
+  [[nodiscard]] bool lockfree_active() const noexcept { return lockfree_run_; }
+
+  /// Test-support observability: called on the sender's thread for every
+  /// post *before* the fault injector rules on it, so the tap sees dropped
+  /// transmissions and their retransmits alike (how the byte-identity
+  /// regression pins retransmitted frames to the originals). The callback
+  /// must be thread-safe — posts from different ranks invoke it
+  /// concurrently — and must copy the bytes if it keeps them. nullptr
+  /// removes the tap. Must not be called during run().
+  void set_wire_tap(
+      std::function<void(int source, int dest, int tag, std::span<const std::byte>)> tap) {
+    wire_tap_ = std::move(tap);
+  }
+
 private:
   friend class Comm;
 
@@ -211,6 +248,19 @@ private:
     core::Mutex mu;
     core::CondVar cv;
     std::deque<Message> queue STFW_GUARDED_BY(mu);
+
+    // Lock-free fast path (fault-free runs only; see lockfree_run_). The
+    // ring and the waiting flag are touched without mu — the ring carries
+    // its own synchronization and the flag is the Dekker handshake of the
+    // sleep protocol. Everything else stays under mu: the overflow channel
+    // (ring-full fallback), and the per-source ticket gate the consumer
+    // runs while harvesting (next_ticket/held), which restores per-source
+    // FIFO regardless of which channel a message raced through.
+    std::unique_ptr<MpscRing<Message>> ring;
+    std::atomic<bool> consumer_waiting{false};
+    std::deque<Message> overflow STFW_GUARDED_BY(mu);
+    std::vector<std::uint64_t> next_ticket STFW_GUARDED_BY(mu);
+    std::vector<std::vector<Message>> held STFW_GUARDED_BY(mu);
   };
 
   /// What a rank's thread is doing, as seen by the watchdog.
@@ -249,6 +299,19 @@ private:
   /// arrival and on every death.
   void maybe_release_barrier() STFW_REQUIRES(barrier_mu_);
 
+  /// Consumer-side: move every published ring/overflow message through the
+  /// per-source ticket gate into mb.queue. Only the mailbox owner (or the
+  /// main thread while no rank threads run) may call it — it pops the
+  /// single-consumer ring. No-op unless this run is lock-free.
+  void harvest(Mailbox& mb) STFW_REQUIRES(mb.mu);
+  /// Ticket gate: release `msg` into mb.queue if it is the next expected
+  /// ticket from its source (plus any held successors), else park it.
+  void gate_deliver(Mailbox& mb, Message msg) STFW_REQUIRES(mb.mu);
+  /// Dump ring + overflow + held into mb.queue with no ordering gate; for
+  /// run-boundary sweeps (emptiness checks, dead-rank/stranded clears)
+  /// where only "is anything left" matters.
+  void drain_lockfree_raw(Mailbox& mb) STFW_REQUIRES(mb.mu);
+
   void set_block_state(int me, BlockInfo::Kind kind, int source = 0, int tag = 0)
       STFW_EXCLUDES(block_mu_);
   /// Checks deadlock/abort flags from inside a blocking primitive; throws
@@ -267,6 +330,14 @@ private:
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   Membership membership_;
 
+  // Lock-free mailbox mode. lockfree_run_ is decided quiescently at the top
+  // of every run() (enabled && no injector) before any rank thread exists,
+  // and never changes mid-run — rank threads read it data-race-free via the
+  // thread-creation happens-before edge.
+  bool lockfree_enabled_;
+  std::size_t ring_capacity_;
+  bool lockfree_run_ = false;
+
   // Reusable two-phase barrier.
   core::Mutex barrier_mu_;
   core::CondVar barrier_cv_;
@@ -275,6 +346,8 @@ private:
 
   // Fault layer.
   std::shared_ptr<fault::FaultInjector> injector_;
+  // Set quiescently (before run()), only read during it — no guard needed.
+  std::function<void(int, int, int, std::span<const std::byte>)> wire_tap_;
   core::Mutex delayed_mu_;
   std::vector<DelayedMessage> delayed_ STFW_GUARDED_BY(delayed_mu_);
 

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+/// \file mpsc_ring.hpp
+/// Bounded lock-free multi-producer single-consumer ring.
+///
+/// The delivery fast path of the in-process cluster (comm.hpp): on a
+/// fault-free run every Cluster::post publishes into the destination
+/// mailbox's ring instead of taking its mutex, and the owning rank thread
+/// pops without any lock at all. The design is the classic bounded MPMC
+/// queue of sequence-stamped slots (Vyukov), specialised to one consumer:
+///
+///  * each slot carries an atomic sequence stamp; position `pos`'s slot is
+///    `pos % capacity`, its stamp `2 * pos` when free and `2 * pos + 1` once
+///    published. The parity bit is what makes the stamp unambiguous at ANY
+///    capacity: the textbook stamps (free == pos, published == pos + 1)
+///    collide at capacity 1, where "published at pos" and "free at pos + 1"
+///    name the same slot with the same value and a second producer would
+///    overwrite the unconsumed head;
+///  * a producer claims `pos` by CASing the shared enqueue cursor while the
+///    stamp reads 2 * pos, writes the value, then *publishes* by storing
+///    2 * pos + 1;
+///  * the single consumer reads slot `pos` when its stamp is 2 * pos + 1,
+///    takes the value, and recycles the slot by storing 2 * (pos +
+///    capacity) — the free stamp of the slot's next lap. The dequeue cursor
+///    is a plain integer — only the owner thread touches it.
+///
+/// Memory ordering: the publication store and the consumer's sequence load
+/// are seq_cst rather than the textbook release/acquire. That buys the
+/// store-load ordering the mailbox's sleep protocol needs (Dekker pattern:
+/// producer "publish then read consumer_waiting", consumer "set
+/// consumer_waiting then re-poll the ring" — see Cluster::post_raw and the
+/// harvest-before-wait step in comm.cpp); with plain release/acquire both
+/// sides could order their load before the other's store and a wakeup
+/// would be lost. The cost is one fence on each side, still far below a
+/// mutex round trip.
+///
+/// A full ring (or a slot still mid-publication after the cursor wrapped)
+/// makes try_push return false; the caller falls back to the mailbox's
+/// locked overflow channel. try_pop returns false at a gap: a producer
+/// between its CAS and its publication store hides everything behind it
+/// until it publishes — the per-source ticket gate in comm.cpp makes that
+/// reordering harmless.
+
+namespace stfw::runtime {
+
+template <typename T>
+class MpscRing {
+public:
+  explicit MpscRing(std::size_t capacity)
+      : cap_(capacity == 0 ? 1 : capacity),
+        slots_(std::make_unique<Slot[]>(cap_)) {
+    for (std::size_t i = 0; i < cap_; ++i)
+      slots_[i].seq.store(2 * i, std::memory_order_relaxed);
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  /// Multi-producer push; false when the ring is full.
+  bool try_push(T&& value) {
+    std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos % cap_];
+      const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(2 * pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          slot.value = std::move(value);
+          slot.seq.store(2 * pos + 1, std::memory_order_seq_cst);  // publish
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // lapped: the consumer has not recycled this slot yet
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Single-consumer pop; false when empty or the head is mid-publication.
+  /// Must only ever be called from the one consumer thread.
+  bool try_pop(T& out) {
+    Slot& slot = slots_[dequeue_pos_ % cap_];
+    const std::uint64_t seq = slot.seq.load(std::memory_order_seq_cst);
+    if (seq != 2 * dequeue_pos_ + 1) return false;
+    out = std::move(slot.value);
+    slot.value = T{};  // drop payload now, not at the next lap
+    slot.seq.store(2 * (dequeue_pos_ + cap_), std::memory_order_release);  // recycle
+    ++dequeue_pos_;
+    return true;
+  }
+
+  std::size_t capacity() const noexcept { return cap_; }
+
+private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    T value{};
+  };
+
+  std::size_t cap_;
+  std::unique_ptr<Slot[]> slots_;
+  alignas(64) std::atomic<std::uint64_t> enqueue_pos_{0};
+  alignas(64) std::uint64_t dequeue_pos_ = 0;  // consumer-private
+};
+
+}  // namespace stfw::runtime

@@ -157,7 +157,10 @@ bool frame_headers_match(std::span<const std::byte> raw, const core::PlanInFrame
 }
 
 // Copies `frame`'s prebuilt wire image and fills its payload gaps from the
-// seed payload views / previously received raw frames.
+// seed payload views / previously received raw frames. The historical
+// copying assembly, kept as the zero-copy A/B baseline (set_zero_copy(false)
+// / STFW_ZERO_COPY=0): every payload byte is written twice, once as the
+// image's zeroed gap and once as the payload itself.
 std::vector<std::byte> fill_planned_frame(
     const core::PlanOutFrame& frame, std::span<const std::span<const std::byte>> seeds,
     const std::vector<std::vector<std::vector<std::byte>>>& in_raw) {
@@ -170,6 +173,46 @@ std::vector<std::byte> fill_planned_frame(
     std::memcpy(wire.data() + frame.slot_offsets[i], from, src.bytes);
   }
   return wire;
+}
+
+// Scatter/gather assembly of one planned frame into a pooled wire buffer:
+// template segments of the frozen image (the submessage headers between the
+// payload gaps) are interleaved with payload memcpys straight from the seed
+// views / parked inbound frames. Every byte of the buffer is written exactly
+// once — no image pre-copy, no double-written payload bytes, and (since the
+// pool's sanitize-mode poison is fully overwritten) nothing stale can leak
+// onto the wire. Slot offsets were audited by validate_plan_layout at plan
+// construction, so the arithmetic here can trust them.
+std::vector<std::byte> gather_planned_frame(
+    core::BufferPool& pool, const core::PlanOutFrame& frame,
+    std::span<const std::span<const std::byte>> seeds,
+    const std::vector<std::vector<std::vector<std::byte>>>& in_raw) {
+  std::vector<std::byte> wire = pool.acquire(frame.image.size());
+  const std::byte* img = frame.image.data();
+  std::byte* out = wire.data();
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < frame.slots.size(); ++i) {
+    const core::PayloadSrc& src = frame.slots[i];
+    const std::size_t off = frame.slot_offsets[i];
+    if (off > cursor) std::memcpy(out + cursor, img + cursor, off - cursor);
+    const std::byte* from = src.kind == core::PayloadSrc::Kind::kSeed
+                                ? seeds[src.index].data()
+                                : in_raw[src.stage][src.frame].data() + src.offset;
+    std::memcpy(out + off, from, src.bytes);
+    cursor = off + src.bytes;
+  }
+  if (cursor < frame.image.size())
+    std::memcpy(out + cursor, img + cursor, frame.image.size() - cursor);
+  return wire;
+}
+
+// Per-exchange pool counters: the difference between the communicator pool's
+// cumulative stats now and at exchange entry.
+void record_pool_delta(LocalExchangeStats& stats, const core::BufferPoolStats& now,
+                       const core::BufferPoolStats& before) {
+  stats.pool_hits = now.hits - before.hits;
+  stats.pool_misses = now.misses - before.misses;
+  stats.pool_reused_bytes = now.reused_bytes - before.reused_bytes;
 }
 
 // Materializes the InboundMessages of a completed planned exchange.
@@ -248,6 +291,7 @@ StfwCommunicator::StfwCommunicator(runtime::Comm& comm, core::Vpt vpt)
       exchange_deadline_(std::chrono::milliseconds(
           core::env_u64("STFW_EXCHANGE_DEADLINE_MS", kDefaultExchangeDeadlineMs))),
       barrier_sync_(core::env_flag("STFW_BARRIER_SYNC", false)),
+      zero_copy_(core::env_flag("STFW_ZERO_COPY", true)),
       plan_cache_capacity_(static_cast<std::size_t>(
           core::env_u64("STFW_PLAN_CACHE", kDefaultPlanCacheCapacity))) {
   core::require(vpt_.size() == comm.size(),
@@ -282,6 +326,13 @@ void StfwCommunicator::send_stage_fillers(int stage, int tag, std::span<const in
     }
     comm_->send(neighbors[i], tag, filler_frame());
   }
+}
+
+std::vector<std::byte> StfwCommunicator::planned_frame_bytes(
+    const core::PlanOutFrame& frame, std::span<const std::span<const std::byte>> seeds,
+    const std::vector<std::vector<std::vector<std::byte>>>& in_raw) {
+  return zero_copy_ ? gather_planned_frame(pool_, frame, seeds, in_raw)
+                    : fill_planned_frame(frame, seeds, in_raw);
 }
 
 std::size_t StfwCommunicator::plan_cache_capacity() const {
@@ -542,6 +593,11 @@ std::vector<InboundMessage> StfwCommunicator::exchange_planned_cached(
   const int n = vpt_.dim();
   stats_ = LocalExchangeStats{};
   stats_.plan_hits = 1;
+  // Any replay recycles the plan's parked frames, so views handed out by an
+  // earlier exchange_views() stop being valid here — drop them now rather
+  // than leave a span into a poisoned/reused buffer reachable.
+  plan.views_.clear();
+  const core::BufferPoolStats pool_before = pool_.stats();
   const int tag_base = epoch_ * n;
   fault::FaultInjector* injector = comm_->fault_injector();
   const std::vector<std::span<const std::byte>> seeds = seed_views_of(sends);
@@ -573,7 +629,7 @@ std::vector<InboundMessage> StfwCommunicator::exchange_planned_cached(
         validator->on_stage_send(stage, m);
       }
 #endif
-      auto wire = fill_planned_frame(f, seeds, plan.in_raw_);
+      auto wire = planned_frame_bytes(f, seeds, plan.in_raw_);
       ++stats_.messages_sent;
       stats_.payload_bytes_sent += f.payload_bytes;
       stats_.wire_bytes_sent += wire.size();
@@ -701,6 +757,7 @@ std::vector<InboundMessage> StfwCommunicator::exchange_planned_cached(
       }
       ++epoch_;
       stats_.peak_buffer_bytes = seed_bytes + state.delivered_payload_bytes() + transit_peak;
+      record_pool_delta(stats_, pool_.stats(), pool_before);
       std::vector<Submessage> delivered = state.take_delivered();
 #if STFW_VALIDATE_ENABLED
       if (validator) {
@@ -727,7 +784,12 @@ std::vector<InboundMessage> StfwCommunicator::exchange_planned_cached(
 #if STFW_VALIDATE_ENABLED
       if (validator) validator->on_stage_recv(stage, expected[i].source, expected[i].subs);
 #endif
-      plan.in_raw_[static_cast<std::size_t>(stage)][i] = std::move(msgs[real_idx[i]].data);
+      // Recycle the previous replay's frame into the pool: the next stage's
+      // (or iteration's) outbound gathers draw from it, so the steady state
+      // cycles a fixed working set of allocations across the cluster.
+      auto& slot = plan.in_raw_[static_cast<std::size_t>(stage)][i];
+      if (zero_copy_ && !slot.empty()) pool_.release(std::move(slot));
+      slot = std::move(msgs[real_idx[i]].data);
     }
 #if STFW_VALIDATE_ENABLED
     if (validator)
@@ -738,6 +800,7 @@ std::vector<InboundMessage> StfwCommunicator::exchange_planned_cached(
   }
   ++epoch_;
   stats_.peak_buffer_bytes = layout.peak_buffer_bytes();
+  record_pool_delta(stats_, pool_.stats(), pool_before);
 
   std::vector<InboundMessage> result = planned_result(layout, seeds, plan.in_raw_);
 
@@ -827,7 +890,7 @@ std::shared_ptr<runtime::ExchangePlan> StfwCommunicator::plan(
   return std::make_shared<runtime::ExchangePlan>(recorder.finish(delivered, srcs));
 }
 
-std::vector<InboundMessage> StfwCommunicator::exchange(
+void StfwCommunicator::replay_plan_stages(
     runtime::ExchangePlan& plan, std::span<const std::span<const std::byte>> payloads) {
   core::require(!comm_->membership().any_failed(),
                 "exchange(plan): cluster is degraded (a rank died); planned replay "
@@ -847,6 +910,11 @@ std::vector<InboundMessage> StfwCommunicator::exchange(
   const int n = vpt_.dim();
   stats_ = LocalExchangeStats{};
   stats_.plan_hits = 1;
+  // Views of the previous replay die the moment this one starts recycling
+  // the parked frames; clearing first means a throw below leaves an empty
+  // span behind, never a dangling one.
+  plan.views_.clear();
+  const core::BufferPoolStats pool_before = pool_.stats();
   const int tag_base = epoch_ * n;
   fault::FaultInjector* injector = comm_->fault_injector();
   std::vector<int> nbrs;
@@ -877,7 +945,7 @@ std::vector<InboundMessage> StfwCommunicator::exchange(
         validator->on_stage_send(stage, m);
       }
 #endif
-      auto wire = fill_planned_frame(f, payloads, plan.in_raw_);
+      auto wire = planned_frame_bytes(f, payloads, plan.in_raw_);
       ++stats_.messages_sent;
       stats_.payload_bytes_sent += f.payload_bytes;
       stats_.wire_bytes_sent += wire.size();
@@ -904,6 +972,7 @@ std::vector<InboundMessage> StfwCommunicator::exchange(
 #if STFW_VALIDATE_ENABLED
         if (validator) validator->on_stage_recv(stage, expected[ei].source, expected[ei].subs);
 #endif
+        if (zero_copy_ && !raw_stage[ei].empty()) pool_.release(std::move(raw_stage[ei]));
         raw_stage[ei] = std::move(m.data);
         ++ei;
       } else {
@@ -927,27 +996,61 @@ std::vector<InboundMessage> StfwCommunicator::exchange(
   }
   ++epoch_;
   stats_.peak_buffer_bytes = layout.peak_buffer_bytes();
-
-  std::vector<InboundMessage> result = planned_result(layout, payloads, plan.in_raw_);
+  record_pool_delta(stats_, pool_.stats(), pool_before);
 
 #if STFW_VALIDATE_ENABLED
   if (validator) {
+    // Reconstruct the deliveries from the frozen provenance tables — the
+    // exact bytes both materializers below hand out — so the conservation
+    // verdict is independent of whether the caller asked for copies or views.
     PayloadArena varena;
     std::vector<Submessage> vdelivered;
-    vdelivered.reserve(result.size());
-    for (const InboundMessage& r : result) {
+    vdelivered.reserve(layout.deliveries.size());
+    for (const core::PlanDelivery& d : layout.deliveries) {
       Submessage s;
-      s.source = r.source;
+      s.source = d.source;
       s.dest = me;
-      s.size_bytes = static_cast<std::uint32_t>(r.bytes.size());
-      s.offset = varena.add(r.bytes);
+      s.size_bytes = d.src.bytes;
+      std::span<const std::byte> bytes;
+      if (d.src.bytes > 0) {
+        const std::byte* from =
+            d.src.kind == core::PayloadSrc::Kind::kSeed
+                ? payloads[d.src.index].data()
+                : plan.in_raw_[d.src.stage][d.src.frame].data() + d.src.offset;
+        bytes = {from, d.src.bytes};
+      }
+      s.offset = varena.add(bytes);
       vdelivered.push_back(s);
     }
     const auto summaries = comm_->allgather(validator->summary_blob(), stage_deadline());
     validator->finish(vdelivered, varena, stats_.messages_sent, summaries);
   }
 #endif
-  return result;
+}
+
+std::vector<InboundMessage> StfwCommunicator::exchange(
+    runtime::ExchangePlan& plan, std::span<const std::span<const std::byte>> payloads) {
+  replay_plan_stages(plan, payloads);
+  return planned_result(plan.layout(), payloads, plan.in_raw_);
+}
+
+std::span<const runtime::InboundView> StfwCommunicator::exchange_views(
+    runtime::ExchangePlan& plan, std::span<const std::span<const std::byte>> payloads) {
+  replay_plan_stages(plan, payloads);
+  const core::ExchangePlanLayout& layout = plan.layout();
+  plan.views_.reserve(layout.deliveries.size());
+  for (const core::PlanDelivery& d : layout.deliveries) {
+    std::span<const std::byte> bytes;
+    if (d.src.bytes > 0) {
+      const std::byte* from =
+          d.src.kind == core::PayloadSrc::Kind::kSeed
+              ? payloads[d.src.index].data()
+              : plan.in_raw_[d.src.stage][d.src.frame].data() + d.src.offset;
+      bytes = {from, d.src.bytes};
+    }
+    plan.views_.push_back(runtime::InboundView{d.source, bytes});
+  }
+  return plan.views_;
 }
 
 std::vector<InboundMessage> StfwCommunicator::exchange(runtime::ExchangePlan& plan,
@@ -1120,8 +1223,15 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
     int stage = -1;  // -1 for kDirect
     core::Rank dest = -1;
     std::uint32_t seq = 0;
-    std::vector<std::byte> wire;       // encoded once, retransmitted verbatim
-    std::vector<Submessage> subs;      // for fallback / loss reporting
+    // No retained wire image: the tracker holds only the frame header and
+    // the submessage headers (payload bytes stay in `arena`), and every
+    // transmission — first send and retransmit alike — re-gathers the wire
+    // bytes from them. serialize_tracked and encode_frame are deterministic
+    // functions of (header, subs, arena), so a retransmit is byte-identical
+    // to the original frame while an unacked frame costs O(subs) to track
+    // instead of a full wire copy.
+    core::FrameHeader header;
+    StageMessage msg;  // subs double as the fallback / loss-reporting list
     int attempts = 0;
     clock::time_point next_retry{};
     std::chrono::milliseconds backoff{0};
@@ -1145,8 +1255,8 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
     f.stage = stage;
     f.dest = dest;
     f.seq = next_seq;
-    f.wire = core::encode_frame(h, core::serialize_tracked(msg, arena));
-    f.subs = std::move(msg.subs);
+    f.header = h;
+    f.msg = std::move(msg);
     f.backoff = opt.retransmit_timeout;
     frame_by_seq.emplace(next_seq, frames.size());
     frames.push_back(std::move(f));
@@ -1156,8 +1266,9 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
   auto transmit = [&](OutFrame& f, clock::time_point now) {
     if (f.attempts > 0) ++stats_.retransmits;
     ++f.attempts;
-    stats_.wire_bytes_sent += f.wire.size();
-    comm_->send(static_cast<int>(f.dest), kResilientDataTag, std::vector<std::byte>(f.wire));
+    auto wire = core::encode_frame(f.header, core::serialize_tracked(f.msg, arena));
+    stats_.wire_bytes_sent += wire.size();
+    comm_->send(static_cast<int>(f.dest), kResilientDataTag, std::move(wire));
     auto delay = f.backoff;
     if (jitter > 0.0 && delay > opt.retransmit_timeout) {
       // Pull the retry earlier by a random fraction of the grown part of the
@@ -1180,7 +1291,7 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
     frames[i].failed = true;
     const core::FrameKind kind = frames[i].kind;
     const int fstage = frames[i].stage;
-    std::vector<Submessage> subs = std::move(frames[i].subs);
+    std::vector<Submessage> subs = std::move(frames[i].msg.subs);
     // kRelay carries final-destination submessages just like kData, so a
     // relay hop that stops answering (slow, nacking, or newly dead) degrades
     // the same way: straight to per-destination kDirect frames. Without this
@@ -1303,7 +1414,7 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
       const bool was_acked = frames[i].acked;
       const core::FrameKind kind = frames[i].kind;
       frames[i].failed = true;  // its receiver no longer exists; stop the pump
-      std::vector<Submessage> subs = std::move(frames[i].subs);
+      std::vector<Submessage> subs = std::move(frames[i].msg.subs);
       if (kind == core::FrameKind::kDirect) {
         // An acked direct frame was delivered before the death — the copy
         // died with its owner, nothing to re-home. An unacked one is lost.
@@ -1320,8 +1431,11 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
       // (source, id) dedup absorbs whatever it managed to forward first.
       route_relayed(std::move(subs), /*count_as_relay=*/false);
     }
+    // Frames are re-encoded per transmit, so advancing the membership claim
+    // is a header-field write — the next retransmit carries it (the encoded
+    // restamp_member_epoch fixup is only needed for retained wire images).
     for (OutFrame& f : frames)
-      if (!f.acked && !f.failed) core::restamp_member_epoch(f.wire, mem.epoch);
+      if (!f.acked && !f.failed) f.header.member_epoch = mem.epoch;
   };
 
   // Retransmit / give-up pass. Returns the earliest pending retry time (or
@@ -1649,7 +1763,7 @@ ResilientExchangeResult StfwCommunicator::exchange_resilient(
           if (f.acked || f.failed) continue;
           f.failed = true;
           ++stats_.timeouts;
-          for (const Submessage& s : f.subs)
+          for (const Submessage& s : f.msg.subs)
             result.failure.lost.push_back({s.source, s.dest, s.size_bytes, f.stage});
         }
       }

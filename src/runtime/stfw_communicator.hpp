@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/buffer_pool.hpp"
 #include "core/metrics.hpp"
 #include "core/plan_repair.hpp"
 #include "core/rank_state.hpp"
@@ -76,6 +77,14 @@ struct LocalExchangeStats {
   // appear in wire_bytes_sent, like acks.
   std::int64_t filler_frames_sent = 0;
   std::int64_t filler_frames_received = 0;
+
+  // Pooled-buffer activity of this exchange (zero-copy planned replays only;
+  // zero elsewhere). Hits are outbound gathers served from the communicator's
+  // recycled wire buffers, misses fell through to the allocator;
+  // pool_reused_bytes counts the bytes handed out without allocating.
+  std::int64_t pool_hits = 0;
+  std::int64_t pool_misses = 0;
+  std::uint64_t pool_reused_bytes = 0;
 
   // Resilient mode only (all zero for plain exchange()).
   std::int64_t retransmits = 0;            // transmissions beyond each frame's first
@@ -240,6 +249,32 @@ public:
   std::vector<InboundMessage> exchange(runtime::ExchangePlan& plan,
                                        std::span<const OutboundMessage> sends);
 
+  /// Zero-copy replay: identical collective to exchange(plan, payloads), but
+  /// the deliveries come back as views aliasing the plan's parked inbound
+  /// frames (self-sends alias the caller's payload buffers) instead of
+  /// freshly copied InboundMessages. Views are invalidated when the next
+  /// exchange on `plan` begins or the plan is destroyed; copy out anything
+  /// that must outlive the iteration. The returned span is empty after a
+  /// throw (drift, validation), never dangling. Delivery order and bytes are
+  /// byte-identical to exchange(plan, payloads).
+  std::span<const runtime::InboundView> exchange_views(
+      runtime::ExchangePlan& plan, std::span<const std::span<const std::byte>> payloads);
+
+  /// Whether planned replays gather outgoing frames scatter/gather-style
+  /// straight into pooled wire buffers (each byte written exactly once)
+  /// instead of copying the frame image and overwriting its payload gaps.
+  /// Defaults to the STFW_ZERO_COPY environment variable (strict parse, on).
+  /// Off keeps the historical copying path for A/B benchmarking; results are
+  /// byte-identical either way.
+  [[nodiscard]] bool zero_copy_enabled() const noexcept { return zero_copy_; }
+  void set_zero_copy(bool on) noexcept { zero_copy_ = on; }
+
+  /// Cumulative wire-buffer pool counters of this communicator (planned
+  /// replays only). LocalExchangeStats carries per-exchange deltas.
+  [[nodiscard]] const core::BufferPoolStats& buffer_pool_stats() const noexcept {
+    return pool_.stats();
+  }
+
   /// Transparent plan cache bound (LRU, default 4 plans; STFW_PLAN_CACHE
   /// overrides the default). 0 disables transparent caching entirely;
   /// explicit plan()/exchange(plan, ...) still work. The cache has its own
@@ -314,6 +349,17 @@ private:
   std::vector<InboundMessage> exchange_planned_cached(runtime::ExchangePlan& plan,
                                                       std::span<const OutboundMessage> sends,
                                                       const OverlapHook& overlap);
+  /// Shared stage loop of the strict replay APIs: contract checks, sends
+  /// (gather or copy), dependency-driven receives, validator, stats. Leaves
+  /// the inbound raw frames parked in `plan`; the caller materializes either
+  /// InboundMessages or InboundViews from them.
+  void replay_plan_stages(runtime::ExchangePlan& plan,
+                          std::span<const std::span<const std::byte>> payloads);
+  /// Outbound frame bytes for a planned send: pooled scatter/gather when
+  /// zero_copy_, else a copy of the image with the payload gaps filled.
+  std::vector<std::byte> planned_frame_bytes(
+      const core::PlanOutFrame& frame, std::span<const std::span<const std::byte>> seeds,
+      const std::vector<std::vector<std::vector<std::byte>>>& in_raw);
   /// Fresh per-stage deadline from exchange_deadline_ (never() when 0).
   runtime::Deadline stage_deadline() const;
   /// This rank's dimension-`stage` neighbors, ascending — the inbound
@@ -339,7 +385,11 @@ private:
   bool validate_;
   std::chrono::milliseconds exchange_deadline_;
   bool barrier_sync_;
+  bool zero_copy_;
   LocalExchangeStats stats_;
+  // Recycled wire buffers of the zero-copy replay path. Thread-confined to
+  // the owning rank's exchange thread (like stats_), so no lock.
+  core::BufferPool pool_;
   // Single-slot cache of the last incremental plan repair, keyed by pattern
   // signature and membership epoch. Thread-confined to the owning rank's
   // exchange thread (like stats_), so no lock: repeated degraded iterations

@@ -165,6 +165,59 @@ class CompareBenchTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 1)
         self.assertIn("no 'overlap' row", proc.stderr)
 
+    def micro_doc(self, planned_ns, ranks=256):
+        return {
+            "bench": "micro_exchange",
+            "schema_version": 1,
+            "config": {"kmax": ranks},
+            "results": [
+                {"name": f"K{ranks}/unplanned", "mode": "unplanned", "ranks": ranks,
+                 "wall_ns_per_exchange": planned_ns * 1.4},
+                {"name": f"K{ranks}/planned", "mode": "planned", "ranks": ranks,
+                 "wall_ns_per_exchange": planned_ns},
+            ],
+        }
+
+    def test_zero_copy_gate_passes_when_zero_copy_is_faster(self):
+        base = self.write("copying.json", self.micro_doc(100.0))
+        cand = self.write("zerocopy.json", self.micro_doc(70.0))
+        proc = run_tool("--zero-copy-gate", base, cand, "--tolerance", "0.05")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("zero-copy gate at K=256", proc.stdout)
+
+    def test_zero_copy_gate_fails_when_zero_copy_is_slower(self):
+        base = self.write("copying.json", self.micro_doc(100.0))
+        cand = self.write("zerocopy.json", self.micro_doc(120.0))
+        proc = run_tool("--zero-copy-gate", base, cand, "--tolerance", "0.05")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("zero-copy planned replay slower", proc.stderr)
+
+    def test_zero_copy_gate_compares_at_baseline_largest_k(self):
+        # Candidate carrying extra (larger) K rows must be compared at the
+        # baseline's largest K, not silently mismatch row-by-row.
+        base = self.write("copying.json", self.micro_doc(100.0, ranks=128))
+        cand_doc = self.micro_doc(70.0, ranks=128)
+        cand_doc["results"] += self.micro_doc(500.0, ranks=256)["results"]
+        cand = self.write("zerocopy.json", cand_doc)
+        proc = run_tool("--zero-copy-gate", base, cand, "--tolerance", "0.05")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("K=128", proc.stdout)
+
+    def test_zero_copy_gate_missing_planned_row_fails(self):
+        base_doc = self.micro_doc(100.0)
+        base_doc["results"] = [r for r in base_doc["results"] if r["mode"] != "planned"]
+        base = self.write("copying.json", base_doc)
+        cand = self.write("zerocopy.json", self.micro_doc(70.0))
+        proc = run_tool("--zero-copy-gate", base, cand)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("no 'planned' row", proc.stderr)
+
+    def test_zero_copy_gate_needs_two_files(self):
+        base = self.write("copying.json", self.micro_doc(100.0))
+        proc = run_tool("--zero-copy-gate", base)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("exactly two files", proc.stderr)
+
     def test_diff_against_empty_candidate_is_schema_error(self):
         # The key hardening case: an empty candidate must not "pass" the diff.
         base = self.write("base.json", bench_doc([{"name": "k4", "mean_us": 1.0}]))

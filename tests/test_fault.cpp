@@ -4,15 +4,21 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
+#include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "core/env.hpp"
 #include "core/error.hpp"
+#include "core/sync.hpp"
 #include "core/vpt.hpp"
+#include "core/wire.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/stfw_communicator.hpp"
 
@@ -614,6 +620,61 @@ TEST(ResilientExchange, DirectFallbackCanBeDisabled) {
 
 // ---------------------------------------------------------------------------
 // Retry-jitter decorrelation (rides along with the rank-failure work)
+
+TEST(ResilientExchange, RetransmittedFramesAreByteIdenticalToOriginals) {
+  // Zero-copy PR pin: the resilient path no longer retains each frame's wire
+  // image — a retransmit re-gathers it from the kept (header, StageMessage).
+  // Serialization is deterministic, so every transmission of a given
+  // (sender, seq, epoch, member_epoch) data frame must be byte-for-byte
+  // identical. The cluster wire tap fires before the injector rules, so the
+  // dropped originals are captured alongside their retransmits.
+  const auto vpt = core::Vpt({2, 2});
+  const Rank K = vpt.size();
+  auto injector = std::make_shared<FaultInjector>([] {
+    FaultConfig cfg;
+    cfg.seed = 4242;
+    cfg.drop_prob = 0.3;
+    return cfg;
+  }());
+  Cluster cluster(K);
+  cluster.set_fault_injector(injector);
+
+  using Key = std::tuple<std::int32_t, std::uint32_t, std::uint32_t, std::uint32_t>;
+  core::Mutex mu;
+  std::map<Key, std::vector<std::vector<std::byte>>> frames;
+  cluster.set_wire_tap([&](int, int, int, std::span<const std::byte> bytes) {
+    // Control collectives and acks are not data frames; decode filters them.
+    const auto dec = core::decode_frame(bytes);
+    if (!dec.has_value() || dec->header.kind != core::FrameKind::kData) return;
+    const Key key{dec->header.sender, dec->header.seq, dec->header.epoch,
+                  dec->header.member_epoch};
+    core::MutexLock lock(mu);
+    frames[key].emplace_back(bytes.begin(), bytes.end());
+  });
+
+  cluster.run([&](Comm& comm) {
+    StfwCommunicator stfw(comm, vpt);
+    ResilienceOptions opt;
+    opt.retransmit_timeout = 2ms;
+    opt.max_attempts = 20;
+    const auto res = stfw.exchange_resilient(all_to_all_sends(K, comm.rank()), opt);
+    EXPECT_TRUE(res.fully_recovered);
+  });
+  cluster.set_wire_tap(nullptr);
+  cluster.set_fault_injector(nullptr);
+
+  ASSERT_GT(injector->counters().drops, 0) << "drop fault never engaged";
+  std::size_t retransmissions = 0;
+  for (const auto& [key, copies] : frames) {
+    for (std::size_t i = 1; i < copies.size(); ++i) {
+      ++retransmissions;
+      EXPECT_EQ(copies[i], copies[0])
+          << "retransmit " << i << " of frame (sender " << std::get<0>(key) << ", seq "
+          << std::get<1>(key) << ") differs from the original";
+    }
+  }
+  EXPECT_GT(retransmissions, 0u) << "no frame was ever retransmitted";
+}
 
 TEST(RetryJitter, RejectsOutOfRangeValues) {
   Cluster cluster(4);

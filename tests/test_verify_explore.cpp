@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <memory>
@@ -132,6 +133,69 @@ TEST(VerifyExplore, BarrierFreeOverlapExhaustiveSweepIsClean) {
   EXPECT_GT(res.schedules_run, 1u) << "no branch points were enumerated";
   EXPECT_GT(hook_calls.load(), 0);
   EXPECT_EQ(hook_calls.load() % 4, 0) << "hook must fire exactly once per rank per schedule";
+}
+
+TEST(VerifyExplore, LockfreeMailboxExhaustiveSweepIsClean) {
+  // The zero-copy/lock-free PR sweep: the same K=4, n=2, <=2-preemption
+  // exhaustive space as ExhaustiveSmallConfigIsCleanAndBranches, but with the
+  // MPSC ring forced on and shrunk to capacity 2 so almost every post races
+  // the consumer's recycle and the overflow channel engages. The verify hooks
+  // on publish/pop give the engine the send->recv happens-before edges, so a
+  // missing edge in the lock-free path would surface as a race or a delivery
+  // oracle failure on some interleaving.
+  ExchangeHarness h(Vpt::direct(4));
+  verify::ExploreConfig cfg;
+  cfg.mode = verify::ExploreConfig::Mode::kExhaustive;
+  cfg.max_preemptions = 2;
+  cfg.max_schedules = 20000;
+  cfg.label = "lockfree-exhaustive-k4n2";
+  const auto body = [&h] {
+    const Rank K = h.vpt.size();
+    h.obs.reset(K);
+    h.obs.sends = h.sends;
+    runtime::Cluster cluster(K);
+    cluster.set_lockfree_mailbox(true);
+    cluster.set_mailbox_ring_capacity(2);
+    cluster.run([&](runtime::Comm& comm) {
+      EXPECT_TRUE(cluster.lockfree_active());
+      StfwCommunicator communicator(comm, h.vpt);
+      h.obs.delivered[static_cast<std::size_t>(comm.rank())] =
+          communicator.exchange(h.sends[static_cast<std::size_t>(comm.rank())]);
+    });
+  };
+  const verify::ExploreResult res = verify::explore(cfg, body, h.oracle());
+  EXPECT_TRUE(res.clean()) << res.summary();
+  EXPECT_FALSE(res.truncated) << "preemption-bounded space not exhausted after "
+                              << res.schedules_run << " schedules";
+  EXPECT_GT(res.schedules_run, 1u) << "no branch points were enumerated";
+}
+
+TEST(VerifyExplore, LockfreeMailboxSeededRandomSweepIsClean) {
+  // Wider random sweep over the forwarding VPT with the lock-free mailbox on:
+  // store-and-forward stages stress the per-source ticket gate (forwarded
+  // frames from several intermediates interleave at each consumer).
+  ExchangeHarness h(Vpt::balanced(4, 2));
+  const auto body = [&h] {
+    const Rank K = h.vpt.size();
+    h.obs.reset(K);
+    h.obs.sends = h.sends;
+    runtime::Cluster cluster(K);
+    cluster.set_lockfree_mailbox(true);
+    cluster.set_mailbox_ring_capacity(2);
+    cluster.run([&](runtime::Comm& comm) {
+      StfwCommunicator communicator(comm, h.vpt);
+      h.obs.delivered[static_cast<std::size_t>(comm.rank())] =
+          communicator.exchange(h.sends[static_cast<std::size_t>(comm.rank())]);
+    });
+  };
+  verify::ExploreConfig cfg;
+  cfg.mode = verify::ExploreConfig::Mode::kRandom;
+  cfg.schedules = std::max(schedule_count(), 64);
+  cfg.base_seed = 7;
+  cfg.label = "lockfree-random-k4-forwarding";
+  const verify::ExploreResult res = verify::explore(cfg, body, h.oracle());
+  EXPECT_TRUE(res.clean()) << res.summary();
+  EXPECT_EQ(res.schedules_run, static_cast<std::uint64_t>(cfg.schedules));
 }
 
 TEST(VerifyExplore, SeededRandomSchedulesOverForwardingVptAreClean) {

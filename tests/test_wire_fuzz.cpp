@@ -10,9 +10,13 @@
 #include <random>
 #include <vector>
 
+#include "core/buffer_pool.hpp"
 #include "core/error.hpp"
+#include "core/exchange_plan.hpp"
 #include "core/message.hpp"
+#include "core/vpt.hpp"
 #include "core/wire.hpp"
+#include "runtime/exchange_plan.hpp"
 
 namespace stfw::core {
 namespace {
@@ -266,6 +270,149 @@ TEST(WireFuzz, StaleEpochReplayRequiresRestamp) {
     EXPECT_TRUE(std::equal(dec->body.begin(), dec->body.end(), body.begin(), body.end()));
   }
 }
+
+// ---------------------------------------------------------------------------
+// Plan-layout fuzzing (zero-copy PR satellite). The gather path trusts a
+// frozen layout's slot tables blindly — memcpys straight through them with no
+// per-replay checks — so validate_plan_layout (run once at ExchangePlan
+// construction) is the only thing standing between a corrupted layout and an
+// out-of-bounds read. Every mutation class it promises to reject is pinned
+// here, plus a random sweep proving the validator itself never crashes.
+
+/// A small but fully featured recorded layout: one out-frame with two seed
+/// slots, one inbound frame, one forwarded delivery out of that frame.
+ExchangePlanLayout recorded_layout() {
+  const Vpt vpt = Vpt::direct(4);
+  const std::vector<std::pair<Rank, std::uint32_t>> pattern = {{2, 8}, {3, 4}};
+  PlanRecorder rec(vpt, /*me=*/1, pattern);
+
+  std::vector<Submessage> outs(2);
+  outs[0].source = 1;
+  outs[0].dest = 2;
+  outs[0].size_bytes = 8;
+  outs[1].source = 1;
+  outs[1].dest = 3;
+  outs[1].size_bytes = 4;
+  outs[1].id = 1;
+  std::vector<PayloadSrc> srcs(2);
+  srcs[0].index = 0;
+  srcs[0].bytes = 8;
+  srcs[1].index = 1;
+  srcs[1].bytes = 4;
+  rec.on_stage_send(0, 2, outs, srcs);
+
+  Submessage in{};
+  in.source = 0;
+  in.dest = 1;
+  in.size_bytes = 6;
+  const PlanInFrame& inf = rec.on_stage_recv(0, 0, {&in, 1});
+  rec.on_stage_complete(0, 0, 0);
+
+  Submessage del{};
+  del.source = 0;
+  del.dest = 1;
+  del.size_bytes = 6;
+  PayloadSrc del_src;
+  del_src.kind = PayloadSrc::Kind::kRecv;
+  del_src.stage = 0;
+  del_src.frame = 0;
+  del_src.offset = static_cast<std::uint32_t>(inf.subs[0].offset);
+  del_src.bytes = 6;
+  return rec.finish({&del, 1}, {&del_src, 1});
+}
+
+TEST(PlanLayoutFuzz, BaselineRecordedLayoutValidates) {
+  const ExchangePlanLayout layout = recorded_layout();
+  EXPECT_NO_THROW(validate_plan_layout(layout));
+  // The runtime executor runs the same audit at construction.
+  EXPECT_NO_THROW(stfw::runtime::ExchangePlan{layout});
+}
+
+TEST(PlanLayoutFuzz, EveryTargetedSlotTableMutationIsRejected) {
+  using Mutator = void (*)(ExchangePlanLayout&);
+  const std::pair<const char*, Mutator> mutations[] = {
+      {"stage count mismatch", [](ExchangePlanLayout& l) { l.in_frames.clear(); }},
+      {"slot table size mismatch",
+       [](ExchangePlanLayout& l) { l.out_frames[0][0].slot_offsets.pop_back(); }},
+      {"slot past frame image",
+       [](ExchangePlanLayout& l) {
+         l.out_frames[0][0].slot_offsets[1] =
+             static_cast<std::uint32_t>(l.out_frames[0][0].image.size());
+       }},
+      {"overlapping slots",
+       [](ExchangePlanLayout& l) {
+         l.out_frames[0][0].slot_offsets[1] = l.out_frames[0][0].slot_offsets[0];
+       }},
+      {"seed index out of range",
+       [](ExchangePlanLayout& l) { l.out_frames[0][0].slots[0].index = 99; }},
+      {"seed size disagrees with pattern",
+       [](ExchangePlanLayout& l) { l.signature.sequence[0].second = 7; }},
+      {"recv stage out of range",
+       [](ExchangePlanLayout& l) { l.deliveries[0].src.stage = 7; }},
+      {"recv frame out of range",
+       [](ExchangePlanLayout& l) { l.deliveries[0].src.frame = 9; }},
+      {"recv slot past inbound frame",
+       [](ExchangePlanLayout& l) {
+         l.deliveries[0].src.offset =
+             static_cast<std::uint32_t>(l.in_frames[0][0].wire_size);
+       }},
+      {"inbound submessage past frame",
+       [](ExchangePlanLayout& l) { l.in_frames[0][0].subs[0].size_bytes = 1000; }},
+  };
+  for (const auto& [what, mutate] : mutations) {
+    ExchangePlanLayout mutated = recorded_layout();
+    mutate(mutated);
+    EXPECT_THROW(validate_plan_layout(mutated), ValidationError) << what;
+    EXPECT_THROW(stfw::runtime::ExchangePlan{mutated}, ValidationError) << what;
+  }
+}
+
+/// Random numeric corruption: the validator must either accept (a mutation
+/// can be semantically harmless) or throw ValidationError — never crash or
+/// read out of bounds (the asan-ubsan preset turns the latter into failures).
+TEST(PlanLayoutFuzz, RandomFieldCorruptionValidatesOrThrowsButNeverCrashes) {
+  std::mt19937_64 rng(41);
+  std::uniform_int_distribution<std::uint32_t> val_dist;
+  const ExchangePlanLayout base = recorded_layout();
+  for (int trial = 0; trial < 500; ++trial) {
+    ExchangePlanLayout l = base;
+    for (int hit = 1 + static_cast<int>(val_dist(rng) % 3); hit > 0; --hit) {
+      const std::uint32_t v = val_dist(rng);
+      switch (val_dist(rng) % 8) {
+        case 0: l.out_frames[0][0].slot_offsets[v % 2] = v; break;
+        case 1: l.out_frames[0][0].slots[v % 2].bytes = v % 64; break;
+        case 2: l.out_frames[0][0].slots[v % 2].index = v % 8; break;
+        case 3: l.deliveries[0].src.offset = v % 64; break;
+        case 4: l.deliveries[0].src.bytes = v % 64; break;
+        case 5: l.deliveries[0].src.frame = static_cast<std::uint16_t>(v % 4); break;
+        case 6: l.deliveries[0].src.stage = static_cast<std::uint8_t>(v % 4); break;
+        case 7: l.in_frames[0][0].subs[0].size_bytes = v % 128; break;
+      }
+    }
+    try {
+      validate_plan_layout(l);
+    } catch (const ValidationError&) {
+      // Rejected loudly — the contract.
+    }
+  }
+}
+
+#if STFW_SANITIZE_ENABLED
+// Pool hygiene under sanitized builds: a recycled buffer must come back
+// poisoned (0xA5), so a stale InboundView into a released buffer can never
+// silently read the previous exchange's payload (buffer_pool.cpp pins the
+// poison constant here).
+TEST(BufferPoolFuzz, RecycledBuffersComeBackPoisoned) {
+  BufferPool pool;
+  auto buf = pool.acquire(96);
+  std::fill(buf.begin(), buf.end(), std::byte{0x11});
+  pool.release(std::move(buf));
+  const auto again = pool.acquire(96);
+  ASSERT_EQ(pool.stats().hits, 1);
+  for (std::size_t i = 0; i < again.size(); ++i)
+    ASSERT_EQ(static_cast<int>(again[i]), 0xA5) << "byte " << i << " not poisoned";
+}
+#endif
 
 TEST(WireFuzz, TruncatedStageMessagesThrowOrDecodeSafely) {
   std::mt19937_64 rng(19);
